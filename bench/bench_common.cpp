@@ -1,0 +1,28 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "util/env.hpp"
+
+namespace respin::bench {
+
+core::RunOptions default_options() {
+  core::RunOptions options;
+  options.workload_scale = static_cast<double>(util::sim_scale());
+  return options;
+}
+
+void print_banner(const std::string& artifact, const std::string& paper_claim,
+                  const core::RunOptions& options) {
+  std::printf("=== Respin reproduction: %s ===\n", artifact.c_str());
+  std::printf("Paper: %s\n", paper_claim.c_str());
+  std::printf(
+      "Setup: %u-core cluster, %s caches, workload scale %.1f "
+      "(RESPIN_SIM_SCALE)\n\n",
+      options.cluster_cores, core::to_string(options.size),
+      options.workload_scale);
+}
+
+std::string norm(double value) { return util::fixed(value, 3); }
+
+}  // namespace respin::bench

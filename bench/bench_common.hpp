@@ -1,0 +1,26 @@
+// Shared plumbing for the experiment harness binaries: run-option setup
+// from RESPIN_SIM_SCALE, result caching across related binaries within one
+// process, and formatting helpers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+namespace respin::bench {
+
+/// Default run options for the experiment binaries; workload scale comes
+/// from RESPIN_SIM_SCALE (default 1).
+core::RunOptions default_options();
+
+/// Prints a standard experiment banner: which paper artifact this binary
+/// regenerates and the knobs in effect.
+void print_banner(const std::string& artifact, const std::string& paper_claim,
+                  const core::RunOptions& options);
+
+/// Formats "x.xx" normalized values.
+std::string norm(double value);
+
+}  // namespace respin::bench

@@ -1,0 +1,48 @@
+// Figure 8: total energy vs cache size class for SH-STT and SH-SRAM-Nom,
+// normalized to PR-SRAM-NT.
+//
+// Paper claims: SH-STT uses 13-31% less energy than the baseline (savings
+// grow with cache size); SH-SRAM-Nom uses 8-16% MORE energy.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace respin;
+  const core::RunOptions base_options = bench::default_options();
+  bench::print_banner("Figure 8 — energy vs cache size class",
+                      "SH-STT: -13% (small) to -31% (large) vs PR-SRAM-NT",
+                      base_options);
+
+  util::TextTable table("Suite energy normalized to PR-SRAM-NT");
+  table.set_header({"cache size", "SH-STT", "SH-SRAM-Nom"});
+
+  for (core::CacheSize size :
+       {core::CacheSize::kSmall, core::CacheSize::kMedium,
+        core::CacheSize::kLarge}) {
+    core::RunOptions options = base_options;
+    options.size = size;
+    double base = 0.0;
+    double stt = 0.0;
+    double nom = 0.0;
+    for (const std::string& bench : workload::benchmark_names()) {
+      base += core::run_experiment(core::ConfigId::kPrSramNt, bench, options)
+                  .energy.total();
+      stt += core::run_experiment(core::ConfigId::kShStt, bench, options)
+                 .energy.total();
+      nom += core::run_experiment(core::ConfigId::kShSramNom, bench, options)
+                 .energy.total();
+    }
+    table.add_row({core::to_string(size), bench::norm(stt / base),
+                   bench::norm(nom / base)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper reference: SH-STT 0.87/0.77/0.69 (small/medium/large);\n"
+      "SH-SRAM-Nom 1.08-1.16. This reproduction's SH-SRAM-Nom lands below\n"
+      "1.0 (see EXPERIMENTS.md for the documented residual): the shared-\n"
+      "cache performance gain outweighs nominal-SRAM leakage here.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 9: per-benchmark energy for all eight Table IV configurations,
+// normalized to PR-SRAM-NT (medium caches).
+//
+// Paper claims (averages): SH-STT -23%; SH-STT-CC -33%; SH-STT-CC-Oracle
+// -36%; PR-STT-CC -24%; SH-SRAM-Nom +12%; HP-SRAM-CMP +40%; SH-STT-CC-OS
+// +27% relative to SH-STT.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace respin;
+  const core::RunOptions options = bench::default_options();
+  bench::print_banner(
+      "Figure 9 — energy by benchmark, all configurations (medium caches)",
+      "SH-STT -23%, SH-STT-CC -33%, Oracle -36%, HP +40% vs PR-SRAM-NT",
+      options);
+
+  const core::ConfigId configs[] = {
+      core::ConfigId::kHpSramCmp,  core::ConfigId::kShSramNom,
+      core::ConfigId::kShStt,      core::ConfigId::kShSttCc,
+      core::ConfigId::kShSttCcOracle, core::ConfigId::kPrSttCc,
+      core::ConfigId::kShSttCcOs};
+
+  std::map<std::string, double> baseline;
+  for (const std::string& bench : workload::benchmark_names()) {
+    baseline[bench] =
+        core::run_experiment(core::ConfigId::kPrSramNt, bench, options)
+            .energy.total();
+  }
+
+  util::TextTable table("Energy normalized to PR-SRAM-NT (lower is better)");
+  std::vector<std::string> header = {"benchmark"};
+  for (core::ConfigId id : configs) header.push_back(core::to_string(id));
+  table.set_header(header);
+
+  std::map<core::ConfigId, std::vector<double>> ratios;
+  for (const std::string& bench : workload::benchmark_names()) {
+    std::vector<std::string> row = {bench};
+    for (core::ConfigId id : configs) {
+      const core::SimResult r = core::run_experiment(id, bench, options);
+      const double ratio = r.energy.total() / baseline[bench];
+      ratios[id].push_back(ratio);
+      row.push_back(bench::norm(ratio));
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> mean_row = {"geo-mean"};
+  for (core::ConfigId id : configs) {
+    mean_row.push_back(bench::norm(util::geometric_mean(ratios[id])));
+  }
+  table.add_row(mean_row);
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper reference (means): HP 1.40, SH-SRAM-Nom 1.12, SH-STT 0.77,\n"
+      "SH-STT-CC 0.67, Oracle 0.64, PR-STT-CC 0.76, SH-STT-CC-OS ~0.98\n"
+      "(+27%% over SH-STT). See EXPERIMENTS.md for measured-vs-paper notes.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Component micro-benchmarks (google-benchmark): throughput of the
+// building blocks the simulator leans on — the priority-register arbiter,
+// cache-array accesses, the MESI directory path, the workload generator,
+// and the RNG.
+#include <benchmark/benchmark.h>
+
+#include "core/priority_register.hpp"
+#include "core/shared_cache_controller.hpp"
+#include "mem/backside.hpp"
+#include "mem/cache_array.hpp"
+#include "mem/private_l1.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace respin;
+
+void BM_Xoshiro(benchmark::State& state) {
+  util::Rng rng("bench", 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_PriorityRegisterShift(benchmark::State& state) {
+  core::PriorityRegister reg;
+  reg.preload(4);
+  for (auto _ : state) {
+    reg.shift();
+    if (reg.expired()) reg.preload(4);
+    benchmark::DoNotOptimize(reg.slack());
+  }
+}
+BENCHMARK(BM_PriorityRegisterShift);
+
+void BM_CacheArrayAccess(benchmark::State& state) {
+  mem::CacheArray cache(256 * 1024, 32, 4);
+  util::Rng rng("bench.cache", 1);
+  for (auto _ : state) {
+    const mem::LineAddr line = rng.uniform_u64(16384);
+    if (!cache.access(line).has_value()) {
+      cache.insert(line, mem::Mesi::kExclusive);
+    }
+  }
+}
+BENCHMARK(BM_CacheArrayAccess);
+
+void BM_ControllerStepIdle(benchmark::State& state) {
+  core::ControllerParams params;
+  core::SharedCacheController ctrl(params, 1);
+  std::vector<core::ServicedRead> out;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    ctrl.step(t++, out);
+    out.clear();
+  }
+}
+BENCHMARK(BM_ControllerStepIdle);
+
+void BM_ControllerStepLoaded(benchmark::State& state) {
+  core::ControllerParams params;
+  core::SharedCacheController ctrl(params, 1);
+  std::vector<core::ServicedRead> out;
+  std::vector<bool> outstanding(16, false);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    out.clear();
+    ctrl.step(t, out);
+    for (const auto& s : out) outstanding[s.core] = false;
+    if (t % 5 == 0) {
+      for (std::uint32_t c = 0; c < 16; ++c) {
+        if (!outstanding[c]) {
+          ctrl.submit_read(c, 5, t);
+          outstanding[c] = true;
+        }
+      }
+    }
+    ++t;
+  }
+}
+BENCHMARK(BM_ControllerStepLoaded);
+
+void BM_MesiDirectoryAccess(benchmark::State& state) {
+  mem::PrivateL1Params params;
+  params.core_count = 16;
+  mem::Backside backside{mem::BacksideParams{}};
+  mem::PrivateL1System system(params);
+  util::Rng rng("bench.mesi", 1);
+  for (auto _ : state) {
+    const auto core = static_cast<std::uint32_t>(rng.uniform_u64(16));
+    const mem::Addr addr = 32 * rng.uniform_u64(4096);
+    const auto type =
+        rng.bernoulli(0.3) ? mem::AccessType::kStore : mem::AccessType::kLoad;
+    benchmark::DoNotOptimize(system.access(core, addr, type, backside));
+  }
+}
+BENCHMARK(BM_MesiDirectoryAccess);
+
+void BM_WorkloadNextOp(benchmark::State& state) {
+  const auto& spec = workload::benchmark("ocean");
+  workload::ThreadWorkload thread(spec, 0, 16, 1000.0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(thread.next());
+  }
+}
+BENCHMARK(BM_WorkloadNextOp);
+
+}  // namespace
+
+BENCHMARK_MAIN();

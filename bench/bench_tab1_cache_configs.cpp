@@ -1,0 +1,56 @@
+// Table I: summary of cache configurations, regenerated from the config
+// layer (sizes, block sizes, associativities, ports).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/config.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace respin;
+  const core::RunOptions options = bench::default_options();
+  bench::print_banner("Table I — cache configuration summary",
+                      "L1 16KB private / 256KB shared, L2 8-32MB, L3 24-96MB",
+                      options);
+
+  util::TextTable table("Cache hierarchy (per paper Table I)");
+  table.set_header(
+      {"level", "size (small/medium/large)", "block", "assoc", "rd/wr ports"});
+
+  const auto shared =
+      core::make_cluster_config(core::ConfigId::kShStt, core::CacheSize::kMedium);
+  const auto priv =
+      core::make_cluster_config(core::ConfigId::kPrSramNt, core::CacheSize::kMedium);
+
+  auto kb = [](std::uint64_t bytes) {
+    return std::to_string(bytes / 1024) + "KB";
+  };
+  auto mb = [](std::uint64_t bytes) {
+    return std::to_string(bytes >> 20) + "MB";
+  };
+
+  table.add_row({"L1I (private / shared w/i cluster)",
+                 kb(priv.private_l1.l1i_capacity_bytes) + " / " +
+                     kb(shared.l1_shared_capacity),
+                 std::to_string(shared.l1_line_bytes) + "B",
+                 std::to_string(shared.l1i_ways) + "-way", "1/1"});
+  table.add_row({"L1D (private / shared w/i cluster)",
+                 kb(priv.private_l1.l1d_capacity_bytes) + " / " +
+                     kb(shared.l1_shared_capacity),
+                 std::to_string(shared.l1_line_bytes) + "B",
+                 std::to_string(shared.l1d_ways) + "-way", "1/1"});
+  table.add_row({"L2 (shared w/i cluster, chip total)",
+                 mb(core::chip_l2_bytes(core::CacheSize::kSmall)) + " / " +
+                     mb(core::chip_l2_bytes(core::CacheSize::kMedium)) +
+                     " / " + mb(core::chip_l2_bytes(core::CacheSize::kLarge)),
+                 std::to_string(shared.backside.l2_line_bytes) + "B",
+                 std::to_string(shared.backside.l2_ways) + "-way", "1/1"});
+  table.add_row({"L3 (shared w/i chip)",
+                 mb(core::chip_l3_bytes(core::CacheSize::kSmall)) + " / " +
+                     mb(core::chip_l3_bytes(core::CacheSize::kMedium)) +
+                     " / " + mb(core::chip_l3_bytes(core::CacheSize::kLarge)),
+                 std::to_string(shared.backside.l3_line_bytes) + "B",
+                 std::to_string(shared.backside.l3_ways) + "-way", "1/1"});
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Table II: baseline architecture configuration parameters, regenerated
+// from the configuration layer.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/config.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace respin;
+  const core::RunOptions options = bench::default_options();
+  bench::print_banner("Table II — architecture configuration",
+                      "64-core CMP, 16-core clusters, dual-issue NT cores",
+                      options);
+
+  const auto cfg =
+      core::make_cluster_config(core::ConfigId::kShStt, core::CacheSize::kMedium);
+
+  util::TextTable table("Baseline architecture parameters");
+  table.set_header({"parameter", "value"});
+  table.add_row({"chip cores", "64"});
+  table.add_row({"cluster size",
+                 std::to_string(cfg.cluster_cores) + " cores (" +
+                     std::to_string(cfg.clusters_per_chip) + " clusters)"});
+  table.add_row({"core issue width",
+                 std::to_string(cfg.core_timing.issue_width)});
+  table.add_row({"core Vdd (NT rail)", util::fixed(cfg.core_vdd, 2) + " V"});
+  table.add_row({"cache Vdd (high rail)",
+                 util::fixed(cfg.cache_vdd, 2) + " V"});
+  table.add_row({"shared cache clock",
+                 util::fixed(util::frequency_hz(cfg.clocking.cache_period) /
+                                 1e9, 2) + " GHz (" +
+                     util::fixed(util::to_ns(cfg.clocking.cache_period), 1) +
+                     " ns)"});
+  table.add_row(
+      {"core periods",
+       util::fixed(util::to_ns(cfg.clocking.core_period(
+                       cfg.clocking.min_core_multiplier)), 1) +
+           " - " +
+           util::fixed(util::to_ns(cfg.clocking.core_period(
+                           cfg.clocking.max_core_multiplier)), 1) +
+           " ns (multipliers " +
+           std::to_string(cfg.clocking.min_core_multiplier) + "-" +
+           std::to_string(cfg.clocking.max_core_multiplier) + ")"});
+  table.add_row({"L2 hit latency",
+                 std::to_string(cfg.backside.l2_hit_cycles) + " cache cycles"});
+  table.add_row({"L3 hit latency",
+                 std::to_string(cfg.backside.l3_hit_cycles) + " cache cycles"});
+  table.add_row({"memory latency",
+                 std::to_string(cfg.backside.memory_cycles) +
+                     " cache cycles (~" +
+                     util::fixed(cfg.backside.memory_cycles * 0.4, 0) +
+                     " ns)"});
+  table.add_row({"level shifter up-delay", "0.75 ns (2 cache cycles w/ wire)"});
+  table.add_row({"consolidation epoch",
+                 std::to_string(cfg.governor_params.epoch_instructions) +
+                     " instructions (scaled; paper: 160K)"});
+  table.add_row({"HW context-switch quantum",
+                 std::to_string(cfg.core_timing.hw_quantum_instructions) +
+                     " instructions"});
+  std::printf("%s\n", table.render().c_str());
+
+  util::TextTable mults("Per-core clock multipliers (die seed 1, cluster 0)");
+  mults.set_header({"core", "multiplier", "period (ns)", "frequency (MHz)"});
+  for (std::uint32_t c = 0; c < cfg.cluster_cores; ++c) {
+    const auto period = cfg.clocking.core_period(cfg.multipliers[c]);
+    mults.add_row({std::to_string(c), std::to_string(cfg.multipliers[c]),
+                   util::fixed(util::to_ns(period), 1),
+                   util::fixed(util::frequency_hz(period) / 1e6, 0)});
+  }
+  std::printf("%s\n", mults.render().c_str());
+  return 0;
+}

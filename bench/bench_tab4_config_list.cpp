@@ -1,0 +1,42 @@
+// Table IV: the architecture configurations used in the evaluation,
+// regenerated from the configuration registry.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/config.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace respin;
+  bench::print_banner("Table IV — architecture configurations",
+                      "eight named configurations from baseline to SH-STT-CC",
+                      core::RunOptions{});
+
+  util::TextTable table("Configuration registry");
+  table.set_header({"name", "L1 org", "cache tech", "cache Vdd", "core Vdd",
+                    "consolidation"});
+  for (core::ConfigId id : core::all_config_ids()) {
+    const auto cfg = core::make_cluster_config(id, core::CacheSize::kMedium);
+    const char* governor = "-";
+    switch (cfg.governor) {
+      case core::GovernorKind::kNone:
+        governor = "-";
+        break;
+      case core::GovernorKind::kGreedy:
+        governor = "greedy (HW)";
+        break;
+      case core::GovernorKind::kOracle:
+        governor = "oracle";
+        break;
+      case core::GovernorKind::kOs:
+        governor = "OS, coarse epochs";
+        break;
+    }
+    table.add_row({cfg.name, cfg.shared_l1 ? "shared" : "private",
+                   nvsim::to_string(cfg.cache_tech),
+                   util::fixed(cfg.cache_vdd, 2) + "V",
+                   util::fixed(cfg.core_vdd, 2) + "V", governor});
+  }
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Chip study: the full 64-core CMP with process variation. Each of the
+// four clusters sits on a different region of the VARIUS die, so their
+// core-frequency mixes — and therefore their finish times and energies —
+// differ. This example quantifies that spread and shows the chip-level
+// cost of the slowest cluster (the paper's motivation for per-core clock
+// multipliers instead of chip-wide worst-case frequency).
+//
+//   $ ./examples/chip_study [benchmark] [seed]   (default: barnes, 1)
+#include <cstdio>
+#include <string>
+
+#include "core/chip.hpp"
+#include "core/report.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main(int argc, char** argv) {
+  using namespace respin;
+
+  const std::string benchmark = argc > 1 ? argv[1] : "barnes";
+  core::RunOptions options;
+  options.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  std::printf("Respin chip study: 64-core CMP, benchmark '%s', die seed %llu\n\n",
+              benchmark.c_str(),
+              static_cast<unsigned long long>(options.seed));
+
+  const core::ChipResult chip =
+      core::run_chip(core::ConfigId::kShStt, benchmark, options);
+
+  util::TextTable table("Per-cluster behaviour across the die");
+  table.set_header({"cluster", "multipliers (fast..slow)", "time (ms)",
+                    "energy (mJ)", "vs fastest cluster"});
+  double fastest = chip.clusters[0].seconds;
+  for (const auto& r : chip.clusters) fastest = std::min(fastest, r.seconds);
+
+  for (std::size_t c = 0; c < chip.clusters.size(); ++c) {
+    const auto config = core::make_chip_cluster_config(
+        core::ConfigId::kShStt, options.size, options.cluster_cores,
+        static_cast<std::uint32_t>(c), options.seed);
+    int counts[7] = {};
+    for (int m : config.multipliers) ++counts[m];
+    std::string mix;
+    for (int m = 4; m <= 6; ++m) {
+      mix += std::to_string(counts[m]) + "x" +
+             util::fixed(util::to_ns(config.clocking.core_period(m)), 1) +
+             "ns ";
+    }
+    const auto& r = chip.clusters[c];
+    table.add_row({std::to_string(c), mix, util::fixed(r.seconds * 1e3, 3),
+                   util::fixed(r.energy.total() * 1e-9, 1),
+                   util::percent(r.seconds / fastest - 1.0)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Chip: time %.3f ms (slowest cluster), energy %.1f mJ, "
+              "power %.1f W\n",
+              chip.seconds * 1e3, chip.energy.total() * 1e-9, chip.watts());
+  std::printf("CSV:  %s\n      %s\n", core::chip_csv_header().c_str(),
+              core::chip_csv_row(chip).c_str());
+  return 0;
+}

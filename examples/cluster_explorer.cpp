@@ -1,0 +1,49 @@
+// Cluster explorer: how does the cluster size change the behaviour of the
+// time-multiplexed shared cache? Sweeps 4/8/16/32 cores per cluster for a
+// chosen benchmark and reports performance, contention, and the half-miss
+// protocol in action (paper §II.A and §V.D/E).
+//
+//   $ ./examples/cluster_explorer [benchmark]     (default: raytrace)
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace respin;
+
+  const std::string benchmark = argc > 1 ? argv[1] : "raytrace";
+  std::printf("Respin cluster explorer: benchmark '%s'\n\n", benchmark.c_str());
+
+  util::TextTable table("Shared-cache behaviour vs cluster size (SH-STT)");
+  table.set_header({"cluster", "shared L1", "time vs baseline", "1-cycle hits",
+                    "half-misses", "avg arrivals/cycle"});
+
+  for (std::uint32_t cores : {4u, 8u, 16u, 32u}) {
+    core::RunOptions options;
+    options.cluster_cores = cores;
+    const core::SimResult baseline =
+        core::run_experiment(core::ConfigId::kPrSramNt, benchmark, options);
+    const core::SimResult stt =
+        core::run_experiment(core::ConfigId::kShStt, benchmark, options);
+
+    const std::uint64_t reads = stt.dl1_read_hits + stt.dl1_read_misses;
+    table.add_row(
+        {std::to_string(cores) + " cores",
+         std::to_string(16 * cores) + "KB",
+         util::percent(stt.seconds / baseline.seconds - 1.0),
+         util::fixed(100.0 * stt.read_hit_latency.fraction(1), 1) + "%",
+         util::fixed(100.0 * stt.dl1_half_misses /
+                         std::max<std::uint64_t>(1, reads), 2) + "%",
+         util::fixed(stt.dl1_arrivals.mean(), 2)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "The 16-core cluster maximizes data sharing while the single-ported\n"
+      "fast cache still returns almost every read hit within one core\n"
+      "cycle; at 32 cores the bigger, slower array and doubled request\n"
+      "rate erode the benefit (paper §V.D).\n");
+  return 0;
+}

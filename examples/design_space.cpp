@@ -1,0 +1,80 @@
+// Design-space study: what would this chip look like with other cache
+// technologies and rails? Uses the nvsim array model directly to sweep the
+// L1 design space the paper argues about in §II, then confirms the two
+// interesting corners with full simulations.
+//
+//   $ ./examples/design_space [benchmark]        (default: fft)
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "nvsim/array_model.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace respin;
+
+  const std::string benchmark = argc > 1 ? argv[1] : "fft";
+  std::printf("Respin design-space study (L1 = 256KB per 16-core cluster)\n\n");
+
+  // 1. Static array-level view straight from the nvsim model.
+  util::TextTable arrays("Candidate shared-L1 arrays (nvsim model)");
+  arrays.set_header({"technology", "Vdd", "read (ps)", "write (ps)",
+                     "read (pJ)", "leakage (mW)", "area (mm2)"});
+  struct Candidate {
+    nvsim::MemTech tech;
+    double vdd;
+  };
+  for (const Candidate& c :
+       {Candidate{nvsim::MemTech::kSram, 0.65},
+        Candidate{nvsim::MemTech::kSram, 0.8},
+        Candidate{nvsim::MemTech::kSram, 1.0},
+        Candidate{nvsim::MemTech::kSttRam, 1.0}}) {
+    const nvsim::ArrayFigures f = nvsim::evaluate(
+        nvsim::ArrayConfig{.tech = c.tech,
+                           .capacity_bytes = 256 * 1024,
+                           .block_bytes = 32,
+                           .associativity = 4,
+                           .vdd = c.vdd,
+                           .bank_count = 1});
+    arrays.add_row({nvsim::to_string(c.tech), util::fixed(c.vdd, 2),
+                    std::to_string(f.read_latency),
+                    std::to_string(f.write_latency),
+                    util::fixed(f.read_energy, 2),
+                    util::fixed(f.leakage_power * 1e3, 0),
+                    util::fixed(f.area_mm2, 3)});
+  }
+  std::printf("%s\n", arrays.render().c_str());
+
+  // 2. System-level confirmation on one benchmark: the STT-RAM design
+  //    turns the leakage advantage into end-to-end energy, across all
+  //    three Table I size classes.
+  util::TextTable system("System-level energy, benchmark '" + benchmark +
+                         "' (normalized to PR-SRAM-NT)");
+  system.set_header({"cache size", "SH-SRAM-Nom", "SH-STT"});
+  for (core::CacheSize size :
+       {core::CacheSize::kSmall, core::CacheSize::kMedium,
+        core::CacheSize::kLarge}) {
+    core::RunOptions options;
+    options.size = size;
+    const double base =
+        core::run_experiment(core::ConfigId::kPrSramNt, benchmark, options)
+            .energy.total();
+    const double nom =
+        core::run_experiment(core::ConfigId::kShSramNom, benchmark, options)
+            .energy.total();
+    const double stt =
+        core::run_experiment(core::ConfigId::kShStt, benchmark, options)
+            .energy.total();
+    system.add_row({core::to_string(size), util::fixed(nom / base, 3),
+                    util::fixed(stt / base, 3)});
+  }
+  std::printf("%s\n", system.render().c_str());
+
+  std::printf(
+      "STT-RAM is the only candidate that can sit on the nominal rail\n"
+      "(fast, reliable reads for the time-multiplexed cluster cache) while\n"
+      "leaking ~7.7x less than SRAM — the larger the cache budget, the\n"
+      "wider its energy lead (paper Figs. 6/8).\n");
+  return 0;
+}

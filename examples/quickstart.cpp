@@ -1,0 +1,45 @@
+// Quickstart: simulate one benchmark on the baseline near-threshold CMP
+// and on Respin's shared STT-RAM design, then compare time, power and
+// energy — the smallest end-to-end use of the library.
+//
+//   $ ./examples/quickstart [benchmark]     (default: ocean)
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace respin;
+
+  const std::string benchmark = argc > 1 ? argv[1] : "ocean";
+  core::RunOptions options;  // 16-core cluster, medium caches.
+
+  std::printf("Respin quickstart: benchmark '%s', 16-core cluster\n\n",
+              benchmark.c_str());
+
+  const core::SimResult baseline = core::run_experiment(
+      core::ConfigId::kPrSramNt, benchmark, options);
+  const core::SimResult respin_result = core::run_experiment(
+      core::ConfigId::kShStt, benchmark, options);
+
+  util::TextTable table("PR-SRAM-NT (baseline) vs SH-STT (Respin)");
+  table.set_header({"metric", "PR-SRAM-NT", "SH-STT", "change"});
+  auto add = [&](const char* name, double base, double ours, int places) {
+    table.add_row({name, util::fixed(base, places), util::fixed(ours, places),
+                   util::percent(ours / base - 1.0)});
+  };
+  add("runtime (ms)", baseline.seconds * 1e3, respin_result.seconds * 1e3, 3);
+  add("energy (mJ)", baseline.energy.total() * 1e-9,
+      respin_result.energy.total() * 1e-9, 2);
+  add("power (W)", baseline.watts(), respin_result.watts(), 2);
+  add("EPI (nJ)", baseline.epi_pj() * 1e-3, respin_result.epi_pj() * 1e-3, 2);
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "Shared-L1 behaviour under SH-STT: %.1f%% of read hits serviced in a "
+      "single core cycle, %llu half-misses.\n",
+      100.0 * respin_result.read_hit_latency.fraction(1),
+      static_cast<unsigned long long>(respin_result.dl1_half_misses));
+  return 0;
+}

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, and regenerate every paper
+# table/figure. Outputs land in test_output.txt and bench_output.txt at
+# the repository root.
+#
+# Usage:  scripts/reproduce.sh [RESPIN_SIM_SCALE]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale="${1:-1}"
+export RESPIN_SIM_SCALE="$scale"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "===== $(basename "$b") ====="
+      "$b"
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "Done. See test_output.txt and bench_output.txt."

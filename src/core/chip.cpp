@@ -1,0 +1,82 @@
+#include "core/chip.hpp"
+
+#include <algorithm>
+
+#include "core/oracle.hpp"
+#include "util/require.hpp"
+#include "workload/workload.hpp"
+
+namespace respin::core {
+
+ClusterConfig make_chip_cluster_config(ConfigId id, CacheSize size,
+                                       std::uint32_t cluster_cores,
+                                       std::uint32_t cluster_index,
+                                       std::uint64_t seed) {
+  return make_cluster_config(id, size, cluster_cores, seed,
+                             CoreCalibration{},
+                             cluster_index * cluster_cores);
+}
+
+ChipResult run_chip(ConfigId id, const std::string& benchmark,
+                    const RunOptions& options) {
+  const std::uint32_t clusters = 64 / options.cluster_cores;
+
+  ChipResult chip;
+  chip.benchmark = benchmark;
+  chip.clusters.reserve(clusters);
+
+  for (std::uint32_t c = 0; c < clusters; ++c) {
+    const ClusterConfig config = make_chip_cluster_config(
+        id, options.size, options.cluster_cores, c, options.seed);
+    chip.config_name = config.name;
+    SimParams params;
+    params.workload_scale = options.workload_scale;
+    // Each cluster runs its own process instance of the benchmark: a
+    // distinct workload seed per cluster.
+    params.seed = options.seed + 1000ull * c;
+    ClusterSim sim(config, workload::benchmark(benchmark), params);
+    SimResult result;
+    if (config.governor == GovernorKind::kOracle) {
+      result = run_with_oracle(
+          sim, OracleParams{.stride = options.oracle_stride});
+    } else {
+      sim.run();
+      result = sim.result();
+    }
+    chip.clusters.push_back(std::move(result));
+  }
+
+  // Chip finish time = slowest cluster.
+  for (const SimResult& r : chip.clusters) {
+    chip.seconds = std::max(chip.seconds, r.seconds);
+    chip.instructions += r.instructions;
+  }
+
+  // Energy: each cluster's measured energy, plus leakage of the
+  // early-finishing clusters' always-on structures (caches/uncore) until
+  // the chip finish time. Core leakage after program exit is excluded —
+  // idle cores are assumed gated once their threads are done.
+  for (std::uint32_t c = 0; c < clusters; ++c) {
+    const SimResult& r = chip.clusters[c];
+    chip.energy.core_dynamic += r.energy.core_dynamic;
+    chip.energy.core_leakage += r.energy.core_leakage;
+    chip.energy.cache_dynamic += r.energy.cache_dynamic;
+    chip.energy.cache_leakage += r.energy.cache_leakage;
+    chip.energy.dram += r.energy.dram;
+    chip.energy.network += r.energy.network;
+
+    const double tail_seconds = chip.seconds - r.seconds;
+    if (tail_seconds > 0.0) {
+      const ClusterConfig config = make_chip_cluster_config(
+          id, options.size, options.cluster_cores, c, options.seed);
+      const double cache_leak_w = config.power.l1_leakage_w +
+                                  config.power.l2_leakage_w +
+                                  config.power.l3_leakage_w;
+      chip.energy.cache_leakage += cache_leak_w * tail_seconds * 1e12;
+      chip.energy.network += config.power.uncore_w * tail_seconds * 1e12;
+    }
+  }
+  return chip;
+}
+
+}  // namespace respin::core

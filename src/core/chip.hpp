@@ -1,0 +1,56 @@
+// Chip-level simulation: the full 64-core CMP as a set of clusters.
+//
+// The paper's chip is four identical 16-core clusters sharing an L3 (the
+// L3 is physically distributed, one slice per cluster). Because clusters
+// are architecturally independent in every evaluated configuration — the
+// shared-L1 design removes intra-cluster coherence and the workloads run
+// one 16-thread process per cluster — the chip simulation runs one
+// ClusterSim per cluster, each on its own region of the VARIUS die (so
+// different clusters really do get different core-frequency mixes), and
+// aggregates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cluster_sim.hpp"
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+
+namespace respin::core {
+
+/// Aggregated chip-level result.
+struct ChipResult {
+  std::string config_name;
+  std::string benchmark;
+  /// Chip execution time: the slowest cluster (they synchronize at program
+  /// end).
+  double seconds = 0.0;
+  /// Total energy over all clusters, integrated to the chip finish time
+  /// (early-finishing clusters keep leaking until the last one is done).
+  power::EnergyBreakdown energy;
+  std::uint64_t instructions = 0;
+  /// Per-cluster results for variance analysis.
+  std::vector<SimResult> clusters;
+
+  double watts() const {
+    return seconds > 0.0 ? energy.total() * 1e-12 / seconds : 0.0;
+  }
+};
+
+/// Runs `benchmark` on every cluster of the chip for configuration `id`
+/// and aggregates. Each cluster gets its own die region (its own core
+/// frequency mix) but the same workload, mirroring the paper's
+/// methodology of reporting chip-level power from per-cluster activity.
+ChipResult run_chip(ConfigId id, const std::string& benchmark,
+                    const RunOptions& options = {});
+
+/// Builds the cluster configuration for cluster `cluster_index` of the
+/// chip (selects the die region for the VARIUS multipliers).
+ClusterConfig make_chip_cluster_config(ConfigId id, CacheSize size,
+                                       std::uint32_t cluster_cores,
+                                       std::uint32_t cluster_index,
+                                       std::uint64_t seed);
+
+}  // namespace respin::core

@@ -1,0 +1,748 @@
+#include "core/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace respin::core {
+
+namespace {
+constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+/// Private store path: buffer depth before the core stalls on stores.
+constexpr std::uint32_t kPrivateStoreBufferDepth = 8;
+}  // namespace
+
+ClusterSim::ClusterSim(ClusterConfig config,
+                       const workload::WorkloadSpec& spec,
+                       const SimParams& params)
+    : cfg_(std::move(config)),
+      params_(params),
+      benchmark_name_(spec.name),
+      backside_(cfg_.backside) {
+  RESPIN_REQUIRE(cfg_.multipliers.size() == cfg_.cluster_cores,
+                 "config must carry one multiplier per core");
+
+  // One virtual core (thread) per physical core, as in the paper.
+  vcores_.reserve(cfg_.cluster_cores);
+  cores_.resize(cfg_.cluster_cores);
+  host_of_.resize(cfg_.cluster_cores);
+  for (std::uint32_t c = 0; c < cfg_.cluster_cores; ++c) {
+    vcores_.emplace_back(workload::ThreadWorkload(
+        spec, c, cfg_.cluster_cores, params.workload_scale, params.seed));
+    vcores_.back().until_fetch = cfg_.core_timing.instructions_per_fetch;
+    cores_[c].multiplier = cfg_.multipliers[c];
+    cores_[c].powered_on = true;
+    cores_[c].vcores = {c};
+    cores_[c].next_tick = cores_[c].multiplier;  // First boundary.
+    cores_[c].quantum_remaining = cfg_.core_timing.hw_quantum_instructions;
+    cores_[c].os_next_switch = cfg_.os_quantum_cycles;
+    host_of_[c] = c;
+  }
+  efficiency_order_ = efficiency_ranking(cfg_.multipliers);
+  active_count_ = cfg_.cluster_cores;
+  powered_cores_ = cfg_.cluster_cores;
+
+  if (cfg_.shared_l1) {
+    dl1_ctrl_.emplace(cfg_.controller, params.seed);
+    l1i_.emplace(cfg_.l1_shared_capacity, cfg_.l1_line_bytes, cfg_.l1i_ways);
+    l1d_.emplace(cfg_.l1_shared_capacity, cfg_.l1_line_bytes, cfg_.l1d_ways);
+    pending_reads_.resize(cfg_.cluster_cores);
+  } else {
+    private_l1_.emplace(cfg_.private_l1);
+  }
+
+  if (cfg_.governor != GovernorKind::kNone) {
+    governor_.emplace(cfg_.governor_params, cfg_.cluster_cores);
+  }
+  next_epoch_instructions_ = cfg_.governor_params.epoch_instructions;
+  next_epoch_cycle_ = cfg_.os_epoch_cycles;
+}
+
+std::int64_t ClusterSim::next_boundary_after(std::uint32_t pid,
+                                             std::int64_t ready) const {
+  // The first core-cycle boundary of core `pid` at or after `ready`,
+  // measured from its boundary phase (boundaries are at k * multiplier).
+  const std::int64_t m = cores_[pid].multiplier;
+  return ((ready + m - 1) / m) * m;
+}
+
+void ClusterSim::run() {
+  while (!done()) {
+    if (now_ >= params_.max_cycles) break;
+    step_cycle();
+    if (governor_ && cfg_.governor != GovernorKind::kOracle &&
+        at_epoch_boundary()) {
+      on_epoch_boundary();
+    }
+  }
+  sync_power_integral();
+}
+
+bool ClusterSim::run_one_epoch() {
+  while (!done()) {
+    if (now_ >= params_.max_cycles) break;
+    step_cycle();
+    if (at_epoch_boundary()) {
+      // Close the epoch's books but let the caller decide the next count.
+      const power::ActivityCounts delta = current_counts() - epoch_counts_;
+      const power::EnergyBreakdown energy =
+          power::compute_energy(cfg_.power, delta,
+                                (now_ - epoch_start_) *
+                                    cfg_.clocking.cache_period);
+      last_epoch_epi_ =
+          power::energy_per_instruction(energy, delta.instructions);
+      trace_.push_back(ConsolidationSample{now_, active_count_,
+                                           last_epoch_epi_});
+      active_stat_.add(active_count_);
+      epoch_counts_ = current_counts();
+      epoch_start_ = now_;
+      next_epoch_instructions_ =
+          counts_.instructions + cfg_.governor_params.epoch_instructions;
+      next_epoch_cycle_ = now_ + cfg_.os_epoch_cycles;
+      return true;
+    }
+  }
+  sync_power_integral();
+  return false;
+}
+
+bool ClusterSim::at_epoch_boundary() const {
+  if (cfg_.governor == GovernorKind::kOs) {
+    return now_ >= next_epoch_cycle_;
+  }
+  return counts_.instructions >= next_epoch_instructions_;
+}
+
+void ClusterSim::on_epoch_boundary() {
+  const power::ActivityCounts delta = current_counts() - epoch_counts_;
+  const power::EnergyBreakdown energy = power::compute_energy(
+      cfg_.power, delta, (now_ - epoch_start_) * cfg_.clocking.cache_period);
+  last_epoch_epi_ =
+      power::energy_per_instruction(energy, delta.instructions);
+  trace_.push_back(
+      ConsolidationSample{now_, active_count_, last_epoch_epi_});
+  active_stat_.add(active_count_);
+
+  if (governor_) {
+    const std::uint32_t target =
+        governor_->decide(last_epoch_epi_, active_count_);
+    if (target != active_count_) apply_active_count(target);
+  }
+
+  epoch_counts_ = current_counts();
+  epoch_start_ = now_;
+  next_epoch_instructions_ =
+      counts_.instructions + cfg_.governor_params.epoch_instructions;
+  next_epoch_cycle_ = now_ + cfg_.os_epoch_cycles;
+}
+
+void ClusterSim::step_cycle() {
+  if (dl1_ctrl_) {
+    serviced_scratch_.clear();
+    dl1_ctrl_->step(now_, serviced_scratch_);
+    for (const ServicedRead& s : serviced_scratch_) handle_serviced_read(s);
+  }
+  while (!fill_events_.empty() && fill_events_.top().cycle <= now_) {
+    const FillEvent event = fill_events_.top();
+    fill_events_.pop();
+    apply_fill(event);
+  }
+  for (std::uint32_t pid = 0; pid < cores_.size(); ++pid) {
+    if (cores_[pid].next_tick == now_) step_core(pid);
+  }
+  ++now_;
+}
+
+void ClusterSim::step_core(std::uint32_t pid) {
+  cpu::PhysicalCore& p = cores_[pid];
+  const std::int64_t m = p.multiplier;
+  p.next_tick = now_ + m;
+
+  if (!p.powered_on) return;
+  if (p.stalled_until > now_) {
+    ++p.idle_cycles;
+    return;
+  }
+  if (p.vcores.empty()) {
+    ++p.idle_cycles;
+    return;
+  }
+
+  // Forced timeslice rotation.
+  const bool os_mode = cfg_.governor == GovernorKind::kOs;
+  if (p.vcores.size() > 1) {
+    if (os_mode) {
+      if (now_ >= p.os_next_switch) {
+        rotate_vcore(pid, cfg_.core_timing.os_switch_cycles);
+        p.os_next_switch = now_ + cfg_.os_quantum_cycles;
+        ++p.idle_cycles;
+        return;
+      }
+    } else if (p.quantum_remaining == 0) {
+      rotate_vcore(pid, cfg_.core_timing.context_switch_cycles);
+      ++p.idle_cycles;
+      return;
+    }
+  }
+
+  if (p.run_index >= p.vcores.size()) p.run_index = 0;
+  const std::uint32_t vid = p.vcores[p.run_index];
+  cpu::VirtualCore& v = vcores_[vid];
+
+  switch (v.state) {
+    case cpu::WaitState::kRunnable:
+      execute_vcore(pid, vid);
+      ++p.busy_cycles;
+      return;
+    case cpu::WaitState::kMemory:
+      if (now_ >= v.mem_ready_cycle) {
+        v.state = cpu::WaitState::kRunnable;
+        if (v.mem_commit_pending) {
+          v.mem_commit_pending = false;
+          v.has_op = false;
+          commit_instructions(pid, vid, 1);
+        }
+        // The next operation issues in the same cycle the data returns, so
+        // a 1-core-cycle hit really costs one cycle.
+        if (v.state == cpu::WaitState::kRunnable) execute_vcore(pid, vid);
+        ++p.busy_cycles;
+        return;
+      }
+      break;
+    case cpu::WaitState::kBarrier:
+      if (barrier_released(v)) {
+        v.state = cpu::WaitState::kRunnable;
+        execute_vcore(pid, vid);
+        ++p.busy_cycles;
+        return;
+      }
+      break;
+    case cpu::WaitState::kStoreBuffer:
+      if (issue_store(pid, vid)) {
+        ++p.busy_cycles;
+        return;
+      }
+      break;
+    case cpu::WaitState::kFinished:
+      if (p.vcores.size() > 1) {
+        // A finished thread yields its slot immediately in both modes.
+        p.run_index = (p.run_index + 1) % p.vcores.size();
+      }
+      break;
+  }
+
+  // Current vcore cannot progress: hardware mode switches on stall.
+  ++p.idle_cycles;
+  if (!os_mode && p.vcores.size() > 1) try_context_switch(pid);
+}
+
+bool ClusterSim::try_context_switch(std::uint32_t pid) {
+  cpu::PhysicalCore& p = cores_[pid];
+  const std::size_t n = p.vcores.size();
+  for (std::size_t offset = 1; offset < n; ++offset) {
+    const std::size_t idx = (p.run_index + offset) % n;
+    const cpu::VirtualCore& cand = vcores_[p.vcores[idx]];
+    const bool progressable =
+        cand.state == cpu::WaitState::kRunnable ||
+        (cand.state == cpu::WaitState::kMemory &&
+         now_ >= cand.mem_ready_cycle) ||
+        cand.state == cpu::WaitState::kStoreBuffer ||
+        (cand.state == cpu::WaitState::kBarrier && barrier_released(cand));
+    if (progressable) {
+      p.run_index = idx;
+      p.quantum_remaining = cfg_.core_timing.hw_quantum_instructions;
+      p.stalled_until =
+          now_ + cfg_.core_timing.context_switch_cycles * p.multiplier;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ClusterSim::rotate_vcore(std::uint32_t pid, std::uint32_t penalty) {
+  cpu::PhysicalCore& p = cores_[pid];
+  p.run_index = (p.run_index + 1) % p.vcores.size();
+  p.quantum_remaining = cfg_.core_timing.hw_quantum_instructions;
+  p.stalled_until = now_ + static_cast<std::int64_t>(penalty) * p.multiplier;
+}
+
+void ClusterSim::execute_vcore(std::uint32_t pid, std::uint32_t vid) {
+  cpu::VirtualCore& v = vcores_[vid];
+
+  if (!v.has_op) {
+    v.op = v.work.next();
+    v.has_op = true;
+    if (v.op.kind == workload::OpKind::kCompute) {
+      v.compute_remaining = v.op.count;
+      v.current_ipc = std::min(
+          v.op.ipc, static_cast<double>(cfg_.core_timing.issue_width));
+      v.issue_accumulator = 0.0;
+    }
+  }
+
+  switch (v.op.kind) {
+    case workload::OpKind::kFinished:
+      v.state = cpu::WaitState::kFinished;
+      v.has_op = false;
+      ++finished_vcores_;
+      return;
+    case workload::OpKind::kCompute: {
+      v.issue_accumulator += v.current_ipc;
+      auto issued = static_cast<std::uint32_t>(v.issue_accumulator);
+      issued = std::min(issued, v.compute_remaining);
+      v.issue_accumulator -= issued;
+      v.compute_remaining -= issued;
+      if (v.compute_remaining == 0) v.has_op = false;
+      if (issued > 0) commit_instructions(pid, vid, issued);
+      return;
+    }
+    case workload::OpKind::kLoad:
+      issue_load(pid, vid);
+      return;
+    case workload::OpKind::kStore:
+      if (!issue_store(pid, vid)) v.state = cpu::WaitState::kStoreBuffer;
+      return;
+    case workload::OpKind::kBarrier:
+      arrive_barrier(pid, vid);
+      return;
+  }
+}
+
+void ClusterSim::issue_load(std::uint32_t pid, std::uint32_t vid) {
+  cpu::VirtualCore& v = vcores_[vid];
+  const mem::Addr addr = v.op.addr;
+
+  if (cfg_.shared_l1) {
+    if (pending_reads_[pid].valid) {
+      // Structural hazard: the per-core request register still holds the
+      // previous (context-switched-out) thread's read. Retry next cycle.
+      v.state = cpu::WaitState::kMemory;
+      v.mem_commit_pending = false;
+      v.mem_ready_cycle = now_ + cores_[pid].multiplier;
+      return;
+    }
+    dl1_ctrl_->submit_read(pid,
+                           static_cast<std::uint32_t>(cores_[pid].multiplier),
+                           now_);
+    pending_reads_[pid] = PendingRead{true, vid, addr};
+    if (cfg_.l1_crosses_domains) ++counts_.level_shifter_crossings;
+    v.state = cpu::WaitState::kMemory;
+    v.mem_ready_cycle = kNever;  // Set when the controller services it.
+    v.mem_commit_pending = true;
+    return;
+  }
+
+  const mem::PrivateAccessResult res =
+      private_l1_->access(pid, addr, mem::AccessType::kLoad, backside_);
+  if (cfg_.l1_crosses_domains) ++counts_.level_shifter_crossings;
+  if (res.l1_hit && res.extra_cycles == 0) {
+    // One-core-cycle hit: commit immediately.
+    v.has_op = false;
+    commit_instructions(pid, vid, 1);
+    return;
+  }
+  v.state = cpu::WaitState::kMemory;
+  v.mem_ready_cycle =
+      std::max(next_boundary_after(pid, now_ + res.extra_cycles),
+               now_ + cores_[pid].multiplier);
+  v.mem_commit_pending = true;
+}
+
+bool ClusterSim::issue_store(std::uint32_t pid, std::uint32_t vid) {
+  cpu::VirtualCore& v = vcores_[vid];
+  const mem::Addr addr = v.op.addr;
+
+  if (cfg_.shared_l1) {
+    if (!dl1_ctrl_->submit_store(now_)) return false;
+    if (cfg_.l1_crosses_domains) ++counts_.level_shifter_crossings;
+    ++counts_.l1_writes;
+    // Write-allocate: a store miss pulls the line in off the critical path
+    // (the store buffer hides the fill latency).
+    const mem::LineAddr line = mem::line_of(addr, cfg_.l1_line_bytes);
+    if (auto state = l1d_->access(line)) {
+      (void)state;
+      l1d_->set_state(line, mem::Mesi::kModified);
+    } else {
+      const mem::FillResult fill = backside_.fill(addr);
+      fill_events_.push(
+          FillEvent{now_ + fill.latency_cycles, addr, false});
+    }
+    v.state = cpu::WaitState::kRunnable;
+    v.has_op = false;
+    commit_instructions(pid, vid, 1);
+    return true;
+  }
+
+  // Private path: the store buffer drains through the L1 write port; the
+  // core stalls only when the buffer backlog exceeds its depth.
+  cpu::PhysicalCore& p = cores_[pid];
+  const std::int64_t m = p.multiplier;
+  const std::int64_t store_cost =
+      static_cast<std::int64_t>(cfg_.private_store_cycles) * m;
+  const std::int64_t window = kPrivateStoreBufferDepth * store_cost;
+  if (p.store_drain_free_at - now_ > window) return false;
+
+  const mem::PrivateAccessResult res =
+      private_l1_->access(pid, addr, mem::AccessType::kStore, backside_);
+  if (cfg_.l1_crosses_domains) ++counts_.level_shifter_crossings;
+  p.store_drain_free_at = std::max(p.store_drain_free_at, now_) + store_cost +
+                          res.extra_cycles;
+  v.state = cpu::WaitState::kRunnable;
+  v.has_op = false;
+  commit_instructions(pid, vid, 1);
+  return true;
+}
+
+void ClusterSim::arrive_barrier(std::uint32_t pid, std::uint32_t vid) {
+  (void)pid;
+  cpu::VirtualCore& v = vcores_[vid];
+  // The arrival update (fetch-and-increment on the barrier line)
+  // serializes across arriving cores; under private caches each arrival is
+  // an ownership transfer (directory round trip), under the shared L1 it
+  // is a couple of fast-cache cycles.
+  const std::int64_t arrival_done =
+      std::max(barrier_.line_free_at, now_) + cfg_.barrier_arrival_cycles;
+  barrier_.line_free_at = arrival_done;
+  barrier_.latest_arrival = std::max(barrier_.latest_arrival, arrival_done);
+  counts_.coherence_messages += cfg_.barrier_arrival_messages;
+
+  v.state = cpu::WaitState::kBarrier;
+  v.barrier_id = v.op.addr;
+  v.has_op = false;
+  ++barrier_.arrived;
+
+  if (barrier_.arrived == vcores_.size()) {
+    barrier_.completed = static_cast<std::int64_t>(v.barrier_id);
+    barrier_.last_release =
+        barrier_.latest_arrival + cfg_.barrier_release_cycles +
+        cfg_.barrier_post_release_cycles;
+    barrier_.arrived = 0;
+    barrier_.latest_arrival = 0;
+    // Release invalidates every waiter's cached flag copy (private mode).
+    counts_.coherence_messages +=
+        cfg_.barrier_arrival_messages * vcores_.size();
+  }
+}
+
+bool ClusterSim::barrier_released(const cpu::VirtualCore& v) const {
+  return barrier_.completed >= static_cast<std::int64_t>(v.barrier_id) &&
+         now_ >= barrier_.last_release;
+}
+
+void ClusterSim::commit_instructions(std::uint32_t pid, std::uint32_t vid,
+                                     std::uint32_t n) {
+  cpu::VirtualCore& v = vcores_[vid];
+  cpu::PhysicalCore& p = cores_[pid];
+  v.instructions += n;
+  counts_.instructions += n;
+  p.quantum_remaining -= std::min<std::uint64_t>(p.quantum_remaining, n);
+
+  if (v.until_fetch <= n) {
+    v.until_fetch += cfg_.core_timing.instructions_per_fetch;
+    do_ifetch(pid, vid);
+  }
+  v.until_fetch -= n;
+}
+
+void ClusterSim::do_ifetch(std::uint32_t pid, std::uint32_t vid) {
+  cpu::VirtualCore& v = vcores_[vid];
+  const mem::Addr addr = v.work.next_ifetch_addr();
+
+  if (cfg_.shared_l1) {
+    ++counts_.l1_reads;
+    if (cfg_.l1_crosses_domains) ++counts_.level_shifter_crossings;
+    const mem::LineAddr line = mem::line_of(addr, cfg_.l1_line_bytes);
+    if (l1i_->access(line).has_value()) return;  // Overlapped fetch.
+    const mem::FillResult fill = backside_.fill(addr);
+    ++counts_.l1_writes;
+    l1i_->insert(line, mem::Mesi::kExclusive);
+    v.state = cpu::WaitState::kMemory;
+    v.mem_ready_cycle =
+        next_boundary_after(pid, now_ + fill.latency_cycles + 2);
+    v.mem_commit_pending = false;
+    return;
+  }
+
+  const mem::PrivateAccessResult res =
+      private_l1_->access(pid, addr, mem::AccessType::kIfetch, backside_);
+  if (cfg_.l1_crosses_domains) ++counts_.level_shifter_crossings;
+  if (!res.l1_hit) {
+    v.state = cpu::WaitState::kMemory;
+    v.mem_ready_cycle = next_boundary_after(pid, now_ + res.extra_cycles);
+    v.mem_commit_pending = false;
+  }
+}
+
+void ClusterSim::handle_serviced_read(const ServicedRead& serviced) {
+  PendingRead& pending = pending_reads_[serviced.core];
+  RESPIN_REQUIRE(pending.valid, "controller serviced a phantom read");
+  cpu::VirtualCore& v = vcores_[pending.vcore];
+  const std::int64_t m = cores_[serviced.core].multiplier;
+
+  ++counts_.l1_reads;
+  const mem::LineAddr line = mem::line_of(pending.addr, cfg_.l1_line_bytes);
+  const bool hit = l1d_->access(line).has_value();
+  if (hit) {
+    const std::int64_t latency_cycles =
+        serviced.serviced_at + 1 - serviced.issued_at;
+    const auto core_cycles =
+        static_cast<std::uint64_t>((latency_cycles + m - 1) / m);
+    read_hit_latency_.add(core_cycles);
+    ++dl1_read_hits_;
+    v.mem_ready_cycle =
+        serviced.issued_at + static_cast<std::int64_t>(core_cycles) * m;
+  } else {
+    ++dl1_read_misses_;
+    const mem::FillResult fill = backside_.fill(pending.addr);
+    const std::int64_t response = serviced.serviced_at + fill.latency_cycles;
+    fill_events_.push(FillEvent{response, pending.addr, false});
+    const std::int64_t latency = response + 1 - serviced.issued_at;
+    v.mem_ready_cycle = serviced.issued_at + ((latency + m - 1) / m) * m;
+  }
+  pending.valid = false;
+}
+
+void ClusterSim::apply_fill(const FillEvent& event) {
+  // The fill occupies the write port and writes the data array.
+  dl1_ctrl_->submit_fill(event.cycle);
+  ++counts_.l1_writes;
+  mem::CacheArray& array = event.instruction ? *l1i_ : *l1d_;
+  const mem::LineAddr line = mem::line_of(event.addr, cfg_.l1_line_bytes);
+  if (array.probe(line).has_value()) return;  // Raced with another fill.
+  if (auto evicted = array.insert(line, mem::Mesi::kExclusive)) {
+    if (evicted->dirty) {
+      backside_.writeback(evicted->line * cfg_.l1_line_bytes);
+    }
+  }
+}
+
+void ClusterSim::set_active_cores(std::uint32_t count) {
+  RESPIN_REQUIRE(count >= 1 && count <= cfg_.cluster_cores,
+                 "active core count out of range");
+  if (count != active_count_) apply_active_count(count);
+}
+
+void ClusterSim::migrate_vcore(std::uint32_t vid, std::uint32_t to) {
+  const std::uint32_t from = host_of_[vid];
+  if (from == to) return;
+  auto& src = cores_[from].vcores;
+  const auto it = std::find(src.begin(), src.end(), vid);
+  RESPIN_REQUIRE(it != src.end(), "vcore not on its recorded host");
+  const auto idx = static_cast<std::size_t>(it - src.begin());
+  src.erase(it);
+  if (cores_[from].run_index > idx) --cores_[from].run_index;
+  if (cores_[from].run_index >= src.size()) cores_[from].run_index = 0;
+  cores_[to].vcores.push_back(vid);
+  host_of_[vid] = to;
+
+  // Migration cost: drain, PC + register-file transfer, warm-up on the
+  // target (paper SIII.D). Charged to the moved thread.
+  cpu::VirtualCore& v = vcores_[vid];
+  const std::int64_t penalty =
+      static_cast<std::int64_t>(cfg_.core_timing.migration_cycles) *
+      cores_[to].multiplier;
+  if (v.state == cpu::WaitState::kRunnable ||
+      v.state == cpu::WaitState::kStoreBuffer) {
+    v.state = cpu::WaitState::kMemory;
+    v.mem_commit_pending = false;
+    v.mem_ready_cycle = now_ + penalty;
+  } else if (v.state == cpu::WaitState::kMemory &&
+             v.mem_ready_cycle != kNever) {
+    v.mem_ready_cycle = std::max(v.mem_ready_cycle, now_) + penalty;
+  }
+  // Barrier-blocked and finished vcores migrate for free: their context is
+  // transferred while they wait.
+}
+
+void ClusterSim::power_down_one() {
+  // Least efficient active core (paper SIII.C: slowest first).
+  std::uint32_t victim = cfg_.cluster_cores;
+  for (auto it = efficiency_order_.rbegin(); it != efficiency_order_.rend();
+       ++it) {
+    if (cores_[*it].powered_on) {
+      victim = *it;
+      break;
+    }
+  }
+  RESPIN_REQUIRE(victim < cfg_.cluster_cores, "no active core to gate");
+
+  // Reassign its virtual cores round-robin across the remaining active
+  // cores, starting from the most efficient.
+  std::vector<std::uint32_t> remaining;
+  for (std::uint32_t pid : efficiency_order_) {
+    if (pid != victim && cores_[pid].powered_on) remaining.push_back(pid);
+  }
+  RESPIN_REQUIRE(!remaining.empty(), "cannot gate the last core");
+  const std::vector<std::uint32_t> orphans = cores_[victim].vcores;
+  std::size_t cursor = 0;
+  for (std::uint32_t vid : orphans) {
+    migrate_vcore(vid, remaining[cursor % remaining.size()]);
+    ++cursor;
+  }
+
+  cpu::PhysicalCore& p = cores_[victim];
+  p.powered_on = false;
+  p.run_index = 0;
+  if (private_l1_) private_l1_->flush_core(victim, backside_);
+  --powered_cores_;
+  --active_count_;
+}
+
+void ClusterSim::power_up_one() {
+  // Most efficient inactive core.
+  std::uint32_t target = cfg_.cluster_cores;
+  for (std::uint32_t pid : efficiency_order_) {
+    if (!cores_[pid].powered_on) {
+      target = pid;
+      break;
+    }
+  }
+  RESPIN_REQUIRE(target < cfg_.cluster_cores, "no gated core to wake");
+
+  cpu::PhysicalCore& p = cores_[target];
+  p.powered_on = true;
+  p.run_index = 0;
+  p.quantum_remaining = cfg_.core_timing.hw_quantum_instructions;
+  p.os_next_switch = now_ + cfg_.os_quantum_cycles;
+  p.stalled_until =
+      now_ + cfg_.core_timing.power_on_stall_cycles * p.multiplier;
+  p.next_tick = next_boundary_after(target, now_ + 1);
+  ++powered_cores_;
+  ++active_count_;
+
+  // Rebalance: shift load from the fullest cores onto the fresh one.
+  const std::size_t fair =
+      (vcores_.size() + active_count_ - 1) / active_count_;
+  while (p.vcores.size() < fair) {
+    std::uint32_t donor = cfg_.cluster_cores;
+    std::size_t most = p.vcores.size() + 1;
+    for (std::uint32_t pid = 0; pid < cores_.size(); ++pid) {
+      if (pid == target || !cores_[pid].powered_on) continue;
+      if (cores_[pid].vcores.size() > most) {
+        most = cores_[pid].vcores.size();
+        donor = pid;
+      }
+    }
+    if (donor == cfg_.cluster_cores) break;
+    migrate_vcore(cores_[donor].vcores.back(), target);
+  }
+}
+
+void ClusterSim::apply_active_count(std::uint32_t target) {
+  sync_power_integral();
+  while (active_count_ > target) power_down_one();
+  while (active_count_ < target) power_up_one();
+}
+
+void ClusterSim::sync_power_integral() {
+  const double period = static_cast<double>(cfg_.clocking.cache_period);
+  counts_.core_on_ps += static_cast<double>(powered_cores_) *
+                        static_cast<double>(now_ - power_integral_mark_) *
+                        period;
+  power_integral_mark_ = now_;
+}
+
+power::ActivityCounts ClusterSim::current_counts() {
+  sync_power_integral();
+  power::ActivityCounts c = counts_;
+  for (const auto& core : cores_) {
+    c.core_busy_cycles += core.busy_cycles;
+    c.core_idle_cycles += core.idle_cycles;
+  }
+  const mem::BacksideStats& b = backside_.stats();
+  c.l2_reads += b.l2_reads;
+  c.l2_writes += b.l2_writes;
+  c.l3_reads += b.l3_reads;
+  c.l3_writes += b.l3_writes;
+  c.dram_accesses += b.memory_reads + b.memory_writes;
+  if (private_l1_) {
+    c.l1_reads += private_l1_->l1_reads();
+    c.l1_writes += private_l1_->l1_writes();
+    const mem::CoherenceStats& coh = private_l1_->coherence_stats();
+    c.coherence_messages += coh.upgrades * 2 + coh.invalidations_sent +
+                            coh.interventions * 3 + coh.writebacks +
+                            coh.directory_lookups;
+  }
+  return c;
+}
+
+SimResult ClusterSim::result() {
+  SimResult r;
+  r.config_name = cfg_.name;
+  r.benchmark = benchmark_name_;
+  r.cycles = now_;
+  r.seconds =
+      util::to_seconds(now_ * cfg_.clocking.cache_period);
+  r.hit_cycle_limit = !done() && now_ >= params_.max_cycles;
+
+  r.counts = current_counts();
+  r.instructions = r.counts.instructions;
+  r.energy = power::compute_energy(cfg_.power, r.counts,
+                                   now_ * cfg_.clocking.cache_period);
+
+  r.read_hit_latency = read_hit_latency_;
+  r.dl1_read_hits = dl1_read_hits_;
+  r.dl1_read_misses = dl1_read_misses_;
+  if (dl1_ctrl_) {
+    r.dl1_half_misses = dl1_ctrl_->stats().half_misses;
+    r.dl1_store_rejections = dl1_ctrl_->stats().store_queue_rejections;
+    r.dl1_arrivals = dl1_ctrl_->stats().arrivals_per_cycle;
+    r.dl1_cycles = dl1_ctrl_->stats().total_cycles;
+  }
+
+  r.trace = trace_;
+  if (active_stat_.count() > 0) {
+    r.avg_active_cores = active_stat_.mean();
+    r.min_active_cores = static_cast<std::uint32_t>(active_stat_.min());
+    r.max_active_cores = static_cast<std::uint32_t>(active_stat_.max());
+  } else {
+    r.avg_active_cores = active_count_;
+    r.min_active_cores = active_count_;
+    r.max_active_cores = active_count_;
+  }
+  return r;
+}
+
+std::string ClusterSim::describe_state() const {
+  std::ostringstream os;
+  os << "t=" << now_ << " active=" << active_count_ << " finished="
+     << finished_vcores_ << "/" << vcores_.size() << "\n";
+  os << "barrier: completed=" << barrier_.completed << " arrived="
+     << barrier_.arrived << " release=" << barrier_.last_release << "\n";
+  for (std::uint32_t vid = 0; vid < vcores_.size(); ++vid) {
+    const cpu::VirtualCore& v = vcores_[vid];
+    const char* state = "?";
+    switch (v.state) {
+      case cpu::WaitState::kRunnable: state = "runnable"; break;
+      case cpu::WaitState::kMemory: state = "memory"; break;
+      case cpu::WaitState::kBarrier: state = "barrier"; break;
+      case cpu::WaitState::kStoreBuffer: state = "store"; break;
+      case cpu::WaitState::kFinished: state = "finished"; break;
+    }
+    os << "  v" << vid << " on p" << host_of_[vid] << " " << state
+       << " mem_ready=" << v.mem_ready_cycle << " barrier_id="
+       << v.barrier_id << " instr=" << v.instructions << "\n";
+  }
+  for (std::uint32_t pid = 0; pid < cores_.size(); ++pid) {
+    const cpu::PhysicalCore& p = cores_[pid];
+    os << "  p" << pid << (p.powered_on ? " on" : " OFF") << " next_tick="
+       << p.next_tick << " stalled_until=" << p.stalled_until
+       << " vcores=" << p.vcores.size() << " run_index=" << p.run_index
+       << (pending_reads_.empty() || !pending_reads_[pid].valid
+               ? ""
+               : " PENDING-READ")
+       << "\n";
+  }
+  return os.str();
+}
+
+ClusterSim make_sim(const ClusterConfig& config, const std::string& benchmark,
+                    const SimParams& params) {
+  ClusterSim sim(config, workload::benchmark(benchmark), params);
+  return sim;
+}
+
+}  // namespace respin::core

@@ -1,0 +1,134 @@
+// Architecture configurations (paper Table IV) and all derived parameters.
+//
+// `make_cluster_config` assembles everything a ClusterSim needs for one of
+// the paper's eight named configurations at one of the three cache-size
+// classes (Table I): per-core clock multipliers from the VARIUS variation
+// map, cache latencies/energies from the nvsim array model, controller
+// port occupancies, the MESI baseline's geometry, and the calibrated
+// power model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/consolidation.hpp"
+#include "core/shared_cache_controller.hpp"
+#include "cpu/core_model.hpp"
+#include "mem/backside.hpp"
+#include "mem/private_l1.hpp"
+#include "nvsim/array_model.hpp"
+#include "power/energy.hpp"
+#include "tech/technology.hpp"
+
+namespace respin::core {
+
+/// The eight named configurations of paper Table IV.
+enum class ConfigId {
+  kPrSramNt,      ///< Baseline: NT cores, private SRAM L1 @0.65 V.
+  kHpSramCmp,     ///< Alt baseline: whole chip at nominal Vdd.
+  kShSramNom,     ///< Shared SRAM L1 @1.0 V, NT cores.
+  kShStt,         ///< Shared STT-RAM caches @1.0 V (the proposal).
+  kShSttCc,       ///< + greedy dynamic core consolidation.
+  kShSttCcOracle, ///< + oracle consolidation (upper bound).
+  kPrSttCc,       ///< Consolidation with *private* STT-RAM caches.
+  kShSttCcOs,     ///< Consolidation driven by the OS at 1 ms epochs.
+};
+
+/// Table I cache-size classes (chip-level L2/L3 capacity).
+enum class CacheSize { kSmall, kMedium, kLarge };
+
+/// Which consolidation mechanism runs, if any.
+enum class GovernorKind { kNone, kGreedy, kOracle, kOs };
+
+const char* to_string(ConfigId id);
+const char* to_string(CacheSize size);
+std::vector<ConfigId> all_config_ids();
+
+/// Parses a Table IV configuration name ("SH-STT", case-sensitive);
+/// throws std::logic_error on unknown names.
+ConfigId parse_config_id(const std::string& name);
+
+/// Parses a cache size class ("small"/"medium"/"large").
+CacheSize parse_cache_size(const std::string& name);
+
+/// Fully derived cluster configuration: everything ClusterSim consumes.
+struct ClusterConfig {
+  std::string name;
+  ConfigId id = ConfigId::kPrSramNt;
+  CacheSize size_class = CacheSize::kMedium;
+
+  std::uint32_t cluster_cores = 16;
+  std::uint32_t clusters_per_chip = 4;
+  bool shared_l1 = true;
+  nvsim::MemTech cache_tech = nvsim::MemTech::kSttRam;
+  double cache_vdd = 1.0;
+  double core_vdd = 0.4;
+  GovernorKind governor = GovernorKind::kNone;
+
+  /// Per-core clock multipliers (core period / cache period), from VARIUS.
+  std::vector<int> multipliers;
+  tech::ClusterClocking clocking;
+
+  // Shared-L1 organization (when shared_l1).
+  std::uint64_t l1_shared_capacity = 256 * 1024;
+  std::uint32_t l1_line_bytes = 32;
+  std::uint32_t l1i_ways = 2;
+  std::uint32_t l1d_ways = 4;
+  ControllerParams controller;
+
+  // Private-L1 organization (when !shared_l1).
+  mem::PrivateL1Params private_l1;
+  /// Core cycles a private-L1 store occupies the write port.
+  std::uint32_t private_store_cycles = 1;
+
+  mem::BacksideParams backside;
+  power::PowerModel power;
+  cpu::CoreTimingParams core_timing;
+  GovernorParams governor_params;
+
+  /// Whether an L1 access crosses the low->high voltage boundary.
+  bool l1_crosses_domains = true;
+
+  // Analytic barrier costs, in shared-cache cycles (see DESIGN.md §5:
+  // barrier spinning is charged analytically, not per spin-read).
+  std::uint32_t barrier_arrival_cycles = 2;
+  std::uint32_t barrier_release_cycles = 2;
+  std::uint32_t barrier_post_release_cycles = 0;
+  /// Coherence messages per barrier arrival (energy accounting).
+  std::uint32_t barrier_arrival_messages = 0;
+
+  /// OS-mode timing (SH-STT-CC-OS): 1 ms epochs and timeslices.
+  std::int64_t os_epoch_cycles = 2'500'000;
+  std::int64_t os_quantum_cycles = 2'500'000;
+
+  std::uint64_t seed = 1;
+};
+
+/// Calibration constants for the core power model. The defaults reproduce
+/// the relative energies of paper Figs. 6-9 given the Table III cache
+/// anchors (see DESIGN.md §2 and EXPERIMENTS.md for the residuals).
+struct CoreCalibration {
+  double epi_nominal_pj = 30000.0;  ///< Core dynamic energy/instr @1.0 V.
+  double leakage_nominal_w = 69.2;  ///< Core leakage @1.0 V.
+  double dram_access_pj = 20000.0;
+  double uncore_w = 0.5;            ///< Per cluster: PLL, clock spine, VCM.
+  /// Speed margin of core critical paths relative to the 0.4 ns cache
+  /// reference path (cores are logic-limited, caches array-limited).
+  double core_path_speedup = 1.5;
+};
+
+/// Builds the derived configuration for (config, size class) with
+/// `cluster_cores` cores per cluster on a 64-core chip. `seed` selects the
+/// process-variation die instance.
+ClusterConfig make_cluster_config(ConfigId id, CacheSize size,
+                                  std::uint32_t cluster_cores = 16,
+                                  std::uint64_t seed = 1,
+                                  const CoreCalibration& cal = {},
+                                  std::uint32_t first_core = 0);
+
+/// Chip-level L2/L3 capacities per Table I.
+std::uint64_t chip_l2_bytes(CacheSize size);
+std::uint64_t chip_l3_bytes(CacheSize size);
+
+}  // namespace respin::core

@@ -1,0 +1,143 @@
+#include "core/consolidation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace respin::core {
+
+GreedyGovernor::GreedyGovernor(const GovernorParams& params,
+                               std::uint32_t max_active)
+    : params_(params), max_active_(max_active) {
+  RESPIN_REQUIRE(max_active >= params.min_active_cores,
+                 "max active cores below the governor's minimum");
+  RESPIN_REQUIRE(params.epi_threshold >= 0.0, "threshold must be >= 0");
+}
+
+std::uint32_t GreedyGovernor::clamp(std::int64_t count) const {
+  const auto lo = static_cast<std::int64_t>(params_.min_active_cores);
+  const auto hi = static_cast<std::int64_t>(max_active_);
+  return static_cast<std::uint32_t>(std::clamp(count, lo, hi));
+}
+
+bool GreedyGovernor::detect_oscillation() const {
+  // No net progress over the last four decisions (all within one core of
+  // each other, with at least one reversal): the search is hovering around
+  // a point and each probe costs real straggle time.
+  if (history_.size() < 4) return false;
+  const std::size_t n = history_.size();
+  std::uint32_t lo = history_[n - 4];
+  std::uint32_t hi = lo;
+  bool reversal = false;
+  for (std::size_t i = n - 4; i < n; ++i) {
+    lo = std::min(lo, history_[i]);
+    hi = std::max(hi, history_[i]);
+    if (i + 2 <= n - 1) {
+      const auto a = history_[i];
+      const auto b = history_[i + 1];
+      const auto c = history_[i + 2];
+      if ((b > a && c < b) || (b < a && c > b)) reversal = true;
+    }
+  }
+  return hi - lo <= 1 && reversal;
+}
+
+std::uint32_t GreedyGovernor::decide(double epi, std::uint32_t current_active) {
+  RESPIN_REQUIRE(current_active >= params_.min_active_cores &&
+                     current_active <= max_active_,
+                 "current active count out of range");
+
+  if (hold_remaining_ > 0) {
+    // A drastic EPI swing means the program changed phase: abandon the
+    // hold so the search can chase the new operating point.
+    const bool comparable = has_previous_ && !std::isinf(epi) &&
+                            !std::isinf(previous_epi_) && previous_epi_ > 0.0;
+    const double swing =
+        comparable ? std::abs(epi - previous_epi_) / previous_epi_ : 0.0;
+    if (swing <= params_.phase_change_threshold) {
+      --hold_remaining_;
+      previous_epi_ = epi;
+      return current_active;
+    }
+    hold_remaining_ = 0;
+    backoff_epochs_ = 0;
+    history_.clear();
+  }
+
+  std::uint32_t next = current_active;
+  if (!has_previous_) {
+    // Fig. 5: the search starts by shutting one core down after the first
+    // full-width epoch.
+    has_previous_ = true;
+    direction_ = -1;
+    next = clamp(static_cast<std::int64_t>(current_active) - 1);
+  } else if (std::isinf(epi) || std::isinf(previous_epi_)) {
+    // An epoch with no committed instructions (all threads blocked) gives
+    // no signal; hold.
+    next = current_active;
+  } else {
+    const double relative_change =
+        std::abs(epi - previous_epi_) / std::max(previous_epi_, 1e-300);
+    if (relative_change < params_.epi_threshold) {
+      next = current_active;  // Not worth a state change.
+    } else if (relative_change > params_.phase_change_threshold) {
+      // A swing this large is the program changing phase, not the effect
+      // of our last +-1 step; attributing it to the step would walk the
+      // search in a random direction. Restart the search instead,
+      // performance-conservatively: probe toward more cores first (if the
+      // new phase cannot use them, the next comparison walks back down).
+      direction_ = current_active < max_active_ ? +1 : -1;
+      next = clamp(static_cast<std::int64_t>(current_active) + direction_);
+      history_.clear();
+      backoff_epochs_ = 0;
+    } else if (epi < previous_epi_) {
+      next = clamp(static_cast<std::int64_t>(current_active) + direction_);
+    } else {
+      direction_ = -direction_;
+      next = clamp(static_cast<std::int64_t>(current_active) + direction_);
+    }
+  }
+  previous_epi_ = epi;
+
+  history_.push_back(next);
+  if (history_.size() > 8) history_.pop_front();
+
+  if (detect_oscillation()) {
+    backoff_epochs_ = backoff_epochs_ == 0
+                          ? params_.backoff_initial
+                          : std::min(backoff_epochs_ * 2, params_.backoff_max);
+    hold_remaining_ = backoff_epochs_;
+    // Hold the *current* state rather than completing the oscillation.
+    next = current_active;
+  } else if (backoff_epochs_ != 0 && history_.size() >= 2 &&
+             history_[history_.size() - 1] == history_[history_.size() - 2]) {
+    // Stability resets the back-off schedule.
+    backoff_epochs_ = 0;
+  }
+  return next;
+}
+
+std::vector<std::uint32_t> efficiency_ranking(
+    const std::vector<int>& multipliers) {
+  std::vector<std::uint32_t> order(multipliers.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return multipliers[a] < multipliers[b];
+                   });
+  return order;
+}
+
+std::vector<std::uint32_t> round_robin_assignment(
+    const std::vector<std::uint32_t>& active, std::uint32_t vcore_count) {
+  RESPIN_REQUIRE(!active.empty(), "need at least one active core");
+  std::vector<std::uint32_t> assignment(vcore_count);
+  for (std::uint32_t v = 0; v < vcore_count; ++v) {
+    assignment[v] = active[v % active.size()];
+  }
+  return assignment;
+}
+
+}  // namespace respin::core

@@ -1,0 +1,81 @@
+// Dynamic core consolidation: the virtual core monitor's energy
+// optimization algorithm (paper §III.B, Fig. 5) and the core remapper's
+// efficiency ranking (paper §III.C).
+//
+// The greedy governor observes energy-per-instruction (EPI) each epoch and
+// walks the active-core count up or down one core at a time: keep moving
+// while EPI improves, reverse on regression, hold when the change is below
+// a threshold, and back off exponentially (2, 4, 8, 16, 32 epochs) when an
+// oscillation between neighbouring states is detected.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace respin::core {
+
+struct GovernorParams {
+  /// Consolidation interval (cluster-wide committed instructions). The
+  /// paper uses 160K against multi-billion-instruction SPLASH2/PARSEC
+  /// runs; our synthetic workloads are ~1000x shorter, so the epoch is
+  /// scaled down to preserve the epochs-per-program-phase ratio that the
+  /// greedy search needs to track workload behaviour (see DESIGN.md §5).
+  std::uint64_t epoch_instructions = 40'000;
+  /// Relative EPI change below which the state is held.
+  double epi_threshold = 0.02;
+  std::uint32_t min_active_cores = 1;
+  /// Exponential back-off schedule bounds (epochs).
+  std::uint32_t backoff_initial = 2;
+  std::uint32_t backoff_max = 32;
+  /// Relative EPI jump that signals a program phase change and cancels an
+  /// active back-off hold (holding through a phase change would freeze
+  /// the search in a state chosen for the previous phase).
+  double phase_change_threshold = 0.25;
+};
+
+/// Greedy EPI-descent state machine. Pure decision logic: feed it the
+/// measured EPI at each epoch boundary and it returns the active-core
+/// count to use for the next epoch.
+class GreedyGovernor {
+ public:
+  GreedyGovernor(const GovernorParams& params, std::uint32_t max_active);
+
+  /// Epoch boundary: `epi` is the finished epoch's energy/instruction,
+  /// `current_active` the count it ran with. Returns the next count.
+  std::uint32_t decide(double epi, std::uint32_t current_active);
+
+  /// Epochs the governor still wants to hold (back-off); informational.
+  std::uint32_t hold_remaining() const { return hold_remaining_; }
+
+  const GovernorParams& params() const { return params_; }
+
+ private:
+  std::uint32_t clamp(std::int64_t count) const;
+  bool detect_oscillation() const;
+
+  GovernorParams params_;
+  std::uint32_t max_active_;
+  bool has_previous_ = false;
+  double previous_epi_ = 0.0;
+  int direction_ = -1;  ///< -1: shutting cores down; +1: turning back on.
+  std::uint32_t hold_remaining_ = 0;
+  std::uint32_t backoff_epochs_ = 0;
+  std::deque<std::uint32_t> history_;  ///< Recent decided counts.
+};
+
+/// Efficiency ranking used by the remapper: faster cores (smaller clock
+/// multiplier) are more energy-efficient because leakage is a fixed cost
+/// (paper §III.C). Returns physical core ids sorted most-efficient first;
+/// ties broken by lower id.
+std::vector<std::uint32_t> efficiency_ranking(
+    const std::vector<int>& multipliers);
+
+/// Round-robin assignment of `vcore_count` virtual cores across the
+/// `active` physical cores (given most-efficient first), starting with the
+/// most efficient so that consolidated threads land on fast cores.
+/// Returns vcore -> physical core.
+std::vector<std::uint32_t> round_robin_assignment(
+    const std::vector<std::uint32_t>& active, std::uint32_t vcore_count);
+
+}  // namespace respin::core

@@ -1,0 +1,55 @@
+#include "core/experiment.hpp"
+
+#include <map>
+
+#include "util/require.hpp"
+#include "util/stats.hpp"
+#include "workload/workload.hpp"
+
+namespace respin::core {
+
+SimResult run_experiment(ConfigId id, const std::string& benchmark,
+                         const RunOptions& options) {
+  const ClusterConfig config = make_cluster_config(
+      id, options.size, options.cluster_cores, options.seed);
+  SimParams params;
+  params.workload_scale = options.workload_scale;
+  params.seed = options.seed;
+  ClusterSim sim(config, workload::benchmark(benchmark), params);
+  if (config.governor == GovernorKind::kOracle) {
+    return run_with_oracle(sim, OracleParams{.stride = options.oracle_stride});
+  }
+  sim.run();
+  return sim.result();
+}
+
+std::vector<SimResult> run_suite(ConfigId id, const RunOptions& options) {
+  std::vector<SimResult> results;
+  for (const std::string& name : workload::benchmark_names()) {
+    results.push_back(run_experiment(id, name, options));
+  }
+  return results;
+}
+
+double mean_ratio(const std::vector<SimResult>& results,
+                  const std::vector<SimResult>& baseline, Metric metric) {
+  std::map<std::string, const SimResult*> base_by_name;
+  for (const SimResult& b : baseline) base_by_name[b.benchmark] = &b;
+
+  auto value = [metric](const SimResult& r) {
+    return metric == Metric::kSeconds ? r.seconds : r.energy.total();
+  };
+
+  std::vector<double> ratios;
+  for (const SimResult& r : results) {
+    auto it = base_by_name.find(r.benchmark);
+    RESPIN_REQUIRE(it != base_by_name.end(),
+                   "baseline is missing benchmark " + r.benchmark);
+    const double base = value(*it->second);
+    RESPIN_REQUIRE(base > 0.0, "baseline metric must be positive");
+    ratios.push_back(value(r) / base);
+  }
+  return util::geometric_mean(ratios);
+}
+
+}  // namespace respin::core

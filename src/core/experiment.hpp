@@ -1,0 +1,39 @@
+// One-call experiment runner used by the bench harnesses, examples and
+// integration tests: builds the configuration, constructs the simulator,
+// dispatches oracle configurations to the oracle driver, and returns the
+// finished SimResult.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/cluster_sim.hpp"
+#include "core/config.hpp"
+#include "core/oracle.hpp"
+
+namespace respin::core {
+
+struct RunOptions {
+  CacheSize size = CacheSize::kMedium;
+  std::uint32_t cluster_cores = 16;
+  double workload_scale = 1.0;
+  std::uint64_t seed = 1;
+  std::uint32_t oracle_stride = 2;
+};
+
+/// Runs `benchmark` on configuration `id` and returns the cluster-level
+/// result (chip-level figures scale by clusters_per_chip; every
+/// paper-figure comparison is a ratio, where the factor cancels).
+SimResult run_experiment(ConfigId id, const std::string& benchmark,
+                         const RunOptions& options = {});
+
+/// Runs all 13 benchmarks on one configuration.
+std::vector<SimResult> run_suite(ConfigId id, const RunOptions& options = {});
+
+/// Geometric-mean ratio of (metric of `results` / metric of `baseline`),
+/// matched by benchmark name. `metric` picks seconds or energy.
+enum class Metric { kSeconds, kEnergyTotal };
+double mean_ratio(const std::vector<SimResult>& results,
+                  const std::vector<SimResult>& baseline, Metric metric);
+
+}  // namespace respin::core

@@ -1,0 +1,25 @@
+// Oracle consolidation driver (SH-STT-CC-Oracle, paper §V.C/F).
+//
+// The paper's oracle picks the optimal active-core count at every
+// evaluation interval. Because ClusterSim is a value type, the driver
+// implements this by snapshotting the simulator at each epoch boundary,
+// replaying the upcoming epoch once per candidate count, committing the
+// count with the lowest measured EPI, and discarding the trials.
+#pragma once
+
+#include "core/cluster_sim.hpp"
+
+namespace respin::core {
+
+struct OracleParams {
+  /// Candidate counts are {min, min+stride, ...} plus the neighbours of
+  /// the current count; stride 1 is the exhaustive paper oracle.
+  std::uint32_t stride = 2;
+};
+
+/// Runs `sim` to completion under oracle control and returns its result.
+/// `sim` must be configured with GovernorKind::kOracle (run() defers to
+/// this driver for that configuration).
+SimResult run_with_oracle(ClusterSim& sim, const OracleParams& params = {});
+
+}  // namespace respin::core

@@ -1,0 +1,54 @@
+// Priority shift registers for the shared cache controller (paper Fig. 3).
+//
+// Each in-flight request carries a shift register preloaded with one '1'
+// bit per shared-cache cycle remaining before the issuing core's cycle
+// boundary. Every cache cycle the register shifts right; a request whose
+// register holds fewer '1's expires sooner and wins arbitration. A
+// register reaching zero unserviced means the request missed its window —
+// the "half-miss" of paper §II.A — and is re-armed with a single '1' so it
+// wins the following cycle.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/require.hpp"
+
+namespace respin::core {
+
+class PriorityRegister {
+ public:
+  /// Maximum slack the register can encode (bits).
+  static constexpr std::uint32_t kWidth = 31;
+
+  PriorityRegister() = default;
+
+  /// Preloads with `slack` ones: the request must be serviced within
+  /// `slack` cache cycles. slack must be in [1, kWidth].
+  void preload(std::uint32_t slack) {
+    RESPIN_REQUIRE(slack >= 1 && slack <= kWidth,
+                   "priority register slack out of range");
+    bits_ = (1u << slack) - 1;
+  }
+
+  /// One cache cycle elapses.
+  void shift() { bits_ >>= 1; }
+
+  /// Remaining cycles (number of '1' bits).
+  std::uint32_t slack() const {
+    return static_cast<std::uint32_t>(std::popcount(bits_));
+  }
+
+  /// True when the request must be serviced this cycle ("00001").
+  bool critical() const { return bits_ == 1; }
+
+  /// True when the window was missed (register fully drained).
+  bool expired() const { return bits_ == 0; }
+
+  std::uint32_t raw() const { return bits_; }
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace respin::core

@@ -1,0 +1,72 @@
+#include "core/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace respin::core {
+
+std::string result_csv_header() {
+  return "config,benchmark,cycles,seconds,instructions,"
+         "core_dynamic_pj,core_leakage_pj,cache_dynamic_pj,cache_leakage_pj,"
+         "dram_pj,network_pj,total_pj,epi_pj,watts,"
+         "l1_reads,l1_writes,l2_reads,l3_reads,dram_accesses,"
+         "coherence_messages,dl1_read_hits,dl1_read_misses,dl1_half_misses,"
+         "avg_active_cores,min_active_cores,max_active_cores";
+}
+
+std::string result_csv_row(const SimResult& r) {
+  std::ostringstream os;
+  os << r.config_name << ',' << r.benchmark << ',' << r.cycles << ','
+     << r.seconds << ',' << r.instructions << ',' << r.energy.core_dynamic
+     << ',' << r.energy.core_leakage << ',' << r.energy.cache_dynamic << ','
+     << r.energy.cache_leakage << ',' << r.energy.dram << ','
+     << r.energy.network << ',' << r.energy.total() << ',' << r.epi_pj()
+     << ',' << r.watts() << ',' << r.counts.l1_reads << ','
+     << r.counts.l1_writes << ',' << r.counts.l2_reads << ','
+     << r.counts.l3_reads << ',' << r.counts.dram_accesses << ','
+     << r.counts.coherence_messages << ',' << r.dl1_read_hits << ','
+     << r.dl1_read_misses << ',' << r.dl1_half_misses << ','
+     << r.avg_active_cores << ',' << r.min_active_cores << ','
+     << r.max_active_cores;
+  return os.str();
+}
+
+void write_results_csv(std::ostream& os,
+                       const std::vector<SimResult>& results) {
+  os << result_csv_header() << '\n';
+  for (const SimResult& r : results) os << result_csv_row(r) << '\n';
+}
+
+void write_trace_csv(std::ostream& os, const SimResult& result) {
+  os << "time_us,active_cores,epi_nj\n";
+  for (const ConsolidationSample& s : result.trace) {
+    os << static_cast<double>(s.cycle) * 0.4e-3 << ',' << s.active_cores
+       << ',' << s.epi_pj * 1e-3 << '\n';
+  }
+}
+
+std::string summarize(const SimResult& r) {
+  std::ostringstream os;
+  os << r.config_name << '/' << r.benchmark << ": "
+     << util::fixed(r.seconds * 1e3, 2) << " ms, "
+     << util::fixed(r.watts(), 1) << " W, "
+     << util::fixed(r.energy.total() * 1e-9, 1) << " mJ, EPI "
+     << util::fixed(r.epi_pj() * 1e-3, 1) << " nJ";
+  return os.str();
+}
+
+std::string chip_csv_header() {
+  return "config,benchmark,clusters,seconds,instructions,total_pj,watts";
+}
+
+std::string chip_csv_row(const ChipResult& r) {
+  std::ostringstream os;
+  os << r.config_name << ',' << r.benchmark << ',' << r.clusters.size()
+     << ',' << r.seconds << ',' << r.instructions << ','
+     << r.energy.total() << ',' << r.watts();
+  return os.str();
+}
+
+}  // namespace respin::core

@@ -1,0 +1,36 @@
+// Result serialization: CSV export of simulation results and
+// consolidation traces for downstream analysis (spreadsheets, gnuplot,
+// pandas), plus a compact one-line summary formatter.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/chip.hpp"
+#include "core/cluster_sim.hpp"
+
+namespace respin::core {
+
+/// Header row matching result_csv_row().
+std::string result_csv_header();
+
+/// One CSV row for a finished run: config, benchmark, timing, energy
+/// components, cache behaviour and consolidation summary.
+std::string result_csv_row(const SimResult& result);
+
+/// Writes a whole result set as CSV (header + one row per result).
+void write_results_csv(std::ostream& os, const std::vector<SimResult>& results);
+
+/// Writes a consolidation trace as CSV: time_us, active_cores, epi_nj.
+void write_trace_csv(std::ostream& os, const SimResult& result);
+
+/// Compact human-readable one-liner, e.g.
+/// "SH-STT/ocean: 1.70 ms, 164.2 W, 279.3 mJ, EPI 73.4 nJ".
+std::string summarize(const SimResult& result);
+
+/// Chip-level CSV row (aggregate over clusters).
+std::string chip_csv_row(const ChipResult& result);
+std::string chip_csv_header();
+
+}  // namespace respin::core

@@ -1,0 +1,165 @@
+#include "core/shared_cache_controller.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace respin::core {
+
+SharedCacheController::SharedCacheController(const ControllerParams& params,
+                                             std::uint64_t rng_seed)
+    : params_(params),
+      rng_("controller", rng_seed),
+      slots_(params.core_count) {
+  RESPIN_REQUIRE(params.core_count >= 1, "controller needs cores");
+  RESPIN_REQUIRE(params.request_delay_cycles + 2 < arrival_ring_.size(),
+                 "request delay exceeds arrival ring window");
+  RESPIN_REQUIRE(params.read_occupancy >= 1 && params.write_occupancy >= 1,
+                 "port occupancies must be at least one cycle");
+  arrival_ring_.fill(0);
+}
+
+void SharedCacheController::note_arrival(std::int64_t visible_at) {
+  ++arrival_ring_[static_cast<std::size_t>(visible_at) % arrival_ring_.size()];
+}
+
+void SharedCacheController::submit_read(std::uint32_t core,
+                                        std::uint32_t multiplier,
+                                        std::int64_t now) {
+  RESPIN_REQUIRE(core < slots_.size(), "core id out of range");
+  ReadSlot& slot = slots_[core];
+  RESPIN_REQUIRE(!slot.valid, "core already has an outstanding read");
+  RESPIN_REQUIRE(multiplier > params_.request_delay_cycles,
+                 "core period must exceed the request wire delay");
+  slot.valid = true;
+  slot.issued_at = now;
+  slot.visible_at = now + params_.request_delay_cycles;
+  slot.multiplier = multiplier;
+  slot.half_misses = 0;
+  slot.priority.preload(multiplier - params_.request_delay_cycles);
+  note_arrival(slot.visible_at);
+  ++outstanding_;
+}
+
+bool SharedCacheController::submit_store(std::int64_t now) {
+  if (store_queue_size() >= params_.store_queue_depth) {
+    ++stats_.store_queue_rejections;
+    return false;
+  }
+  const std::int64_t visible = now + params_.request_delay_cycles;
+  pending_store_times_.push_back(visible);
+  ++pending_stores_;
+  note_arrival(visible);
+  ++stats_.stores_accepted;
+  ++outstanding_;
+  return true;
+}
+
+void SharedCacheController::submit_fill(std::int64_t now) {
+  // Fills come from the backside (already inside the high-voltage domain);
+  // they become eligible next cycle.
+  const std::int64_t visible = now + 1;
+  fill_queue_.push_back(visible);
+  note_arrival(visible);
+  ++stats_.fills;
+  ++outstanding_;
+}
+
+bool SharedCacheController::has_pending_work() const {
+  return outstanding_ > 0 || !store_queue_.empty() || !fill_queue_.empty();
+}
+
+void SharedCacheController::step(std::int64_t now,
+                                 std::vector<ServicedRead>& out) {
+  ++stats_.total_cycles;
+
+  // Arrival census for this cycle (paper Fig. 10).
+  auto& ring_slot =
+      arrival_ring_[static_cast<std::size_t>(now) % arrival_ring_.size()];
+  stats_.arrivals_per_cycle.add(ring_slot);
+  ring_slot = 0;
+
+  if (outstanding_ == 0) return;
+  ++stats_.busy_cycles;
+
+  // Mature pipelined stores into the drain queue.
+  while (!pending_store_times_.empty() && pending_store_times_.front() <= now) {
+    store_queue_.push_back(pending_store_times_.front());
+    pending_store_times_.pop_front();
+    --pending_stores_;
+  }
+
+  // Read arbitration: soonest-expiring visible request wins the read port
+  // (or plain round-robin when configured as the ablation baseline).
+  if (read_port_free_at_ <= now) {
+    ReadSlot* winner = nullptr;
+    std::uint32_t winner_core = 0;
+    std::uint32_t tie_count = 0;
+    if (params_.arbitration == ArbitrationPolicy::kRoundRobin) {
+      for (std::uint32_t offset = 0; offset < slots_.size(); ++offset) {
+        const std::uint32_t c =
+            (rr_cursor_ + offset) % static_cast<std::uint32_t>(slots_.size());
+        ReadSlot& slot = slots_[c];
+        if (!slot.valid || slot.visible_at > now) continue;
+        winner = &slot;
+        winner_core = c;
+        rr_cursor_ = (c + 1) % static_cast<std::uint32_t>(slots_.size());
+        break;
+      }
+    } else {
+      for (std::uint32_t c = 0; c < slots_.size(); ++c) {
+        ReadSlot& slot = slots_[c];
+        if (!slot.valid || slot.visible_at > now) continue;
+        if (winner == nullptr ||
+            slot.priority.slack() < winner->priority.slack()) {
+          winner = &slot;
+          winner_core = c;
+          tie_count = 1;
+        } else if (slot.priority.slack() == winner->priority.slack()) {
+          // Reservoir-sample among ties: the paper breaks ties randomly.
+          ++tie_count;
+          if (rng_.uniform_u64(tie_count) == 0) {
+            winner = &slot;
+            winner_core = c;
+          }
+        }
+      }
+    }
+    if (winner != nullptr) {
+      out.push_back(ServicedRead{.core = winner_core,
+                                 .issued_at = winner->issued_at,
+                                 .serviced_at = now,
+                                 .half_misses = winner->half_misses});
+      winner->valid = false;
+      --outstanding_;
+      ++stats_.reads_serviced;
+      read_port_free_at_ = now + params_.read_occupancy;
+    }
+  }
+
+  // Write port: fills outrank stores.
+  if (write_port_free_at_ <= now) {
+    if (!fill_queue_.empty() && fill_queue_.front() <= now) {
+      fill_queue_.pop_front();
+      --outstanding_;
+      write_port_free_at_ = now + params_.write_occupancy;
+    } else if (!store_queue_.empty() && store_queue_.front() <= now) {
+      store_queue_.pop_front();
+      --outstanding_;
+      write_port_free_at_ = now + params_.write_occupancy;
+    }
+  }
+
+  // Age the survivors; expired ones half-miss and re-arm critical.
+  for (ReadSlot& slot : slots_) {
+    if (!slot.valid || slot.visible_at > now) continue;
+    slot.priority.shift();
+    if (slot.priority.expired()) {
+      if (slot.half_misses == 0) ++stats_.half_misses;
+      ++slot.half_misses;
+      slot.priority.preload(1);
+    }
+  }
+}
+
+}  // namespace respin::core

@@ -1,0 +1,129 @@
+// Time-multiplexed shared L1 cache controller (paper §II.A).
+//
+// One controller front-ends a shared L1 array for a cluster of cores whose
+// clock periods are integer multiples of the cache period. It maintains a
+// request register and a priority shift register per core, services the
+// soonest-expiring read each cycle through a single read port, signals
+// "half-misses" when a request cannot be serviced within its core cycle,
+// and drains stores/line-fills through a single write port with a bounded
+// store queue (STT-RAM writes occupy the port for many cycles).
+//
+// The controller arbitrates only — the owning cluster performs the actual
+// tag lookups on serviced requests — so it is reusable for both the L1I
+// and L1D and for SRAM or STT-RAM arrays (which differ only in the port
+// occupancy parameters).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/priority_register.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace respin::core {
+
+/// Read-port arbitration policy. The paper's controller services the
+/// soonest-expiring request (priority shift registers); round-robin is
+/// provided as an ablation baseline.
+enum class ArbitrationPolicy : std::uint8_t { kPriority, kRoundRobin };
+
+struct ControllerParams {
+  std::uint32_t core_count = 16;
+  ArbitrationPolicy arbitration = ArbitrationPolicy::kPriority;
+  /// Wire + level-shifter delay from a core to the controller, in cache
+  /// cycles (paper: 0.8 ns = 2 cycles, pipelined on the cache side).
+  std::uint32_t request_delay_cycles = 2;
+  /// Cache cycles the read port is occupied per read (1 for STT-RAM at
+  /// 0.4 ns, 2 for a 256KB SRAM at 533.6 ps).
+  std::uint32_t read_occupancy = 1;
+  /// Cache cycles the write port is occupied per write (13 for STT-RAM's
+  /// 5.2 ns write pulse, 2 for SRAM).
+  std::uint32_t write_occupancy = 13;
+  /// Store queue entries shared by the cluster.
+  std::uint32_t store_queue_depth = 16;
+};
+
+/// A read serviced by the controller this cycle.
+struct ServicedRead {
+  std::uint32_t core = 0;
+  std::int64_t issued_at = 0;    ///< Cache cycle the core issued it.
+  std::int64_t serviced_at = 0;  ///< Cache cycle the port accepted it.
+  std::uint32_t half_misses = 0; ///< Windows missed before service.
+};
+
+/// Aggregate controller statistics (paper Figs. 10 and 11 derive from
+/// these, plus hit/miss information the owner layers on).
+struct ControllerStats {
+  util::Histogram arrivals_per_cycle{9};  ///< Requests arriving per cycle.
+  std::uint64_t reads_serviced = 0;
+  std::uint64_t half_misses = 0;
+  std::uint64_t stores_accepted = 0;
+  std::uint64_t store_queue_rejections = 0;
+  std::uint64_t fills = 0;
+  std::uint64_t busy_cycles = 0;   ///< Cycles with >=1 pending request.
+  std::uint64_t total_cycles = 0;
+
+  ControllerStats() = default;
+};
+
+class SharedCacheController {
+ public:
+  SharedCacheController(const ControllerParams& params,
+                        std::uint64_t rng_seed);
+
+  /// Core `core` (period `multiplier` cache cycles) issues a blocking read
+  /// at cache-cycle `now` (its cycle boundary). At most one outstanding
+  /// read per core is allowed.
+  void submit_read(std::uint32_t core, std::uint32_t multiplier,
+                   std::int64_t now);
+
+  /// Enqueues a store; returns false when the store queue is full (the
+  /// core must stall and retry).
+  bool submit_store(std::int64_t now);
+
+  /// Enqueues a line fill (miss return). Fills outrank stores for the
+  /// write port.
+  void submit_fill(std::int64_t now);
+
+  /// Advances one cache cycle; serviced reads are appended to `out`.
+  void step(std::int64_t now, std::vector<ServicedRead>& out);
+
+  bool has_pending_work() const;
+  std::uint32_t store_queue_size() const {
+    return static_cast<std::uint32_t>(store_queue_.size()) + pending_stores_;
+  }
+
+  const ControllerParams& params() const { return params_; }
+  const ControllerStats& stats() const { return stats_; }
+
+ private:
+  struct ReadSlot {
+    bool valid = false;
+    std::int64_t issued_at = 0;
+    std::int64_t visible_at = 0;
+    std::uint32_t multiplier = 0;
+    std::uint32_t half_misses = 0;
+    PriorityRegister priority;
+  };
+
+  ControllerParams params_;
+  util::Rng rng_;
+  std::vector<ReadSlot> slots_;
+  std::deque<std::int64_t> pending_store_times_;  ///< In flight to the queue.
+  std::deque<std::int64_t> store_queue_;   ///< visible_at per queued store.
+  std::uint32_t pending_stores_ = 0;       ///< Submitted, not yet visible.
+  std::deque<std::int64_t> fill_queue_;
+  std::int64_t read_port_free_at_ = 0;
+  std::int64_t write_port_free_at_ = 0;
+  std::array<std::uint32_t, 8> arrival_ring_{};  ///< Arrivals per near cycle.
+  std::uint32_t outstanding_ = 0;          ///< Items not yet drained.
+  std::uint32_t rr_cursor_ = 0;            ///< Round-robin ablation state.
+  ControllerStats stats_;
+
+  void note_arrival(std::int64_t visible_at);
+};
+
+}  // namespace respin::core

@@ -1,0 +1,104 @@
+// Core execution model: virtual cores (architectural thread contexts) and
+// physical cores (execution resources with a clock, power state and a
+// round-robin run queue of virtual cores).
+//
+// The paper's cores are dual-issue out-of-order (Table II); this model
+// approximates them with an issue-rate abstraction: compute instructions
+// retire at the workload phase's IPC (capped by the issue width), memory
+// instructions block on the cache hierarchy, and barrier arrivals block on
+// the cluster barrier. That abstraction preserves exactly the quantities
+// the paper measures — memory-system pressure, stall time, and energy per
+// instruction — without simulating a register-renamed pipeline.
+//
+// Everything here is a plain value type so a whole cluster snapshot (used
+// by the oracle consolidation study) is a default copy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+#include "workload/workload.hpp"
+
+namespace respin::cpu {
+
+/// Timing costs of the virtualization machinery (paper §III.D), expressed
+/// in core cycles of the affected core.
+struct CoreTimingParams {
+  std::uint32_t issue_width = 2;
+  /// Committed instructions between instruction fetches (one fetch group).
+  std::uint32_t instructions_per_fetch = 8;
+  /// Hardware context switch between virtual cores on one physical core:
+  /// a register-bank swap, a few cycles.
+  std::uint32_t context_switch_cycles = 2;
+  /// Hardware context-switch quantum (instructions) when several virtual
+  /// cores share a physical core; "much smaller than the typical OS
+  /// context-switch interval".
+  std::uint64_t hw_quantum_instructions = 2000;
+  /// Migrating a virtual core to a different physical core: pipeline drain,
+  /// PC + register-file transfer, and state rebuild on the target.
+  std::uint32_t migration_cycles = 50;
+  /// Stall after waking a power-gated core (voltage stabilization,
+  /// 10-30 ns ~= 5-15 cycles at 500 MHz; we charge the midpoint).
+  std::uint32_t power_on_stall_cycles = 10;
+  /// OS-driven context switch (SH-STT-CC-OS): trap, scheduler, return.
+  std::uint32_t os_switch_cycles = 500;
+};
+
+/// Why a virtual core is not currently retiring instructions.
+enum class WaitState : std::uint8_t {
+  kRunnable,      ///< Has work, will execute when scheduled.
+  kMemory,        ///< Blocked on an outstanding cache/memory access.
+  kBarrier,       ///< Blocked in the cluster barrier.
+  kStoreBuffer,   ///< Store issued but the store path is full.
+  kFinished,      ///< Workload exhausted.
+};
+
+/// One OS-visible virtual core executing one application thread.
+struct VirtualCore {
+  explicit VirtualCore(workload::ThreadWorkload work_in)
+      : work(std::move(work_in)) {}
+
+  workload::ThreadWorkload work;
+
+  WaitState state = WaitState::kRunnable;
+  /// Absolute simulation time (cache cycles) when a kMemory wait resolves.
+  std::int64_t mem_ready_cycle = 0;
+  /// Whether waking from kMemory retires the blocking load (as opposed to
+  /// an ifetch or migration wait, which retire nothing).
+  bool mem_commit_pending = false;
+  /// Barrier id being waited on (kBarrier state).
+  std::uint64_t barrier_id = 0;
+
+  // Current operation being executed.
+  workload::Op op;
+  bool has_op = false;
+  std::uint32_t compute_remaining = 0;  ///< Instructions left in compute op.
+  double issue_accumulator = 0.0;       ///< Fractional IPC bank.
+  double current_ipc = 1.0;             ///< Phase IPC of the active op.
+
+  std::uint64_t instructions = 0;       ///< Committed instructions.
+  std::uint32_t until_fetch = 0;        ///< Instructions until next ifetch.
+};
+
+/// One physical core in the cluster.
+struct PhysicalCore {
+  int multiplier = 5;        ///< Core period in shared-cache cycles.
+  bool powered_on = true;
+  /// Virtual cores assigned to this physical core (round-robin schedule).
+  std::vector<std::uint32_t> vcores;
+  std::size_t run_index = 0;            ///< Which assigned vcore runs now.
+  std::uint64_t quantum_remaining = 0;  ///< Instructions to next HW switch.
+  std::int64_t next_tick = 0;           ///< Next core-cycle boundary (cache cycles).
+  std::int64_t stalled_until = 0;       ///< Migration / power-on stall.
+  std::int64_t store_drain_free_at = 0; ///< Private store buffer backlog.
+  std::int64_t os_next_switch = 0;      ///< OS-mode timeslice expiry.
+
+  // Activity accounting (core cycles).
+  std::uint64_t busy_cycles = 0;
+  std::uint64_t idle_cycles = 0;
+
+  bool has_runnable() const { return !vcores.empty(); }
+};
+
+}  // namespace respin::cpu

@@ -1,0 +1,60 @@
+#include "mem/backside.hpp"
+
+namespace respin::mem {
+
+Backside::Backside(const BacksideParams& params)
+    : params_(params),
+      l2_(params.l2_capacity_bytes, params.l2_line_bytes, params.l2_ways),
+      l3_(params.l3_capacity_bytes, params.l3_line_bytes, params.l3_ways) {}
+
+FillResult Backside::fill(Addr addr) {
+  FillResult result;
+  result.latency_cycles = params_.l2_hit_cycles;
+  ++stats_.l2_reads;
+
+  const LineAddr l2_line = line_of(addr, params_.l2_line_bytes);
+  if (l2_.access(l2_line).has_value()) {
+    result.source = FillSource::kL2;
+    return result;
+  }
+
+  result.latency_cycles += params_.l3_hit_cycles;
+  ++stats_.l3_reads;
+  const LineAddr l3_line = line_of(addr, params_.l3_line_bytes);
+  const bool l3_hit = l3_.access(l3_line).has_value();
+  if (!l3_hit) {
+    result.latency_cycles += params_.memory_cycles;
+    ++stats_.memory_reads;
+    if (auto evicted = l3_.insert(l3_line, Mesi::kExclusive)) {
+      if (evicted->dirty) ++stats_.memory_writes;
+    }
+  }
+
+  // Install into L2 on the way back.
+  if (auto evicted = l2_.insert(l2_line, Mesi::kExclusive)) {
+    if (evicted->dirty) {
+      // Dirty L2 victim flows into L3 (write energy, off critical path).
+      ++stats_.l3_writes;
+      const LineAddr victim_l3 =
+          line_of(evicted->line * params_.l2_line_bytes, params_.l3_line_bytes);
+      l3_.set_state(victim_l3, Mesi::kModified);
+    }
+  }
+  ++stats_.l2_writes;  // The fill itself writes the L2 data array.
+
+  result.source = l3_hit ? FillSource::kL3 : FillSource::kMemory;
+  return result;
+}
+
+void Backside::writeback(Addr addr) {
+  ++stats_.l2_writes;
+  const LineAddr l2_line = line_of(addr, params_.l2_line_bytes);
+  if (!l2_.probe(l2_line).has_value()) {
+    // Inclusion slipped (L2 victimized the parent); send toward L3.
+    ++stats_.l3_writes;
+    return;
+  }
+  l2_.set_state(l2_line, Mesi::kModified);
+}
+
+}  // namespace respin::mem

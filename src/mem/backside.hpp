@@ -1,0 +1,78 @@
+// Cluster backside: L2 slice, L3 slice and main memory.
+//
+// The paper's evaluation focuses on the L1 (private vs shared, SRAM vs
+// STT-RAM) and on core consolidation; L2/L3/DRAM are conventional. The
+// backside therefore uses full tag arrays (so capacity misses are real)
+// with latency charged per level rather than cycle-by-cycle arbitration.
+// Latency and energy parameters come from the nvsim model via the config
+// layer, in shared-cache cycles (0.4 ns).
+#pragma once
+
+#include <cstdint>
+
+#include "mem/cache_array.hpp"
+#include "mem/cache_types.hpp"
+
+namespace respin::mem {
+
+/// Backside geometry and timing (all latencies in shared-cache cycles).
+struct BacksideParams {
+  std::uint64_t l2_capacity_bytes = 4ULL << 20;
+  std::uint32_t l2_line_bytes = 64;
+  std::uint32_t l2_ways = 8;
+  std::uint32_t l2_hit_cycles = 8;
+
+  std::uint64_t l3_capacity_bytes = 12ULL << 20;
+  std::uint32_t l3_line_bytes = 128;
+  std::uint32_t l3_ways = 16;
+  std::uint32_t l3_hit_cycles = 24;
+
+  std::uint32_t memory_cycles = 250;  ///< ~100 ns DRAM round trip.
+};
+
+/// Access counters for energy accounting.
+struct BacksideStats {
+  std::uint64_t l2_reads = 0;
+  std::uint64_t l2_writes = 0;
+  std::uint64_t l3_reads = 0;
+  std::uint64_t l3_writes = 0;
+  std::uint64_t memory_reads = 0;
+  std::uint64_t memory_writes = 0;
+};
+
+/// Where a fill was ultimately serviced.
+enum class FillSource : std::uint8_t { kL2, kL3, kMemory };
+
+struct FillResult {
+  std::uint32_t latency_cycles = 0;  ///< Shared-cache cycles beyond the L1.
+  FillSource source = FillSource::kL2;
+};
+
+class Backside {
+ public:
+  explicit Backside(const BacksideParams& params);
+
+  /// Services an L1 miss for the line containing `addr`. Walks L2 -> L3 ->
+  /// memory, installing the line at each level on the way back (inclusive
+  /// hierarchy; evicted dirty victims are written toward memory and show up
+  /// in the stats, not in the latency — victim writebacks are off the
+  /// critical path).
+  FillResult fill(Addr addr);
+
+  /// Absorbs a dirty writeback from an L1 (energy only; no stall).
+  void writeback(Addr addr);
+
+  const BacksideParams& params() const { return params_; }
+  const BacksideStats& stats() const { return stats_; }
+  const CacheArray& l2() const { return l2_; }
+  const CacheArray& l3() const { return l3_; }
+  void reset_stats() { stats_ = BacksideStats{}; }
+
+ private:
+  BacksideParams params_;
+  CacheArray l2_;
+  CacheArray l3_;
+  BacksideStats stats_;
+};
+
+}  // namespace respin::mem

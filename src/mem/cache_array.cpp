@@ -1,0 +1,128 @@
+#include "mem/cache_array.hpp"
+
+#include <bit>
+
+#include "util/require.hpp"
+
+namespace respin::mem {
+
+CacheArray::CacheArray(std::uint64_t capacity_bytes, std::uint32_t line_bytes,
+                       std::uint32_t ways)
+    : line_bytes_(line_bytes), ways_(ways) {
+  RESPIN_REQUIRE(line_bytes > 0 && std::has_single_bit(line_bytes),
+                 "line size must be a power of two");
+  RESPIN_REQUIRE(ways > 0, "associativity must be positive");
+  const std::uint64_t lines = capacity_bytes / line_bytes;
+  RESPIN_REQUIRE(lines > 0 && lines % ways == 0,
+                 "capacity must hold a whole number of sets");
+  const std::uint64_t sets = lines / ways;
+  set_count_ = static_cast<std::uint32_t>(sets);
+  ways_storage_.resize(lines);
+  lru_tick_.assign(set_count_, 0);
+}
+
+std::uint32_t CacheArray::set_index(LineAddr line) const {
+  // Modulo indexing: set counts need not be powers of two (the 12 MB L3
+  // slice of the medium configuration has 6144 sets).
+  return static_cast<std::uint32_t>(line % set_count_);
+}
+
+CacheArray::Way* CacheArray::find(LineAddr line) {
+  const std::uint32_t set = set_index(line);
+  Way* base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].state != Mesi::kInvalid && base[w].line == line) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const CacheArray::Way* CacheArray::find(LineAddr line) const {
+  return const_cast<CacheArray*>(this)->find(line);
+}
+
+void CacheArray::touch(std::uint32_t set, Way& way) {
+  way.lru = ++lru_tick_[set];
+}
+
+std::optional<Mesi> CacheArray::access(LineAddr line) {
+  if (Way* way = find(line)) {
+    touch(set_index(line), *way);
+    ++stats_.hits;
+    return way->state;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+std::optional<Mesi> CacheArray::probe(LineAddr line) const {
+  if (const Way* way = find(line)) return way->state;
+  return std::nullopt;
+}
+
+bool CacheArray::set_state(LineAddr line, Mesi state) {
+  RESPIN_REQUIRE(state != Mesi::kInvalid,
+                 "use invalidate() to drop a line, not set_state(I)");
+  if (Way* way = find(line)) {
+    way->state = state;
+    return true;
+  }
+  return false;
+}
+
+std::optional<Eviction> CacheArray::insert(LineAddr line, Mesi state) {
+  RESPIN_REQUIRE(state != Mesi::kInvalid, "cannot insert an invalid line");
+  RESPIN_REQUIRE(find(line) == nullptr, "line already present");
+  const std::uint32_t set = set_index(line);
+  Way* base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
+
+  Way* victim = nullptr;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (base[w].state == Mesi::kInvalid) {
+      victim = &base[w];
+      break;
+    }
+    if (victim == nullptr || base[w].lru < victim->lru) victim = &base[w];
+  }
+
+  std::optional<Eviction> evicted;
+  if (victim->state != Mesi::kInvalid) {
+    evicted = Eviction{victim->line, victim->state == Mesi::kModified};
+    ++stats_.evictions;
+    if (evicted->dirty) ++stats_.writebacks;
+  }
+  victim->line = line;
+  victim->state = state;
+  touch(set, *victim);
+  return evicted;
+}
+
+bool CacheArray::invalidate(LineAddr line, bool* was_dirty) {
+  if (Way* way = find(line)) {
+    if (was_dirty != nullptr) *was_dirty = (way->state == Mesi::kModified);
+    way->state = Mesi::kInvalid;
+    ++stats_.invalidations;
+    return true;
+  }
+  if (was_dirty != nullptr) *was_dirty = false;
+  return false;
+}
+
+void CacheArray::flush() {
+  for (Way& way : ways_storage_) {
+    if (way.state == Mesi::kModified) ++stats_.writebacks;
+    if (way.state != Mesi::kInvalid) ++stats_.invalidations;
+    way.state = Mesi::kInvalid;
+  }
+}
+
+std::uint64_t CacheArray::resident_lines() const {
+  std::uint64_t count = 0;
+  for (const Way& way : ways_storage_) {
+    if (way.state != Mesi::kInvalid) ++count;
+  }
+  return count;
+}
+
+}  // namespace respin::mem

@@ -1,0 +1,94 @@
+// Set-associative cache tag array with true-LRU replacement.
+//
+// This models presence, state and replacement only — the simulator never
+// stores data payloads. The array is a plain value type (contiguous
+// storage, no internal pointers) so whole-cluster snapshots for the oracle
+// consolidation study are a default copy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/cache_types.hpp"
+
+namespace respin::mem {
+
+/// Result of inserting a line: the victim that was evicted, if any.
+struct Eviction {
+  LineAddr line = 0;
+  bool dirty = false;
+};
+
+/// Access/miss counters for one array.
+struct CacheArrayStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t invalidations = 0;
+};
+
+class CacheArray {
+ public:
+  /// `capacity_bytes` must be a multiple of `line_bytes * ways`.
+  CacheArray(std::uint64_t capacity_bytes, std::uint32_t line_bytes,
+             std::uint32_t ways);
+
+  std::uint32_t line_bytes() const { return line_bytes_; }
+  std::uint32_t ways() const { return ways_; }
+  std::uint32_t set_count() const { return set_count_; }
+  std::uint64_t capacity_bytes() const {
+    return static_cast<std::uint64_t>(set_count_) * ways_ * line_bytes_;
+  }
+
+  /// Looks up a line. On hit, promotes it to MRU and returns its state;
+  /// counts a hit. On miss, counts a miss and returns nullopt.
+  std::optional<Mesi> access(LineAddr line);
+
+  /// Looks up without touching LRU or counters (for coherence probes).
+  std::optional<Mesi> probe(LineAddr line) const;
+
+  /// Changes the state of a present line; returns false if absent.
+  bool set_state(LineAddr line, Mesi state);
+
+  /// Inserts a line in the given state, evicting the LRU way if the set is
+  /// full. Returns the eviction, if one happened. The line must not already
+  /// be present (callers access() first).
+  std::optional<Eviction> insert(LineAddr line, Mesi state);
+
+  /// Removes a line if present; returns true (and counts an invalidation)
+  /// when it was. `was_dirty` reports whether the dropped copy was Modified.
+  bool invalidate(LineAddr line, bool* was_dirty = nullptr);
+
+  /// Drops every line (e.g. power-gating a private cache); counters keep
+  /// accumulating. Dirty lines are counted as writebacks.
+  void flush();
+
+  /// Number of valid lines currently resident (O(capacity); tests only).
+  std::uint64_t resident_lines() const;
+
+  const CacheArrayStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheArrayStats{}; }
+
+ private:
+  struct Way {
+    LineAddr line = 0;
+    Mesi state = Mesi::kInvalid;
+    std::uint32_t lru = 0;  // Higher = more recently used.
+  };
+
+  std::uint32_t set_index(LineAddr line) const;
+  Way* find(LineAddr line);
+  const Way* find(LineAddr line) const;
+  void touch(std::uint32_t set, Way& way);
+
+  std::uint32_t line_bytes_;
+  std::uint32_t ways_;
+  std::uint32_t set_count_;
+  std::vector<Way> ways_storage_;       // set_count_ * ways_.
+  std::vector<std::uint32_t> lru_tick_; // per-set monotonic counter.
+  CacheArrayStats stats_;
+};
+
+}  // namespace respin::mem

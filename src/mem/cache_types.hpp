@@ -1,0 +1,39 @@
+// Shared vocabulary types for the memory hierarchy.
+#pragma once
+
+#include <cstdint>
+
+namespace respin::mem {
+
+/// Byte address in the simulated 64-bit physical address space.
+using Addr = std::uint64_t;
+
+/// Cache-line address: byte address divided by the line size.
+using LineAddr = std::uint64_t;
+
+/// Kind of memory access issued by a core.
+enum class AccessType : std::uint8_t {
+  kLoad,    ///< Data read.
+  kStore,   ///< Data write.
+  kIfetch,  ///< Instruction fetch.
+};
+
+/// MESI coherence states for the private-L1 baseline configurations.
+enum class Mesi : std::uint8_t {
+  kInvalid,
+  kShared,
+  kExclusive,
+  kModified,
+};
+
+inline bool is_valid(Mesi state) { return state != Mesi::kInvalid; }
+inline bool can_write(Mesi state) {
+  return state == Mesi::kModified || state == Mesi::kExclusive;
+}
+
+/// Converts a byte address to a line address.
+constexpr LineAddr line_of(Addr addr, std::uint32_t line_bytes) {
+  return addr / line_bytes;
+}
+
+}  // namespace respin::mem

@@ -1,0 +1,207 @@
+#include "mem/private_l1.hpp"
+
+#include <bit>
+
+#include "util/require.hpp"
+
+namespace respin::mem {
+
+PrivateL1System::PrivateL1System(const PrivateL1Params& params)
+    : params_(params) {
+  RESPIN_REQUIRE(params.core_count >= 1 && params.core_count <= 32,
+                 "directory sharer mask holds at most 32 cores");
+  l1i_.reserve(params.core_count);
+  l1d_.reserve(params.core_count);
+  for (std::uint32_t c = 0; c < params.core_count; ++c) {
+    l1i_.emplace_back(params.l1i_capacity_bytes, params.line_bytes,
+                      params.l1i_ways);
+    l1d_.emplace_back(params.l1d_capacity_bytes, params.line_bytes,
+                      params.l1d_ways);
+  }
+}
+
+PrivateAccessResult PrivateL1System::access(std::uint32_t core, Addr addr,
+                                            AccessType type,
+                                            Backside& backside) {
+  RESPIN_REQUIRE(core < params_.core_count, "core id out of range");
+  switch (type) {
+    case AccessType::kIfetch:
+      return access_ifetch(core, addr, backside);
+    case AccessType::kLoad:
+      return access_data(core, addr, /*store=*/false, backside);
+    case AccessType::kStore:
+      return access_data(core, addr, /*store=*/true, backside);
+  }
+  return {};
+}
+
+PrivateAccessResult PrivateL1System::access_ifetch(std::uint32_t core,
+                                                   Addr addr,
+                                                   Backside& backside) {
+  ++l1_reads_;
+  const LineAddr line = line_of(addr, params_.line_bytes);
+  if (l1i_[core].access(line).has_value()) {
+    return {.l1_hit = true, .extra_cycles = 0};
+  }
+  const FillResult fill = backside.fill(addr);
+  ++l1_writes_;  // Line fill writes the L1I data array.
+  if (auto evicted = l1i_[core].insert(line, Mesi::kShared)) {
+    (void)evicted;  // Instruction lines are never dirty.
+  }
+  return {.l1_hit = false, .extra_cycles = fill.latency_cycles};
+}
+
+PrivateAccessResult PrivateL1System::access_data(std::uint32_t core, Addr addr,
+                                                 bool store,
+                                                 Backside& backside) {
+  store ? ++l1_writes_ : ++l1_reads_;
+  const LineAddr line = line_of(addr, params_.line_bytes);
+  CacheArray& cache = l1d_[core];
+  const std::uint32_t my_bit = 1u << core;
+
+  if (auto state = cache.access(line)) {
+    if (!store) return {.l1_hit = true, .extra_cycles = 0};
+    if (can_write(*state)) {
+      cache.set_state(line, Mesi::kModified);
+      auto it = directory_.find(line);
+      if (it != directory_.end()) it->second.dirty = true;
+      return {.l1_hit = true, .extra_cycles = 0};
+    }
+    // Write hit on a Shared copy: upgrade through the directory, killing
+    // every peer copy. This round trip is the coherence cost the shared-L1
+    // design eliminates.
+    ++coherence_.upgrades;
+    ++coherence_.directory_lookups;
+    std::uint32_t stall = params_.invalidation_cycles;
+    auto it = directory_.find(line);
+    RESPIN_REQUIRE(it != directory_.end(), "shared line missing from directory");
+    std::uint32_t peers = it->second.sharers & ~my_bit;
+    while (peers != 0) {
+      const auto peer = static_cast<std::uint32_t>(std::countr_zero(peers));
+      peers &= peers - 1;
+      l1d_[peer].invalidate(line);
+      ++coherence_.invalidations_sent;
+    }
+    it->second.sharers = my_bit;
+    it->second.dirty = true;
+    cache.set_state(line, Mesi::kModified);
+    return {.l1_hit = true, .extra_cycles = stall};
+  }
+
+  // L1 miss: consult the directory (colocated with L2, so the L2 hit time
+  // covers the directory lookup).
+  ++coherence_.directory_lookups;
+  std::uint32_t stall = 0;
+  auto it = directory_.find(line);
+  if (it != directory_.end() && (it->second.sharers & ~my_bit) != 0) {
+    DirEntry& entry = it->second;
+    if (entry.dirty) {
+      // A peer holds M: intervene, pull the dirty copy.
+      ++coherence_.interventions;
+      stall += params_.intervention_cycles;
+      std::uint32_t peers = entry.sharers & ~my_bit;
+      while (peers != 0) {
+        const auto peer = static_cast<std::uint32_t>(std::countr_zero(peers));
+        peers &= peers - 1;
+        if (store) {
+          bool dirty = false;
+          l1d_[peer].invalidate(line, &dirty);
+          if (dirty) {
+            ++coherence_.writebacks;
+            backside.writeback(addr);
+          }
+          ++coherence_.invalidations_sent;
+        } else {
+          l1d_[peer].set_state(line, Mesi::kShared);
+          ++coherence_.writebacks;  // M -> S forces a writeback copy to L2.
+          backside.writeback(addr);
+        }
+      }
+      entry.dirty = store;
+      entry.sharers = store ? my_bit : (entry.sharers | my_bit);
+    } else {
+      // Clean copies elsewhere: data comes from L2; a store invalidates them.
+      stall += backside.fill(addr).latency_cycles;
+      if (store) {
+        std::uint32_t peers = entry.sharers & ~my_bit;
+        while (peers != 0) {
+          const auto peer = static_cast<std::uint32_t>(std::countr_zero(peers));
+          peers &= peers - 1;
+          l1d_[peer].invalidate(line);
+          ++coherence_.invalidations_sent;
+        }
+        stall += params_.invalidation_cycles;
+        entry.sharers = my_bit;
+        entry.dirty = true;
+      } else {
+        // A load joining clean sharers demotes any Exclusive peer copy.
+        std::uint32_t peers = entry.sharers & ~my_bit;
+        while (peers != 0) {
+          const auto peer =
+              static_cast<std::uint32_t>(std::countr_zero(peers));
+          peers &= peers - 1;
+          if (l1d_[peer].probe(line) == Mesi::kExclusive) {
+            l1d_[peer].set_state(line, Mesi::kShared);
+          }
+        }
+        entry.sharers |= my_bit;
+      }
+    }
+  } else {
+    // No peer copy: plain fill from the backside.
+    stall += backside.fill(addr).latency_cycles;
+    DirEntry& entry = directory_[line];
+    entry.sharers = my_bit;
+    entry.dirty = store;
+  }
+
+  ++l1_writes_;  // Line fill writes the L1D data array.
+  const Mesi install = store ? Mesi::kModified
+                       : ((directory_[line].sharers & ~my_bit) != 0)
+                           ? Mesi::kShared
+                           : Mesi::kExclusive;
+  if (auto evicted = cache.insert(line, install)) {
+    evict_data_line(core, evicted->line, evicted->dirty, backside);
+  }
+  return {.l1_hit = false, .extra_cycles = stall};
+}
+
+void PrivateL1System::evict_data_line(std::uint32_t core, LineAddr line,
+                                      bool dirty, Backside& backside) {
+  auto it = directory_.find(line);
+  if (it != directory_.end()) {
+    it->second.sharers &= ~(1u << core);
+    if (it->second.sharers == 0) directory_.erase(it);
+  }
+  if (dirty) {
+    ++coherence_.writebacks;
+    backside.writeback(line * params_.line_bytes);
+  }
+}
+
+void PrivateL1System::flush_core(std::uint32_t core, Backside& backside) {
+  RESPIN_REQUIRE(core < params_.core_count, "core id out of range");
+  // Walk the directory dropping this core's copies; dirty lines write back.
+  const std::uint32_t my_bit = 1u << core;
+  for (auto it = directory_.begin(); it != directory_.end();) {
+    if ((it->second.sharers & my_bit) != 0) {
+      bool dirty = false;
+      l1d_[core].invalidate(it->first, &dirty);
+      if (dirty) {
+        ++coherence_.writebacks;
+        backside.writeback(it->first * params_.line_bytes);
+        it->second.dirty = false;
+      }
+      it->second.sharers &= ~my_bit;
+      if (it->second.sharers == 0) {
+        it = directory_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+  l1d_[core].flush();
+  l1i_[core].flush();
+}
+
+}  // namespace respin::mem

@@ -1,0 +1,100 @@
+// Private per-core L1 caches with a directory-based MESI protocol.
+//
+// This is the baseline organization (PR-SRAM-NT / HP-SRAM-CMP / PR-STT-CC in
+// paper Table IV): every core owns a private L1I and L1D; a full-map
+// directory colocated with the cluster L2 keeps the L1Ds coherent.
+// Instruction lines are read-only, so L1I misses are plain fills.
+//
+// Latencies are charged in shared-cache cycles (0.4 ns) so results compose
+// with the shared-L1 configurations; an L1 hit itself costs one *core*
+// cycle and is accounted by the core model, not here.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/backside.hpp"
+#include "mem/cache_array.hpp"
+#include "mem/cache_types.hpp"
+
+namespace respin::mem {
+
+/// Geometry/timing knobs for the private hierarchy.
+struct PrivateL1Params {
+  std::uint64_t l1i_capacity_bytes = 16 * 1024;
+  std::uint32_t l1i_ways = 2;
+  std::uint64_t l1d_capacity_bytes = 16 * 1024;
+  std::uint32_t l1d_ways = 4;
+  std::uint32_t line_bytes = 32;
+  std::uint32_t core_count = 16;
+  /// Extra shared-cache cycles for one invalidation round (request to the
+  /// directory fans out; acknowledgements return).
+  std::uint32_t invalidation_cycles = 6;
+  /// Extra cycles to pull a Modified line out of another core's L1.
+  std::uint32_t intervention_cycles = 10;
+};
+
+/// Coherence-event counters (per cluster), used for energy and analysis.
+struct CoherenceStats {
+  std::uint64_t upgrades = 0;            ///< S -> M permission requests.
+  std::uint64_t invalidations_sent = 0;  ///< Copies killed in peer L1s.
+  std::uint64_t interventions = 0;       ///< Dirty peer copies fetched.
+  std::uint64_t writebacks = 0;          ///< Dirty evictions to L2.
+  std::uint64_t directory_lookups = 0;
+};
+
+/// What one access cost beyond the 1-core-cycle L1 pipeline.
+struct PrivateAccessResult {
+  bool l1_hit = false;
+  std::uint32_t extra_cycles = 0;  ///< Shared-cache cycles of stall.
+};
+
+class PrivateL1System {
+ public:
+  /// The backside is passed per call (not stored) so that a simulator
+  /// embedding both as value members stays default-copyable for the
+  /// oracle's snapshot/replay machinery.
+  explicit PrivateL1System(const PrivateL1Params& params);
+
+  /// Performs one access by `core`. Drives MESI state transitions, the
+  /// directory, and the backside; returns the stall beyond the L1 pipeline.
+  PrivateAccessResult access(std::uint32_t core, Addr addr, AccessType type,
+                             Backside& backside);
+
+  /// Flushes a core's L1s (power gating during consolidation in the
+  /// private-cache configuration — this is exactly the "cold cache" cost
+  /// the paper attributes to PR-STT-CC). Dirty lines write back.
+  void flush_core(std::uint32_t core, Backside& backside);
+
+  const CoherenceStats& coherence_stats() const { return coherence_; }
+  const CacheArray& l1d(std::uint32_t core) const { return l1d_[core]; }
+  const CacheArray& l1i(std::uint32_t core) const { return l1i_[core]; }
+
+  /// Total L1 accesses (reads+writes) for energy accounting.
+  std::uint64_t l1_reads() const { return l1_reads_; }
+  std::uint64_t l1_writes() const { return l1_writes_; }
+
+ private:
+  struct DirEntry {
+    std::uint32_t sharers = 0;  ///< Bitmask over cores.
+    bool dirty = false;         ///< Exactly one sharer holds M.
+  };
+
+  PrivateAccessResult access_data(std::uint32_t core, Addr addr, bool store,
+                                  Backside& backside);
+  PrivateAccessResult access_ifetch(std::uint32_t core, Addr addr,
+                                    Backside& backside);
+  void evict_data_line(std::uint32_t core, LineAddr line, bool dirty,
+                       Backside& backside);
+
+  PrivateL1Params params_;
+  std::vector<CacheArray> l1i_;
+  std::vector<CacheArray> l1d_;
+  std::unordered_map<LineAddr, DirEntry> directory_;
+  CoherenceStats coherence_;
+  std::uint64_t l1_reads_ = 0;
+  std::uint64_t l1_writes_ = 0;
+};
+
+}  // namespace respin::mem

@@ -1,0 +1,94 @@
+// Analytical SRAM / STT-RAM array model (NVSim + CACTI substitute).
+//
+// The paper extracted cache latency/energy/area/leakage from NVSim combined
+// with CACTI. Those tools are not redistributable, so this module implements
+// an analytical model with the same structure — geometry-driven latency,
+// capacity-power-law energy, linear-in-Vdd leakage — calibrated so that it
+// reproduces the paper's Table III anchor points exactly:
+//
+//   SRAM 16KB x 16 @0.65V : rd/wr 1337 ps, 2.578 pJ, 573 mW, 0.9176 mm2
+//   SRAM 16KB x 16 @1.00V : rd/wr 211.9 ps, 6.102 pJ, 881 mW, 0.9176 mm2
+//   SRAM 256KB     @1.00V : rd/wr 533.6 ps, 42.41 pJ, 881 mW, 0.9176 mm2
+//   STT  256KB     @1.00V : rd 588.2 / wr 5208 ps, 29.32 pJ, 114 mW, 0.2451 mm2
+//
+// Scaling laws inferred from (and consistent with) those anchors:
+//   latency ∝ capacity^(1/3)           (533.6 / 211.9 = 16^(1/3))
+//   energy  ∝ capacity^0.7 · Vdd²      (42.41 / 6.102 = 16^0.7; 0.65² = 0.4225)
+//   leakage ∝ capacity · Vdd           (573 / 881 = 0.65)
+//   SRAM latency degrades exponentially below nominal Vdd
+//                                      (1337 / 211.9 at ΔV = 0.35)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace respin::nvsim {
+
+/// Memory cell technology for an on-chip array.
+enum class MemTech { kSram, kSttRam };
+
+/// Returns a printable name ("SRAM" / "STT-RAM").
+const char* to_string(MemTech tech);
+
+/// Physical configuration of one cache data array.
+struct ArrayConfig {
+  MemTech tech = MemTech::kSram;
+  std::uint64_t capacity_bytes = 0;  ///< Total data capacity.
+  std::uint32_t block_bytes = 32;    ///< Line size (affects energy/access).
+  std::uint32_t associativity = 2;
+  double vdd = 1.0;                  ///< Supply voltage of the array rail.
+  std::uint32_t bank_count = 1;      ///< Banks; latency is per-bank.
+};
+
+/// Derived timing, energy and area figures for an array.
+struct ArrayFigures {
+  util::Picoseconds read_latency = 0;
+  util::Picoseconds write_latency = 0;
+  util::Picojoules read_energy = 0.0;   ///< Per access (one block).
+  util::Picojoules write_energy = 0.0;  ///< Per access (one block).
+  util::Watts leakage_power = 0.0;      ///< Whole array, always-on.
+  double area_mm2 = 0.0;
+};
+
+/// Calibration constants; the defaults reproduce Table III (see above).
+struct ArrayModelParams {
+  // SRAM anchors at 16 KB, 1.0 V, 32 B block.
+  double sram_base_read_ps = 211.9;
+  double sram_base_energy_pj = 6.102;
+  double sram_leakage_w_per_mb = 0.881 / 0.25;  ///< 881 mW per 256 KB.
+  double sram_area_mm2_per_mb = 0.9176 / 0.25;
+  /// exp(k·(Vnom - V)) latency degradation below nominal for SRAM
+  /// (sense margin loss); k fits the 0.65 V anchor: ln(1337/211.9)/0.35.
+  double sram_latency_volt_k = 5.262;
+
+  // STT-RAM anchors at 256 KB, 1.0 V.
+  double stt_read_ps_256k = 588.2;
+  double stt_write_ps_256k = 5208.0;
+  double stt_read_energy_pj_256k = 29.32;
+  double stt_write_energy_factor = 3.0;   ///< wr energy = factor · rd energy.
+  double stt_leakage_ratio = 114.0 / 881.0;  ///< vs SRAM at same size/Vdd.
+  double stt_area_ratio = 0.2451 / 0.9176;   ///< MTJ density advantage.
+
+  // Shared scaling exponents.
+  double latency_capacity_exponent = 1.0 / 3.0;
+  double energy_capacity_exponent = 0.7;
+  double energy_block_exponent = 0.6;  ///< Energy vs line size (wider reads).
+
+  double nominal_vdd = 1.0;
+  double min_vdd = 0.3;  ///< Below this the model refuses to evaluate.
+};
+
+/// Evaluates the analytical model for one array configuration.
+///
+/// Latency is per-bank (banking divides capacity before the geometry term);
+/// leakage and area cover all banks. Throws std::logic_error on nonsensical
+/// configurations (zero capacity, Vdd below min_vdd, associativity of 0).
+ArrayFigures evaluate(const ArrayConfig& config,
+                      const ArrayModelParams& params = ArrayModelParams{});
+
+/// Convenience: a one-line summary of a configuration ("SRAM 256KB @1.00V").
+std::string describe(const ArrayConfig& config);
+
+}  // namespace respin::nvsim

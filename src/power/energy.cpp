@@ -1,0 +1,79 @@
+#include "power/energy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace respin::power {
+
+ActivityCounts ActivityCounts::operator-(const ActivityCounts& rhs) const {
+  ActivityCounts d;
+  d.instructions = instructions - rhs.instructions;
+  d.core_busy_cycles = core_busy_cycles - rhs.core_busy_cycles;
+  d.core_idle_cycles = core_idle_cycles - rhs.core_idle_cycles;
+  d.l1_reads = l1_reads - rhs.l1_reads;
+  d.l1_writes = l1_writes - rhs.l1_writes;
+  d.l2_reads = l2_reads - rhs.l2_reads;
+  d.l2_writes = l2_writes - rhs.l2_writes;
+  d.l3_reads = l3_reads - rhs.l3_reads;
+  d.l3_writes = l3_writes - rhs.l3_writes;
+  d.dram_accesses = dram_accesses - rhs.dram_accesses;
+  d.coherence_messages = coherence_messages - rhs.coherence_messages;
+  d.level_shifter_crossings =
+      level_shifter_crossings - rhs.level_shifter_crossings;
+  d.core_on_ps = core_on_ps - rhs.core_on_ps;
+  return d;
+}
+
+EnergyBreakdown compute_energy(const PowerModel& model,
+                               const ActivityCounts& counts,
+                               util::Picoseconds elapsed) {
+  EnergyBreakdown e;
+
+  const auto n = [](std::uint64_t v) { return static_cast<double>(v); };
+
+  // Core dynamic: full-rate energy per instruction while executing, plus an
+  // idle floor while on but stalled. Idle cycles are charged as a fraction
+  // of the per-cycle executing energy (approximated by instructions/busy).
+  e.core_dynamic = n(counts.instructions) * model.core_instruction_pj;
+  if (counts.core_busy_cycles > 0) {
+    const double pj_per_busy_cycle =
+        n(counts.instructions) * model.core_instruction_pj /
+        n(counts.core_busy_cycles);
+    e.core_dynamic += n(counts.core_idle_cycles) * pj_per_busy_cycle *
+                      model.core_idle_fraction;
+  }
+
+  // Core leakage follows the powered-on integral (consolidation gates it);
+  // gated cores keep leaking at the residual fraction.
+  const double total_core_ps =
+      static_cast<double>(model.core_count) * static_cast<double>(elapsed);
+  const double off_ps = std::max(0.0, total_core_ps - counts.core_on_ps);
+  e.core_leakage = model.core_leakage_w *
+                   (counts.core_on_ps + model.gated_leakage_fraction * off_ps);
+
+  e.cache_dynamic = n(counts.l1_reads) * model.l1_read_pj +
+                    n(counts.l1_writes) * model.l1_write_pj +
+                    n(counts.l2_reads) * model.l2_read_pj +
+                    n(counts.l2_writes) * model.l2_write_pj +
+                    n(counts.l3_reads) * model.l3_read_pj +
+                    n(counts.l3_writes) * model.l3_write_pj;
+
+  const double elapsed_ps = static_cast<double>(elapsed);
+  e.cache_leakage = (model.l1_leakage_w + model.l2_leakage_w +
+                     model.l3_leakage_w) *
+                    elapsed_ps;
+
+  e.dram = n(counts.dram_accesses) * model.dram_access_pj;
+  e.network = n(counts.coherence_messages) * model.coherence_message_pj +
+              n(counts.level_shifter_crossings) * model.level_shifter_pj +
+              model.uncore_w * elapsed_ps;
+  return e;
+}
+
+double energy_per_instruction(const EnergyBreakdown& energy,
+                              std::uint64_t instructions) {
+  if (instructions == 0) return std::numeric_limits<double>::infinity();
+  return energy.total() / static_cast<double>(instructions);
+}
+
+}  // namespace respin::power

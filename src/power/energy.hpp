@@ -1,0 +1,104 @@
+// Energy accounting (McPAT + SESC activity-model substitute).
+//
+// The simulator counts events (instructions, cache reads/writes, coherence
+// messages, DRAM accesses, domain crossings) and integrates structure
+// leakage over simulated time. A PowerModel — built by the configuration
+// layer from the nvsim array figures and the technology voltage-scaling
+// laws — converts both into picojoules, split into the categories the
+// paper's figures report (core vs cache, leakage vs dynamic).
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace respin::power {
+
+/// Per-event energies and per-structure leakage powers for one
+/// architecture configuration. All dynamic entries are picojoules per
+/// event at the structure's operating voltage; leakage entries are watts.
+struct PowerModel {
+  // Cores (per core, at the core rail voltage).
+  double core_instruction_pj = 0.0;  ///< Dynamic energy per instruction.
+  double core_leakage_w = 0.0;       ///< Per powered-on core.
+  /// Residual leakage of a power-gated core as a fraction of its on-state
+  /// leakage (sleep transistors do not cut leakage to zero).
+  double gated_leakage_fraction = 0.15;
+  std::uint32_t core_count = 16;     ///< Cores sharing the rail (cluster).
+  /// Dynamic floor while a core is on but stalled/idle, as a fraction of
+  /// the full-rate instruction power (clock tree, bypass, fetch attempts).
+  double core_idle_fraction = 0.25;
+
+  // L1 (whole cluster: shared arrays, or the sum of the private ones).
+  double l1_read_pj = 0.0;
+  double l1_write_pj = 0.0;
+  double l1_leakage_w = 0.0;
+
+  // Cluster L2 slice.
+  double l2_read_pj = 0.0;
+  double l2_write_pj = 0.0;
+  double l2_leakage_w = 0.0;
+
+  // L3 slice backing this cluster.
+  double l3_read_pj = 0.0;
+  double l3_write_pj = 0.0;
+  double l3_leakage_w = 0.0;
+
+  double dram_access_pj = 2000.0;   ///< Off-chip access (row + I/O).
+  double coherence_message_pj = 4.0;///< One NoC hop + directory update.
+  double level_shifter_pj = 0.08;   ///< One low->high domain crossing.
+  double uncore_w = 0.0;            ///< PLL, clock spine, power controller.
+};
+
+/// Raw event counts accumulated by a simulation (deltas are well-defined,
+/// so epochs subtract two snapshots).
+struct ActivityCounts {
+  std::uint64_t instructions = 0;
+  std::uint64_t core_busy_cycles = 0;  ///< Core cycles spent executing.
+  std::uint64_t core_idle_cycles = 0;  ///< Powered-on but stalled/idle.
+  std::uint64_t l1_reads = 0;
+  std::uint64_t l1_writes = 0;
+  std::uint64_t l2_reads = 0;
+  std::uint64_t l2_writes = 0;
+  std::uint64_t l3_reads = 0;
+  std::uint64_t l3_writes = 0;
+  std::uint64_t dram_accesses = 0;
+  std::uint64_t coherence_messages = 0;
+  std::uint64_t level_shifter_crossings = 0;
+  /// Integral of (powered-on cores) over time, in core-picoseconds.
+  double core_on_ps = 0.0;
+
+  ActivityCounts operator-(const ActivityCounts& rhs) const;
+};
+
+/// Energy split the way the paper's figures report it.
+struct EnergyBreakdown {
+  util::Picojoules core_dynamic = 0.0;
+  util::Picojoules core_leakage = 0.0;
+  util::Picojoules cache_dynamic = 0.0;
+  util::Picojoules cache_leakage = 0.0;
+  util::Picojoules dram = 0.0;
+  util::Picojoules network = 0.0;
+
+  util::Picojoules total() const {
+    return core_dynamic + core_leakage + cache_dynamic + cache_leakage +
+           dram + network;
+  }
+  util::Picojoules leakage() const { return core_leakage + cache_leakage; }
+  util::Picojoules dynamic() const { return total() - leakage(); }
+};
+
+/// Converts counts + elapsed time into energy. `elapsed` covers the whole
+/// interval; core leakage uses the core_on_ps integral (power-gated cores
+/// drop to the residual gated fraction), while cache/uncore leakage runs
+/// for the full interval (the shared hierarchy is never gated).
+EnergyBreakdown compute_energy(const PowerModel& model,
+                               const ActivityCounts& counts,
+                               util::Picoseconds elapsed);
+
+/// Energy-per-instruction in picojoules; returns +inf when no instructions
+/// committed (an epoch where every thread is blocked).
+double energy_per_instruction(const EnergyBreakdown& energy,
+                              std::uint64_t instructions);
+
+}  // namespace respin::power

@@ -1,0 +1,44 @@
+#include "tech/technology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace respin::tech {
+
+TechnologyParams TechnologyParams::ipdps2017() { return TechnologyParams{}; }
+
+double max_frequency_hz(const TechnologyParams& tech, double vdd, double vth) {
+  RESPIN_REQUIRE(vdd > 0.0, "vdd must be positive");
+  if (vdd <= vth) return 0.0;
+  // Alpha-power law, normalized so a nominal-Vth path at nominal Vdd runs at
+  // tech.nominal_frequency_hz.
+  auto drive = [&](double v, double t) {
+    return std::pow(v - t, tech.alpha) / v;
+  };
+  const double nominal = drive(tech.nominal_vdd, tech.vth_mean);
+  return tech.nominal_frequency_hz * drive(vdd, vth) / nominal;
+}
+
+double dynamic_energy_scale(const TechnologyParams& tech, double vdd) {
+  const double ratio = vdd / tech.nominal_vdd;
+  return ratio * ratio;
+}
+
+double leakage_power_scale(const TechnologyParams& tech, double vdd) {
+  const double ratio = vdd / tech.nominal_vdd;
+  return std::pow(ratio, tech.leakage_vdd_exponent);
+}
+
+int ClusterClocking::multiplier_for_max_frequency(double max_hz) const {
+  RESPIN_REQUIRE(max_hz > 0.0, "core max frequency must be positive");
+  const double min_period_ps = 1e12 / max_hz;
+  // Round the period up to the next integer multiple of the cache period.
+  const auto cache_ps = static_cast<double>(cache_period);
+  int multiplier = static_cast<int>(std::ceil(min_period_ps / cache_ps));
+  multiplier = std::clamp(multiplier, min_core_multiplier, max_core_multiplier);
+  return multiplier;
+}
+
+}  // namespace respin::tech

@@ -1,0 +1,81 @@
+// Process technology and voltage-scaling models.
+//
+// Respin's chip uses two externally regulated voltage rails (paper §II):
+//   * core rail  : near-threshold Vdd (0.40 V)
+//   * cache rail : nominal Vdd (1.00 V) for STT-RAM / shared SRAM, or a
+//                  0.65 V "safe SRAM" rail for the private-SRAM NT baseline.
+//
+// Frequency follows the alpha-power law   f ∝ (Vdd - Vth)^alpha / Vdd,
+// dynamic energy per operation scales as Vdd², and leakage power scales
+// roughly linearly in Vdd with a sub-threshold correction — the same
+// first-order models used by the paper's toolchain (McPAT/VARIUS).
+#pragma once
+
+#include "util/units.hpp"
+
+namespace respin::tech {
+
+/// Static process parameters for the modeled 22 nm node.
+struct TechnologyParams {
+  double nominal_vdd = 1.00;        ///< Volts; "high" rail.
+  double nt_core_vdd = 0.40;        ///< Volts; near-threshold core rail.
+  double sram_safe_vdd = 0.65;      ///< Volts; minimum reliable SRAM rail.
+  double vth_mean = 0.30;           ///< Volts; mean threshold voltage.
+  double vth_sigma_ratio = 0.05;    ///< sigma(Vth)/mean(Vth) (VARIUS-style).
+  double alpha = 1.3;               ///< Alpha-power-law velocity saturation.
+  /// Core-logic leakage: P_leak ∝ Vdd^exponent, near-linear (matching the
+  /// paper's "leakage power only scales linearly" and, independently, the
+  /// Table III SRAM anchors). Fitted jointly with the core calibration so
+  /// the Fig. 9 suite-level energy ratios (SH-STT -23%, HP-SRAM-CMP +40%)
+  /// reproduce; cache arrays use the nvsim model's own linear law.
+  double leakage_vdd_exponent = 1.015;
+  /// Frequency (Hz) of a nominal-Vth critical path at nominal Vdd.
+  double nominal_frequency_hz = 2.5e9;
+
+  /// Returns the default parameter set used throughout the paper repro.
+  static TechnologyParams ipdps2017();
+};
+
+/// Maximum stable clock frequency (Hz) for a critical path with threshold
+/// voltage `vth`, supplied at `vdd`, in technology `tech`.
+/// Returns 0 when vdd <= vth (the circuit does not switch).
+double max_frequency_hz(const TechnologyParams& tech, double vdd, double vth);
+
+/// Dynamic-energy multiplier relative to nominal Vdd (Vdd² scaling).
+double dynamic_energy_scale(const TechnologyParams& tech, double vdd);
+
+/// Leakage-power multiplier relative to nominal Vdd.
+double leakage_power_scale(const TechnologyParams& tech, double vdd);
+
+/// A named voltage rail.
+struct VoltageDomain {
+  const char* name;
+  double vdd;
+};
+
+/// Level shifter inserted on every low-to-high voltage domain crossing
+/// (paper §II; delay from Dreslinski et al. [15]). Down-shifts are free.
+struct LevelShifter {
+  util::Picoseconds up_shift_delay = util::ns(0.75);
+  util::Picojoules energy_per_crossing = 0.08;  // pJ; small vs cache access.
+};
+
+/// Per-cluster PLL: generates the fast cache reference clock; each core
+/// divides it by an integer multiplier so every request aligns with cache
+/// cycle boundaries (paper §II).
+struct ClusterClocking {
+  util::Picoseconds cache_period = util::ns(0.4);  ///< 2.5 GHz reference.
+  int min_core_multiplier = 4;                     ///< 1.6 ns fastest core.
+  int max_core_multiplier = 6;                     ///< 2.4 ns slowest core.
+
+  /// Quantizes a core's maximum frequency to the smallest usable integer
+  /// multiplier of the cache period (rounding the period up — a core can
+  /// always run slower than its maximum, never faster).
+  int multiplier_for_max_frequency(double max_hz) const;
+
+  util::Picoseconds core_period(int multiplier) const {
+    return cache_period * multiplier;
+  }
+};
+
+}  // namespace respin::tech

@@ -1,0 +1,18 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace respin::util {
+
+long env_long(const std::string& name, long fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || value <= 0) return fallback;
+  return value;
+}
+
+long sim_scale() { return env_long("RESPIN_SIM_SCALE", 1); }
+
+}  // namespace respin::util

@@ -1,0 +1,17 @@
+// Environment-variable knobs shared by tests, benches and examples.
+#pragma once
+
+#include <string>
+
+namespace respin::util {
+
+/// Reads an integer environment variable, returning `fallback` when unset
+/// or unparsable. Used for RESPIN_SIM_SCALE and similar tuning knobs.
+long env_long(const std::string& name, long fallback);
+
+/// Global simulation-scale multiplier (RESPIN_SIM_SCALE, default 1).
+/// Bench workload lengths are multiplied by this; raise it for longer,
+/// lower-variance runs on faster machines.
+long sim_scale();
+
+}  // namespace respin::util

@@ -1,0 +1,29 @@
+// Invariant-checking macros.
+//
+// RESPIN_REQUIRE is always on (it guards configuration and protocol
+// invariants whose violation would silently corrupt results); it throws
+// std::logic_error so tests can assert on misuse.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace respin::util {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement failed: " << expr;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw std::logic_error(os.str());
+}
+
+}  // namespace respin::util
+
+#define RESPIN_REQUIRE(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::respin::util::require_failed(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                     \
+  } while (false)

@@ -1,0 +1,60 @@
+// Deterministic random number generation.
+//
+// Every stochastic choice in the simulator draws from a named Xoshiro256**
+// stream seeded by a (domain, index) pair via SplitMix64, so experiments
+// regenerate bit-identically regardless of evaluation order or platform.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace respin::util {
+
+/// SplitMix64: used only to expand seeds for Xoshiro.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// FNV-1a hash of a string, for turning stream names into seeds.
+std::uint64_t fnv1a(std::string_view text);
+
+/// Xoshiro256** PRNG (Blackman & Vigna). Small, fast, high quality.
+class Rng {
+ public:
+  /// Seeds from a raw 64-bit value.
+  explicit Rng(std::uint64_t seed);
+
+  /// Seeds from a (name, index) pair; use one stream per logical purpose,
+  /// e.g. Rng("varius.vth", core_id).
+  Rng(std::string_view name, std::uint64_t index);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, bound) without modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Standard normal deviate (Box-Muller with caching).
+  double normal();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Geometric-like draw: number of failures before the first success with
+  /// success probability p (p in (0, 1]). Capped at `cap`.
+  std::uint64_t geometric(double p, std::uint64_t cap);
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace respin::util

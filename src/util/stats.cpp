@@ -1,0 +1,113 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace respin::util {
+
+void RunningStat::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  mean_ = (n1 * mean_ + n2 * other.mean_) / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(std::size_t bucket_count) : buckets_(bucket_count, 0) {
+  RESPIN_REQUIRE(bucket_count > 0, "histogram needs at least one bucket");
+}
+
+void Histogram::add(std::uint64_t value, std::uint64_t weight) {
+  const std::size_t index =
+      std::min<std::size_t>(value, buckets_.size() - 1);
+  buckets_[index] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::bucket(std::size_t index) const {
+  RESPIN_REQUIRE(index < buckets_.size(), "histogram bucket out of range");
+  return buckets_[index];
+}
+
+double Histogram::fraction(std::size_t index) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(bucket(index)) / static_cast<double>(total_);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  RESPIN_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    running += buckets_[i];
+    if (running >= target) return i;
+  }
+  return buckets_.size() - 1;
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    weighted += static_cast<double>(i) * static_cast<double>(buckets_[i]);
+  }
+  return weighted / static_cast<double>(total_);
+}
+
+void Histogram::merge(const Histogram& other) {
+  RESPIN_REQUIRE(other.buckets_.size() == buckets_.size(),
+                 "histogram merge requires equal bucket counts");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+}
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) {
+    RESPIN_REQUIRE(v > 0.0, "geometric mean needs positive values");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double arithmetic_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace respin::util

@@ -1,0 +1,72 @@
+// Streaming statistics and histograms used for metrics collection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace respin::util {
+
+/// Welford-style streaming mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Integer-bucketed histogram with a fixed number of buckets; values at or
+/// above `bucket_count - 1` accumulate in the final (overflow) bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t bucket_count);
+
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket(std::size_t index) const;
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Fraction of total mass in the given bucket; 0 when empty.
+  double fraction(std::size_t index) const;
+
+  /// Smallest value v such that at least `q` of the mass is at or below v.
+  std::uint64_t quantile(double q) const;
+
+  /// Weighted mean of the bucket indices.
+  double mean() const;
+
+  void merge(const Histogram& other);
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+/// Geometric mean of a vector of positive values (used for normalized
+/// execution-time summaries, where the arithmetic mean of ratios is biased).
+double geometric_mean(const std::vector<double>& values);
+
+/// Arithmetic mean; 0 for an empty vector.
+double arithmetic_mean(const std::vector<double>& values);
+
+}  // namespace respin::util

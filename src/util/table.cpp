@@ -1,0 +1,77 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace respin::util {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  RESPIN_REQUIRE(!header.empty(), "table header cannot be empty");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  RESPIN_REQUIRE(row.size() == header_.size(),
+                 "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+
+  std::size_t total = 1;
+  for (std::size_t w : widths) total += w + 3;
+  const std::string rule(total, '-');
+
+  std::ostringstream os;
+  os << title_ << "\n" << rule << "\n" << render_row(header_) << rule << "\n";
+  for (const auto& row : rows_) os << render_row(row);
+  os << rule << "\n";
+  return os.str();
+}
+
+std::string fixed(double value, int places) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", places, value);
+  return buffer;
+}
+
+std::string percent(double ratio, int places) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%+.*f%%", places, ratio * 100.0);
+  return buffer;
+}
+
+std::string ascii_bar(double value, double maximum, int width) {
+  if (maximum <= 0.0 || value <= 0.0 || width <= 0) return "";
+  const int n = static_cast<int>(
+      std::lround(std::min(1.0, value / maximum) * width));
+  return std::string(static_cast<std::size_t>(n), '#');
+}
+
+}  // namespace respin::util

@@ -1,0 +1,43 @@
+// Plain-text table rendering for benchmark harness output.
+//
+// Every bench binary prints its paper table/figure as an aligned text table
+// so EXPERIMENTS.md can quote the output verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace respin::util {
+
+/// Column-aligned text table with a title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title);
+
+  /// Sets the header row; must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Adds a data row; its size must match the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table (title, rule, header, rule, rows, rule).
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimal places.
+std::string fixed(double value, int places);
+
+/// Formats a ratio as a signed percentage, e.g. -0.112 -> "-11.2%".
+std::string percent(double ratio, int places = 1);
+
+/// Renders a horizontal ASCII bar of length proportional to value/maximum.
+std::string ascii_bar(double value, double maximum, int width = 40);
+
+}  // namespace respin::util

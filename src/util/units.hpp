@@ -1,0 +1,60 @@
+// Physical unit helpers used across the Respin simulator.
+//
+// Conventions (chosen so that every quantity used in the cycle-level
+// simulator is an exact integer):
+//   * time        : picoseconds, int64_t  (one shared-cache cycle = 400 ps)
+//   * energy      : picojoules, double
+//   * power       : watts, double
+//   * capacity    : bytes, uint64_t
+//   * frequency   : hertz, double (derived; periods are the ground truth)
+#pragma once
+
+#include <cstdint>
+
+namespace respin::util {
+
+/// Simulated time in picoseconds.
+using Picoseconds = std::int64_t;
+
+/// Energy in picojoules.
+using Picojoules = double;
+
+/// Power in watts.
+using Watts = double;
+
+inline constexpr Picoseconds kPsPerNs = 1000;
+
+/// Converts a time expressed in nanoseconds to picoseconds.
+constexpr Picoseconds ns(double nanoseconds) {
+  return static_cast<Picoseconds>(nanoseconds * 1e3 + 0.5);
+}
+
+/// Converts picoseconds to (floating point) nanoseconds, for reporting.
+constexpr double to_ns(Picoseconds ps) { return static_cast<double>(ps) / 1e3; }
+
+/// Converts picoseconds to (floating point) seconds.
+constexpr double to_seconds(Picoseconds ps) {
+  return static_cast<double>(ps) * 1e-12;
+}
+
+/// Frequency (Hz) of a clock with the given period.
+constexpr double frequency_hz(Picoseconds period_ps) {
+  return 1e12 / static_cast<double>(period_ps);
+}
+
+/// Period (ps) of a clock with the given frequency in GHz.
+constexpr Picoseconds period_from_ghz(double ghz) {
+  return static_cast<Picoseconds>(1e3 / ghz + 0.5);
+}
+
+/// Energy (pJ) dissipated by `power` watts over `duration` picoseconds.
+constexpr Picojoules leakage_energy(Watts power, Picoseconds duration) {
+  // 1 W * 1 ps = 1 pJ.
+  return power * static_cast<double>(duration);
+}
+
+/// Capacity literals.
+constexpr std::uint64_t KiB(std::uint64_t n) { return n * 1024; }
+constexpr std::uint64_t MiB(std::uint64_t n) { return n * 1024 * 1024; }
+
+}  // namespace respin::util

@@ -1,0 +1,153 @@
+#include "varius/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace respin::varius {
+
+namespace {
+
+// Spherical correlation: rho(d) = 1 - 1.5 (d/phi) + 0.5 (d/phi)^3 for
+// d < phi, else 0 (the VARIUS choice).
+double spherical_rho(double distance, double phi) {
+  if (distance >= phi) return 0.0;
+  const double r = distance / phi;
+  return 1.0 - 1.5 * r + 0.5 * r * r * r;
+}
+
+// Samples a correlated Gaussian field by smoothing white noise with the
+// spherical kernel and renormalizing to unit variance. This is an
+// inexpensive stand-in for a Cholesky factorization of the full covariance
+// matrix; it preserves the correlation range, which is what the frequency
+// distribution depends on.
+std::vector<double> correlated_field(std::uint32_t n, double phi_fraction,
+                                     util::Rng& rng) {
+  std::vector<double> white(static_cast<std::size_t>(n) * n);
+  for (auto& w : white) w = rng.normal();
+
+  const double phi = phi_fraction * static_cast<double>(n);
+  const int radius = std::max(1, static_cast<int>(std::ceil(phi)));
+
+  // Precompute the kernel once.
+  std::vector<double> kernel;
+  kernel.reserve(static_cast<std::size_t>(2 * radius + 1) *
+                 (2 * radius + 1));
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      const double d = std::sqrt(static_cast<double>(dx * dx + dy * dy));
+      kernel.push_back(spherical_rho(d, phi));
+    }
+  }
+
+  std::vector<double> field(white.size(), 0.0);
+  double sum_sq = 0.0;
+  for (std::uint32_t y = 0; y < n; ++y) {
+    for (std::uint32_t x = 0; x < n; ++x) {
+      double acc = 0.0;
+      std::size_t k = 0;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx, ++k) {
+          const int sx = static_cast<int>(x) + dx;
+          const int sy = static_cast<int>(y) + dy;
+          if (sx < 0 || sy < 0 || sx >= static_cast<int>(n) ||
+              sy >= static_cast<int>(n)) {
+            continue;
+          }
+          acc += kernel[k] *
+                 white[static_cast<std::size_t>(sy) * n +
+                       static_cast<std::size_t>(sx)];
+        }
+      }
+      field[static_cast<std::size_t>(y) * n + x] = acc;
+      sum_sq += acc * acc;
+    }
+  }
+  // Renormalize to unit variance.
+  const double scale =
+      1.0 / std::sqrt(std::max(sum_sq / static_cast<double>(field.size()),
+                               1e-30));
+  for (auto& f : field) f *= scale;
+  return field;
+}
+
+}  // namespace
+
+VariationMap::VariationMap(const tech::TechnologyParams& tech,
+                           const VariationParams& params,
+                           std::uint32_t core_grid)
+    : tech_(tech), params_(params), core_grid_(core_grid) {
+  RESPIN_REQUIRE(core_grid >= 1, "need at least one core");
+  RESPIN_REQUIRE(params.grid_size >= core_grid,
+                 "variation grid must be at least as fine as the core grid");
+  RESPIN_REQUIRE(params.systematic_fraction >= 0.0 &&
+                     params.systematic_fraction <= 1.0,
+                 "systematic fraction must be in [0,1]");
+
+  const std::uint32_t n = params.grid_size;
+  util::Rng rng("varius.die", params.seed);
+  const std::vector<double> systematic =
+      correlated_field(n, params.correlation_range, rng);
+
+  const double sigma_total = tech.vth_mean * tech.vth_sigma_ratio;
+  const double sigma_sys =
+      sigma_total * std::sqrt(params.systematic_fraction);
+  const double sigma_rand =
+      sigma_total * std::sqrt(1.0 - params.systematic_fraction);
+
+  grid_.resize(systematic.size());
+  for (std::size_t i = 0; i < grid_.size(); ++i) {
+    grid_[i] = tech.vth_mean + sigma_sys * systematic[i] +
+               sigma_rand * rng.normal();
+  }
+
+  // Per-core worst Vth over the core's footprint on the grid.
+  core_vth_.resize(static_cast<std::size_t>(core_grid_) * core_grid_);
+  const std::uint32_t cells = n / core_grid_;
+  for (std::uint32_t cy = 0; cy < core_grid_; ++cy) {
+    for (std::uint32_t cx = 0; cx < core_grid_; ++cx) {
+      double worst = -1.0;
+      for (std::uint32_t y = cy * cells; y < (cy + 1) * cells; ++y) {
+        for (std::uint32_t x = cx * cells; x < (cx + 1) * cells; ++x) {
+          worst = std::max(worst, grid_[static_cast<std::size_t>(y) * n + x]);
+        }
+      }
+      core_vth_[static_cast<std::size_t>(cy) * core_grid_ + cx] = worst;
+    }
+  }
+}
+
+double VariationMap::core_vth(std::uint32_t core_id) const {
+  RESPIN_REQUIRE(core_id < core_vth_.size(), "core id out of range");
+  return core_vth_[core_id];
+}
+
+double VariationMap::core_max_frequency(std::uint32_t core_id,
+                                        double vdd) const {
+  return tech::max_frequency_hz(tech_, vdd, core_vth(core_id));
+}
+
+double VariationMap::grid_vth(std::uint32_t x, std::uint32_t y) const {
+  RESPIN_REQUIRE(x < params_.grid_size && y < params_.grid_size,
+                 "grid coordinate out of range");
+  return grid_[static_cast<std::size_t>(y) * params_.grid_size + x];
+}
+
+std::vector<int> cluster_multipliers(const VariationMap& map,
+                                     const tech::ClusterClocking& clocking,
+                                     double core_vdd, std::uint32_t first_core,
+                                     std::uint32_t count) {
+  RESPIN_REQUIRE(first_core + count <= map.core_count(),
+                 "cluster core range exceeds die");
+  std::vector<int> multipliers;
+  multipliers.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const double fmax = map.core_max_frequency(first_core + i, core_vdd);
+    multipliers.push_back(clocking.multiplier_for_max_frequency(fmax));
+  }
+  return multipliers;
+}
+
+}  // namespace respin::varius

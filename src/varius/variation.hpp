@@ -1,0 +1,74 @@
+// VARIUS-style process variation model.
+//
+// The paper uses VARIUS [23] to model within-die threshold-voltage (Vth)
+// variation and derives per-core maximum frequencies from it. This module
+// implements the same structure:
+//
+//   Vth(x, y) = mu + systematic(x, y) + random
+//
+// where `systematic` is a zero-mean Gaussian field with spherical spatial
+// correlation (range phi, expressed as a fraction of the die edge) sampled
+// on a grid, and `random` collapses to a small per-core Gaussian term (the
+// per-gate random component averages out over a critical path).
+//
+// A core's maximum frequency is the alpha-power-law frequency of its
+// *slowest* critical path, approximated by the worst Vth among the grid
+// points covered by the core's footprint.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tech/technology.hpp"
+
+namespace respin::varius {
+
+/// Parameters of the variation field.
+struct VariationParams {
+  std::uint32_t grid_size = 32;      ///< Grid points per die edge.
+  double correlation_range = 0.5;    ///< phi, fraction of die edge.
+  double systematic_fraction = 0.6;  ///< Share of Vth variance (VARIUS: ~50/50).
+  std::uint64_t seed = 1;            ///< Die instance selector.
+};
+
+/// A sampled per-die Vth map plus per-core summaries.
+class VariationMap {
+ public:
+  /// Samples a new die. `core_grid` is the number of cores per die edge
+  /// (e.g. 8 for a 64-core CMP laid out 8x8).
+  VariationMap(const tech::TechnologyParams& tech,
+               const VariationParams& params, std::uint32_t core_grid);
+
+  std::uint32_t core_count() const { return core_grid_ * core_grid_; }
+  std::uint32_t core_grid() const { return core_grid_; }
+
+  /// Worst (highest) Vth over the given core's footprint, in volts.
+  double core_vth(std::uint32_t core_id) const;
+
+  /// Maximum stable frequency (Hz) of the core at supply `vdd`.
+  double core_max_frequency(std::uint32_t core_id, double vdd) const;
+
+  /// Raw grid access (row-major), for tests and visualization.
+  double grid_vth(std::uint32_t x, std::uint32_t y) const;
+  std::uint32_t grid_size() const { return params_.grid_size; }
+
+  const tech::TechnologyParams& technology() const { return tech_; }
+
+ private:
+  tech::TechnologyParams tech_;
+  VariationParams params_;
+  std::uint32_t core_grid_;
+  std::vector<double> grid_;      // grid_size^2 Vth samples.
+  std::vector<double> core_vth_;  // worst Vth per core.
+};
+
+/// Derives the per-core clock multipliers for one cluster: each core's
+/// maximum frequency at `core_vdd` is quantized to an integer multiple of
+/// the shared-cache period (paper §II). Returned in core-id order.
+std::vector<int> cluster_multipliers(const VariationMap& map,
+                                     const tech::ClusterClocking& clocking,
+                                     double core_vdd,
+                                     std::uint32_t first_core,
+                                     std::uint32_t count);
+
+}  // namespace respin::varius

@@ -1,0 +1,390 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace respin::workload {
+
+namespace {
+constexpr mem::Addr kPrivateBase = 0x0000'0100'0000'0000ULL;
+constexpr mem::Addr kPrivateStride = 0x0000'0000'1000'0000ULL;  // 256 MB apart.
+constexpr mem::Addr kSharedBase = 0x0000'0200'0000'0000ULL;
+constexpr mem::Addr kCodeBase = 0x0000'0300'0000'0000ULL;
+constexpr double kResidualWork = 0.02;  ///< Work share of non-parallel threads.
+}  // namespace
+
+mem::Addr ThreadWorkload::private_base(std::uint32_t thread_id) {
+  return kPrivateBase + kPrivateStride * thread_id;
+}
+mem::Addr ThreadWorkload::shared_base() { return kSharedBase; }
+mem::Addr ThreadWorkload::code_base() { return kCodeBase; }
+
+ThreadWorkload::ThreadWorkload(const WorkloadSpec& spec,
+                               std::uint32_t thread_id,
+                               std::uint32_t thread_count, double scale,
+                               std::uint64_t seed)
+    : spec_(&spec),
+      thread_id_(thread_id),
+      thread_count_(thread_count),
+      scale_(scale),
+      rng_("workload." + spec.name,
+           seed * 1000003ULL + thread_id),
+      ifetch_rng_("workload.ifetch." + spec.name,
+                  seed * 1000003ULL + thread_id),
+      code_cursor_(kCodeBase + 64 * thread_id) {
+  RESPIN_REQUIRE(!spec.phases.empty(), "workload needs at least one phase");
+  RESPIN_REQUIRE(thread_count >= 1 && thread_id < thread_count,
+                 "bad thread id/count");
+  RESPIN_REQUIRE(scale > 0.0, "scale must be positive");
+  enter_phase(0);
+}
+
+const Phase& ThreadWorkload::phase() const {
+  return spec_->phases[phase_index_ % spec_->phases.size()];
+}
+
+std::uint64_t ThreadWorkload::phase_work_for_thread(
+    std::size_t phase_index) const {
+  const Phase& p = spec_->phases[phase_index % spec_->phases.size()];
+  const auto full = static_cast<std::uint64_t>(
+      std::max(1.0, static_cast<double>(p.instructions) * scale_));
+  const auto parallel_threads = static_cast<std::uint32_t>(std::max(
+      1.0, std::ceil(p.parallel_fraction * static_cast<double>(thread_count_))));
+  // Rotate which threads carry the work so consolidation sees migration.
+  const std::uint32_t start =
+      static_cast<std::uint32_t>((phase_index * 7) % thread_count_);
+  const std::uint32_t my_slot =
+      (thread_id_ + thread_count_ - start) % thread_count_;
+  if (my_slot < parallel_threads) {
+    // +-10% per-thread work jitter: real programs never partition work
+    // exactly evenly, which both creates natural barrier slack and keeps
+    // the consolidation study honest (a probed core's two threads are not
+    // guaranteed to gate the phase).
+    util::Rng jitter("workload.jitter." + spec_->name,
+                     phase_index * 131071ULL + thread_id_);
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(full) *
+                                      jitter.uniform(0.9, 1.1)));
+  }
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(static_cast<double>(full) * kResidualWork));
+}
+
+void ThreadWorkload::enter_phase(std::size_t index) {
+  const std::size_t total_phases =
+      spec_->phases.size() * static_cast<std::size_t>(spec_->repeat);
+  if (index >= total_phases) {
+    finished_ = true;
+    return;
+  }
+  phase_index_ = index;
+  phase_budget_ = phase_work_for_thread(index);
+  barriers_left_ = phase().barriers;
+  until_barrier_ = barriers_left_ > 0
+                       ? phase_budget_ / (barriers_left_ + 1) + 1
+                       : UINT64_MAX;
+}
+
+mem::Addr ThreadWorkload::data_address() {
+  const Phase& p = phase();
+  const bool shared = rng_.bernoulli(p.shared_fraction);
+  std::uint64_t region_bytes;
+  mem::Addr base;
+  if (shared) {
+    if (rng_.bernoulli(p.shared_hot_fraction)) {
+      region_bytes = std::uint64_t{std::min(p.shared_hot_kb, p.shared_kb)} * 1024;
+      base = kSharedBase;
+    } else {
+      region_bytes = std::uint64_t{p.shared_kb} * 1024;
+      base = kSharedBase;
+    }
+  } else {
+    if (rng_.bernoulli(p.hot_fraction)) {
+      region_bytes = std::uint64_t{p.hot_kb} * 1024;
+    } else {
+      region_bytes = std::uint64_t{p.cold_kb} * 1024;
+    }
+    base = private_base(thread_id_);
+  }
+  region_bytes = std::max<std::uint64_t>(region_bytes, 64);
+  const std::uint64_t words = region_bytes / 8;
+  return base + 8 * rng_.uniform_u64(words);
+}
+
+Op ThreadWorkload::next() {
+  if (finished_) return Op{};
+
+  if (phase_budget_ == 0) {
+    // Budget exhausted. Every thread must emit exactly the same barrier
+    // sequence (spec.barriers in-phase + 1 end-of-phase), even when a
+    // light thread's budget is smaller than the barrier count — flush any
+    // remaining in-phase barriers back-to-back first.
+    if (barriers_left_ > 0) {
+      --barriers_left_;
+      return Op{.kind = OpKind::kBarrier, .count = 0,
+                .addr = next_barrier_id_++};
+    }
+    // End of phase: program-wide barrier, then the next phase (or done).
+    const std::uint64_t id = next_barrier_id_++;
+    enter_phase(phase_index_ + 1);
+    return Op{.kind = OpKind::kBarrier, .count = 0, .addr = id};
+  }
+
+  if (until_barrier_ == 0) {
+    --barriers_left_;
+    until_barrier_ = barriers_left_ > 0
+                         ? phase_budget_ / (barriers_left_ + 1) + 1
+                         : UINT64_MAX;
+    return Op{.kind = OpKind::kBarrier, .count = 0,
+              .addr = next_barrier_id_++};
+  }
+
+  const Phase& p = phase();
+  const std::uint64_t limit = std::min(phase_budget_, until_barrier_);
+
+  if (p.mem_fraction <= 0.0) {
+    const auto run = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        limit, 4096));
+    phase_budget_ -= run;
+    until_barrier_ -= run;
+    instructions_emitted_ += run;
+    return Op{.kind = OpKind::kCompute, .count = run, .addr = 0,
+              .ipc = p.ipc};
+  }
+
+  // A compute run of geometric length separates consecutive memory
+  // instructions; after emitting the run, the *next* operation must be the
+  // memory instruction it precedes (pending_mem_), or the achieved memory
+  // fraction would be one geometric mean short of the target.
+  if (!pending_mem_) {
+    const std::uint64_t gap = rng_.geometric(p.mem_fraction, 4096);
+    if (gap > 0) {
+      const auto run =
+          static_cast<std::uint32_t>(std::min<std::uint64_t>(gap, limit));
+      if (run > 0) {
+        pending_mem_ = true;
+        phase_budget_ -= run;
+        until_barrier_ -= run;
+        instructions_emitted_ += run;
+        return Op{.kind = OpKind::kCompute, .count = run, .addr = 0,
+                  .ipc = p.ipc};
+      }
+    }
+  }
+  pending_mem_ = false;
+
+  // One memory instruction.
+  phase_budget_ -= 1;
+  if (until_barrier_ != UINT64_MAX) until_barrier_ -= 1;
+  instructions_emitted_ += 1;
+  const bool store = rng_.bernoulli(p.store_fraction);
+  return Op{.kind = store ? OpKind::kStore : OpKind::kLoad,
+            .count = 1,
+            .addr = data_address()};
+}
+
+mem::Addr ThreadWorkload::next_ifetch_addr() {
+  const std::uint64_t code_bytes = std::uint64_t{spec_->code_kb} * 1024;
+  if (ifetch_rng_.bernoulli(0.12)) {
+    code_cursor_ = kCodeBase + 32 * ifetch_rng_.uniform_u64(code_bytes / 32);
+  } else {
+    code_cursor_ += 32;
+    if (code_cursor_ >= kCodeBase + code_bytes) code_cursor_ = kCodeBase;
+  }
+  return code_cursor_;
+}
+
+namespace {
+
+// Shorthand phase builders keep the catalog readable.
+Phase compute_phase(std::uint64_t instr, double ipc, double mem,
+                    double shared, std::uint32_t barriers) {
+  Phase p;
+  p.instructions = instr;
+  p.ipc = ipc;
+  p.mem_fraction = mem;
+  p.shared_fraction = shared;
+  p.barriers = barriers;
+  return p;
+}
+
+std::vector<WorkloadSpec> build_catalog() {
+  std::vector<WorkloadSpec> catalog;
+
+  {  // barnes: N-body tree walk; moderate sharing, a build phase with
+     // reduced parallelism, force phases with good ILP.
+    WorkloadSpec w{.name = "barnes", .phases = {}, .code_kb = 48, .repeat = 2};
+    Phase build = compute_phase(60'000, 0.6, 0.35, 0.45, 1);
+    build.parallel_fraction = 0.5;
+    build.store_fraction = 0.45;
+    Phase force = compute_phase(90'000, 1.1, 0.30, 0.20, 2);
+    force.hot_kb = 14;
+    Phase update = compute_phase(30'000, 1.0, 0.35, 0.10, 1);
+    w.phases = {build, force, update};
+    catalog.push_back(std::move(w));
+  }
+  {  // cholesky: supernodal factorization; irregular parallelism.
+    WorkloadSpec w{.name = "cholesky", .phases = {}, .code_kb = 40,
+                   .repeat = 2};
+    Phase dense = compute_phase(60'000, 1.2, 0.30, 0.25, 1);
+    Phase sparse = compute_phase(60'000, 0.7, 0.38, 0.30, 1);
+    sparse.parallel_fraction = 0.6;
+    w.phases = {dense, sparse};
+    catalog.push_back(std::move(w));
+  }
+  {  // fft: compute butterflies separated by all-to-all transposes.
+    WorkloadSpec w{.name = "fft", .phases = {}, .code_kb = 24, .repeat = 3};
+    Phase butterfly = compute_phase(60'000, 1.25, 0.25, 0.05, 1);
+    butterfly.hot_kb = 16;
+    butterfly.parallel_fraction = 0.95;
+    Phase transpose = compute_phase(25'000, 0.9, 0.50, 0.85, 1);
+    transpose.store_fraction = 0.50;
+    transpose.shared_kb = 512;
+    transpose.shared_hot_fraction = 0.3;
+    w.phases = {butterfly, transpose};
+    catalog.push_back(std::move(w));
+  }
+  {  // lu: parallelism drains away in later stages — the greedy search's
+     // worst case (paper Fig. 13).
+    WorkloadSpec w{.name = "lu", .phases = {}, .code_kb = 20, .repeat = 1};
+    for (double par : {1.0, 0.9, 0.75, 0.6, 0.45, 0.3, 0.2, 0.15}) {
+      Phase stage = compute_phase(45'000, 1.0, 0.32, 0.25, 1);
+      stage.parallel_fraction = par;
+      w.phases.push_back(stage);
+    }
+    catalog.push_back(std::move(w));
+  }
+  {  // ocean: hundreds of barriers, memory-intensive grid sweeps.
+    WorkloadSpec w{.name = "ocean", .phases = {}, .code_kb = 36, .repeat = 6};
+    Phase red = compute_phase(30'000, 0.7, 0.42, 0.35, 12);
+    red.shared_kb = 768;
+    red.shared_hot_kb = 96;
+    red.parallel_fraction = 0.85;  // Boundary rows leave some threads light.
+    Phase black = compute_phase(30'000, 0.7, 0.42, 0.35, 12);
+    black.shared_kb = 768;
+    black.shared_hot_kb = 96;
+    black.store_fraction = 0.42;
+    black.parallel_fraction = 0.85;
+    w.phases = {red, black};
+    catalog.push_back(std::move(w));
+  }
+  {  // radiosity: task-parallel, high sharing, little synchronization.
+    WorkloadSpec w{.name = "radiosity", .phases = {}, .code_kb = 56,
+                   .repeat = 2};
+    Phase gather = compute_phase(70'000, 0.9, 0.34, 0.45, 2);
+    gather.parallel_fraction = 0.9;
+    Phase shoot = compute_phase(45'000, 1.0, 0.30, 0.40, 1);
+    shoot.parallel_fraction = 0.85;
+    w.phases = {gather, shoot};
+    catalog.push_back(std::move(w));
+  }
+  {  // radix: digit passes — local histogram then a memory-bound global
+     // scatter; the most memory-bound code here (paper Figs. 12/14).
+    WorkloadSpec w{.name = "radix", .phases = {}, .code_kb = 16, .repeat = 3};
+    Phase histogram = compute_phase(30'000, 0.6, 0.42, 0.05, 1);
+    histogram.parallel_fraction = 0.9;
+    // Low *effective* IPC comes from memory stalls (permutation writes
+    // miss everywhere), not from issue limits - that is what lets the
+    // consolidation hardware multiplex threads through the stalls.
+    Phase scatter = compute_phase(50'000, 1.2, 0.60, 0.55, 1);
+    scatter.store_fraction = 0.60;
+    scatter.cold_kb = 2048;
+    scatter.hot_fraction = 0.25;
+    scatter.shared_kb = 2048;
+    scatter.shared_hot_fraction = 0.15;
+    w.phases = {histogram, scatter};
+    catalog.push_back(std::move(w));
+  }
+  {  // raytrace: shared read-mostly scene with heavy reuse; almost no
+     // barriers. The paper's biggest shared-L1 winner.
+    WorkloadSpec w{.name = "raytrace", .phases = {}, .code_kb = 64,
+                   .repeat = 1};
+    Phase trace = compute_phase(160'000, 0.9, 0.36, 0.60, 3);
+    trace.store_fraction = 0.12;
+    trace.parallel_fraction = 0.85;  // Ray work per tile is uneven.
+    trace.shared_kb = 384;
+    trace.shared_hot_kb = 64;
+    trace.shared_hot_fraction = 0.85;
+    Phase shade = compute_phase(45'000, 1.1, 0.30, 0.45, 1);
+    shade.store_fraction = 0.15;
+    w.phases = {trace, shade};
+    catalog.push_back(std::move(w));
+  }
+  {  // water-nsquared: compute-dominated pairwise interactions.
+    WorkloadSpec w{.name = "water-ns", .phases = {}, .code_kb = 28,
+                   .repeat = 2};
+    Phase forces = compute_phase(90'000, 1.3, 0.24, 0.15, 1);
+    forces.parallel_fraction = 0.9;
+    Phase update = compute_phase(30'000, 1.1, 0.30, 0.10, 1);
+    w.phases = {forces, update};
+    catalog.push_back(std::move(w));
+  }
+  {  // blackscholes: embarrassingly parallel, high ILP; never consolidates
+     // far (paper Fig. 14: at least 6 cores stay active).
+    WorkloadSpec w{.name = "blackscholes", .phases = {}, .code_kb = 12,
+                   .repeat = 2};
+    Phase price = compute_phase(140'000, 1.25, 0.20, 0.02, 3);
+    price.hot_kb = 8;
+    price.parallel_fraction = 0.95;
+    Phase partition = compute_phase(35'000, 0.9, 0.30, 0.25, 1);
+    partition.parallel_fraction = 0.3;
+    w.phases = {price, partition};
+    catalog.push_back(std::move(w));
+  }
+  {  // bodytrack: alternating parallel vision kernels and near-serial
+     // model-update sections — consolidation's full dynamic range.
+    WorkloadSpec w{.name = "bodytrack", .phases = {}, .code_kb = 52,
+                   .repeat = 2};
+    Phase kernels = compute_phase(90'000, 1.1, 0.30, 0.20, 1);
+    Phase serial = compute_phase(50'000, 0.8, 0.30, 0.30, 1);
+    serial.parallel_fraction = 0.15;
+    w.phases = {kernels, serial};
+    catalog.push_back(std::move(w));
+  }
+  {  // streamcluster: memory-bound distance computations, many barriers.
+    WorkloadSpec w{.name = "streamcluster", .phases = {}, .code_kb = 20,
+                   .repeat = 3};
+    Phase dist = compute_phase(50'000, 1.0, 0.50, 0.30, 4);
+    dist.cold_kb = 1024;
+    dist.hot_fraction = 0.55;
+    Phase recluster = compute_phase(35'000, 0.8, 0.35, 0.40, 2);
+    recluster.parallel_fraction = 0.5;
+    w.phases = {dist, recluster};
+    catalog.push_back(std::move(w));
+  }
+  {  // swaptions: independent Monte-Carlo paths, compute-heavy.
+    WorkloadSpec w{.name = "swaptions", .phases = {}, .code_kb = 16,
+                   .repeat = 2};
+    Phase sim = compute_phase(140'000, 1.2, 0.22, 0.03, 3);
+    sim.hot_kb = 10;
+    sim.parallel_fraction = 0.9;  // Swaption batches divide unevenly by 16.
+    w.phases = {sim};
+    catalog.push_back(std::move(w));
+  }
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<WorkloadSpec>& benchmark_catalog() {
+  static const std::vector<WorkloadSpec> catalog = build_catalog();
+  return catalog;
+}
+
+const WorkloadSpec& benchmark(const std::string& name) {
+  for (const auto& spec : benchmark_catalog()) {
+    if (spec.name == name) return spec;
+  }
+  RESPIN_REQUIRE(false, "unknown benchmark: " + name);
+  throw std::logic_error("unreachable");
+}
+
+std::vector<std::string> benchmark_names() {
+  std::vector<std::string> names;
+  for (const auto& spec : benchmark_catalog()) names.push_back(spec.name);
+  return names;
+}
+
+}  // namespace respin::workload

@@ -1,0 +1,132 @@
+// Synthetic multi-threaded workload models (SPLASH2 / PARSEC substitute).
+//
+// The paper drives its SESC simulations with SPLASH2 (reference inputs) and
+// PARSEC (simsmall). Running those binaries requires a full-system
+// simulator; the architectural effects Respin measures, however, depend on
+// workload *statistics*: instruction-level parallelism per phase, memory
+// intensity, store ratio, shared-data fraction, working-set sizes,
+// synchronization (barrier) rate, and work imbalance across threads. This
+// module models each benchmark as a deterministic generator of those
+// statistics, with per-benchmark parameters chosen from the benchmarks'
+// published characterizations (e.g. `ocean` synchronizes through hundreds
+// of barriers; `raytrace` re-reads a large shared scene; `radix` alternates
+// compute-light permutation phases; `lu` loses parallelism in later
+// stages).
+//
+// Every thread's operation stream regenerates bit-identically from
+// (benchmark, thread, seed), which makes whole-simulation snapshots — used
+// by the oracle consolidation study — trivially copyable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/cache_types.hpp"
+#include "util/rng.hpp"
+
+namespace respin::workload {
+
+/// One execution phase, describing per-thread behaviour until the next
+/// program-wide synchronization point.
+struct Phase {
+  std::uint64_t instructions = 100'000;  ///< Per full-work thread.
+  double ipc = 1.0;             ///< Issue IPC cap for compute (<= 2.0).
+  double mem_fraction = 0.3;    ///< Memory ops per instruction.
+  double store_fraction = 0.3;  ///< Stores among memory ops.
+  double shared_fraction = 0.2; ///< Data accesses to the shared region.
+  std::uint32_t hot_kb = 12;    ///< Per-thread hot working set.
+  std::uint32_t cold_kb = 256;  ///< Per-thread cold working set.
+  double hot_fraction = 0.9;    ///< Accesses hitting the hot set.
+  std::uint32_t shared_kb = 256;      ///< Shared-region size.
+  double shared_hot_fraction = 0.8;   ///< Shared accesses to a hot subset.
+  std::uint32_t shared_hot_kb = 48;   ///< Size of that hot subset.
+  double parallel_fraction = 1.0;     ///< Threads with full work this phase.
+  std::uint32_t barriers = 1;   ///< Barriers inside the phase (>=0); every
+                                ///< phase additionally ends with a barrier.
+};
+
+/// A complete benchmark: named phase sequence plus code footprint.
+struct WorkloadSpec {
+  std::string name;
+  std::vector<Phase> phases;
+  std::uint32_t code_kb = 32;        ///< Instruction footprint.
+  std::uint32_t repeat = 1;          ///< Phase-list repetitions.
+};
+
+/// Kinds of operations a thread emits.
+enum class OpKind : std::uint8_t {
+  kCompute,  ///< `count` arithmetic instructions at the phase IPC.
+  kLoad,
+  kStore,
+  kBarrier,  ///< Program-wide barrier (id in `addr`).
+  kFinished, ///< Thread ran out of work.
+};
+
+struct Op {
+  OpKind kind = OpKind::kFinished;
+  std::uint32_t count = 0;  ///< Instructions, for kCompute.
+  mem::Addr addr = 0;       ///< Byte address (mem ops) or barrier id.
+  double ipc = 1.0;         ///< Phase issue IPC (kCompute only).
+};
+
+/// Deterministic per-thread operation stream for one benchmark run.
+class ThreadWorkload {
+ public:
+  /// `scale` multiplies every phase's instruction count (simulation-length
+  /// knob); `seed` selects the run instance.
+  ThreadWorkload(const WorkloadSpec& spec, std::uint32_t thread_id,
+                 std::uint32_t thread_count, double scale, std::uint64_t seed);
+
+  /// Produces the next operation. After kFinished, returns kFinished forever.
+  Op next();
+
+  /// Next instruction-fetch target (the core model calls this once per
+  /// fetch group). Mostly sequential within the code footprint with
+  /// occasional taken branches.
+  mem::Addr next_ifetch_addr();
+
+  bool finished() const { return finished_; }
+  std::uint64_t instructions_emitted() const { return instructions_emitted_; }
+  std::uint32_t thread_id() const { return thread_id_; }
+
+  /// Address-space bases (exposed for tests).
+  static mem::Addr private_base(std::uint32_t thread_id);
+  static mem::Addr shared_base();
+  static mem::Addr code_base();
+
+ private:
+  const Phase& phase() const;
+  void enter_phase(std::size_t index);
+  std::uint64_t phase_work_for_thread(std::size_t phase_index) const;
+  mem::Addr data_address();
+
+  const WorkloadSpec* spec_;
+  std::uint32_t thread_id_;
+  std::uint32_t thread_count_;
+  double scale_;
+  util::Rng rng_;
+  util::Rng ifetch_rng_;
+
+  std::size_t phase_index_ = 0;     ///< Global phase counter (repeats unrolled).
+  std::uint64_t phase_budget_ = 0;  ///< Instructions left in this phase.
+  std::uint64_t until_barrier_ = 0; ///< Instructions until the next barrier.
+  std::uint32_t barriers_left_ = 0; ///< In-phase barriers still to emit.
+  std::uint64_t next_barrier_id_ = 0;
+  bool pending_mem_ = false;  ///< A compute gap was emitted; memory op due.
+  bool finished_ = false;
+  std::uint64_t instructions_emitted_ = 0;
+  mem::Addr code_cursor_ = 0;
+};
+
+/// Returns the full benchmark catalog: 9 SPLASH2 + 4 PARSEC models, in the
+/// paper's order.
+const std::vector<WorkloadSpec>& benchmark_catalog();
+
+/// Looks up a benchmark by name; throws std::logic_error if unknown.
+const WorkloadSpec& benchmark(const std::string& name);
+
+/// Names in catalog order (convenience for the bench harnesses).
+std::vector<std::string> benchmark_names();
+
+}  // namespace respin::workload

@@ -1,0 +1,226 @@
+// Tests for respin::mem::CacheArray — lookup/insert/LRU/invalidations plus
+// a randomized property test against a reference model.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "mem/cache_array.hpp"
+#include "util/rng.hpp"
+
+namespace respin::mem {
+namespace {
+
+TEST(CacheArray, GeometryDerivation) {
+  CacheArray cache(16 * 1024, 32, 4);
+  EXPECT_EQ(cache.set_count(), 128u);
+  EXPECT_EQ(cache.ways(), 4u);
+  EXPECT_EQ(cache.capacity_bytes(), 16u * 1024u);
+}
+
+TEST(CacheArray, NonPowerOfTwoSetCountAllowed) {
+  // 12 MB L3 slice with 128B lines, 16 ways -> 6144 sets.
+  CacheArray cache(12ull << 20, 128, 16);
+  EXPECT_EQ(cache.set_count(), 6144u);
+}
+
+TEST(CacheArray, MissThenHit) {
+  CacheArray cache(1024, 32, 2);
+  EXPECT_FALSE(cache.access(5).has_value());
+  cache.insert(5, Mesi::kExclusive);
+  auto state = cache.access(5);
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(*state, Mesi::kExclusive);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheArray, LruEvictsLeastRecentlyUsed) {
+  CacheArray cache(2 * 32, 32, 2);  // One set, two ways.
+  cache.insert(0, Mesi::kExclusive);
+  cache.insert(1, Mesi::kExclusive);
+  cache.access(0);  // 1 is now LRU.
+  auto evicted = cache.insert(2, Mesi::kExclusive);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line, 1u);
+  EXPECT_TRUE(cache.probe(0).has_value());
+  EXPECT_TRUE(cache.probe(2).has_value());
+  EXPECT_FALSE(cache.probe(1).has_value());
+}
+
+TEST(CacheArray, DirtyEvictionReported) {
+  CacheArray cache(2 * 32, 32, 2);
+  cache.insert(0, Mesi::kModified);
+  cache.insert(1, Mesi::kExclusive);
+  cache.access(1);
+  auto evicted = cache.insert(2, Mesi::kExclusive);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line, 0u);
+  EXPECT_TRUE(evicted->dirty);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(CacheArray, InsertPrefersInvalidWay) {
+  CacheArray cache(2 * 32, 32, 2);
+  cache.insert(0, Mesi::kExclusive);
+  EXPECT_FALSE(cache.insert(1, Mesi::kExclusive).has_value());
+}
+
+TEST(CacheArray, DoubleInsertRejected) {
+  CacheArray cache(1024, 32, 2);
+  cache.insert(3, Mesi::kShared);
+  EXPECT_THROW(cache.insert(3, Mesi::kShared), std::logic_error);
+}
+
+TEST(CacheArray, ProbeDoesNotDisturbState) {
+  CacheArray cache(2 * 32, 32, 2);
+  cache.insert(0, Mesi::kExclusive);
+  cache.insert(1, Mesi::kExclusive);
+  const auto hits_before = cache.stats().hits;
+  cache.probe(0);
+  EXPECT_EQ(cache.stats().hits, hits_before);
+  // Probe must not refresh LRU: 0 is still the LRU victim.
+  auto evicted = cache.insert(2, Mesi::kExclusive);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(evicted->line, 0u);
+}
+
+TEST(CacheArray, SetStateAndInvalidate) {
+  CacheArray cache(1024, 32, 2);
+  cache.insert(9, Mesi::kShared);
+  EXPECT_TRUE(cache.set_state(9, Mesi::kModified));
+  EXPECT_EQ(*cache.probe(9), Mesi::kModified);
+  bool dirty = false;
+  EXPECT_TRUE(cache.invalidate(9, &dirty));
+  EXPECT_TRUE(dirty);
+  EXPECT_FALSE(cache.probe(9).has_value());
+  EXPECT_FALSE(cache.invalidate(9, &dirty));
+  EXPECT_FALSE(dirty);
+  EXPECT_FALSE(cache.set_state(9, Mesi::kShared));
+}
+
+TEST(CacheArray, SetStateToInvalidRejected) {
+  CacheArray cache(1024, 32, 2);
+  cache.insert(1, Mesi::kShared);
+  EXPECT_THROW(cache.set_state(1, Mesi::kInvalid), std::logic_error);
+}
+
+TEST(CacheArray, FlushDropsEverythingCountsWritebacks) {
+  CacheArray cache(1024, 32, 2);
+  cache.insert(1, Mesi::kModified);
+  cache.insert(2, Mesi::kShared);
+  cache.flush();
+  EXPECT_EQ(cache.resident_lines(), 0u);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(CacheArray, DistinctSetsDoNotConflict) {
+  CacheArray cache(4 * 32, 32, 2);  // Two sets.
+  cache.insert(0, Mesi::kExclusive);  // Set 0.
+  cache.insert(1, Mesi::kExclusive);  // Set 1.
+  cache.insert(2, Mesi::kExclusive);  // Set 0.
+  cache.insert(3, Mesi::kExclusive);  // Set 1.
+  EXPECT_EQ(cache.resident_lines(), 4u);
+}
+
+TEST(CacheArray, BadGeometryRejected) {
+  EXPECT_THROW(CacheArray(1000, 33, 2), std::logic_error);   // Non-pow2 line.
+  EXPECT_THROW(CacheArray(1024, 32, 0), std::logic_error);   // Zero ways.
+  EXPECT_THROW(CacheArray(100, 32, 2), std::logic_error);    // Ragged sets.
+}
+
+// Property test: against a reference model (per-set map with LRU ordering),
+// a long random operation sequence must behave identically.
+class ReferenceCache {
+ public:
+  ReferenceCache(std::uint32_t sets, std::uint32_t ways)
+      : sets_(sets), ways_(ways), storage_(sets) {}
+
+  bool access(LineAddr line) {
+    auto& set = storage_[line % sets_];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (it->line == line) {
+        Entry entry = *it;
+        set.erase(it);
+        set.push_back(entry);  // MRU at back.
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void insert(LineAddr line) {
+    auto& set = storage_[line % sets_];
+    if (set.size() == ways_) set.erase(set.begin());
+    set.push_back(Entry{line});
+  }
+
+  bool invalidate(LineAddr line) {
+    auto& set = storage_[line % sets_];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (it->line == line) {
+        set.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct Entry {
+    LineAddr line;
+  };
+  std::uint32_t sets_;
+  std::uint32_t ways_;
+  std::vector<std::vector<Entry>> storage_;
+};
+
+TEST(CacheArrayProperty, MatchesReferenceModel) {
+  constexpr std::uint32_t kSets = 16;
+  constexpr std::uint32_t kWays = 4;
+  CacheArray cache(kSets * kWays * 32, 32, kWays);
+  ReferenceCache reference(kSets, kWays);
+  util::Rng rng("cache.property", 1);
+
+  for (int i = 0; i < 20000; ++i) {
+    const LineAddr line = rng.uniform_u64(kSets * kWays * 3);
+    const double action = rng.uniform();
+    if (action < 0.7) {
+      const bool expect_hit = reference.access(line);
+      const bool hit = cache.access(line).has_value();
+      ASSERT_EQ(hit, expect_hit) << "op " << i << " line " << line;
+      if (!hit) {
+        reference.insert(line);
+        cache.insert(line, Mesi::kExclusive);
+      }
+    } else if (action < 0.85) {
+      ASSERT_EQ(cache.invalidate(line), reference.invalidate(line))
+          << "op " << i;
+    } else {
+      ASSERT_EQ(cache.probe(line).has_value(), reference.access(line))
+          << "op " << i;
+      // Reference access refreshed LRU; mirror it.
+      if (cache.probe(line).has_value()) cache.access(line);
+    }
+  }
+}
+
+TEST(CacheArrayProperty, ResidencyNeverExceedsCapacity) {
+  CacheArray cache(64 * 32, 32, 4);
+  util::Rng rng("cache.residency", 2);
+  for (int i = 0; i < 5000; ++i) {
+    const LineAddr line = rng.uniform_u64(1024);
+    if (!cache.access(line).has_value()) {
+      cache.insert(line, rng.bernoulli(0.5) ? Mesi::kModified
+                                            : Mesi::kExclusive);
+    }
+    ASSERT_LE(cache.resident_lines(), 64u);
+  }
+  EXPECT_EQ(cache.stats().hits + cache.stats().misses, 5000u);
+}
+
+}  // namespace
+}  // namespace respin::mem

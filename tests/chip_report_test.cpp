@@ -1,0 +1,131 @@
+// Tests for the chip-level aggregation layer, the CSV/report module, and
+// the configuration-name parsers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/chip.hpp"
+#include "core/report.hpp"
+
+namespace respin::core {
+namespace {
+
+RunOptions tiny_options() {
+  RunOptions options;
+  options.workload_scale = 0.05;
+  return options;
+}
+
+TEST(Parsers, RoundTripEveryConfigName) {
+  for (ConfigId id : all_config_ids()) {
+    EXPECT_EQ(parse_config_id(to_string(id)), id);
+  }
+  EXPECT_THROW(parse_config_id("SH-DRAM"), std::logic_error);
+}
+
+TEST(Parsers, CacheSizes) {
+  EXPECT_EQ(parse_cache_size("small"), CacheSize::kSmall);
+  EXPECT_EQ(parse_cache_size("medium"), CacheSize::kMedium);
+  EXPECT_EQ(parse_cache_size("large"), CacheSize::kLarge);
+  EXPECT_THROW(parse_cache_size("huge"), std::logic_error);
+}
+
+TEST(Chip, ClustersGetDistinctDieRegions) {
+  const auto a = make_chip_cluster_config(ConfigId::kShStt,
+                                          CacheSize::kMedium, 16, 0, 1);
+  const auto b = make_chip_cluster_config(ConfigId::kShStt,
+                                          CacheSize::kMedium, 16, 1, 1);
+  // Same die (same seed), different regions: multipliers may overlap but
+  // must not be forced identical.
+  EXPECT_EQ(a.multipliers.size(), b.multipliers.size());
+  EXPECT_NE(a.multipliers, b.multipliers);
+}
+
+TEST(Chip, FootprintBoundsChecked) {
+  EXPECT_THROW(
+      make_chip_cluster_config(ConfigId::kShStt, CacheSize::kMedium, 16, 4, 1),
+      std::logic_error);
+}
+
+TEST(Chip, RunAggregatesAllClusters) {
+  const ChipResult chip = run_chip(ConfigId::kShStt, "fft", tiny_options());
+  ASSERT_EQ(chip.clusters.size(), 4u);
+  EXPECT_EQ(chip.config_name, "SH-STT");
+  EXPECT_EQ(chip.benchmark, "fft");
+
+  double max_seconds = 0.0;
+  std::uint64_t instructions = 0;
+  double energy = 0.0;
+  for (const SimResult& r : chip.clusters) {
+    max_seconds = std::max(max_seconds, r.seconds);
+    instructions += r.instructions;
+    energy += r.energy.total();
+  }
+  EXPECT_DOUBLE_EQ(chip.seconds, max_seconds);
+  EXPECT_EQ(chip.instructions, instructions);
+  // Chip energy covers per-cluster energy plus idle-tail cache leakage.
+  EXPECT_GE(chip.energy.total(), energy);
+  EXPECT_GT(chip.watts(), 0.0);
+}
+
+TEST(Chip, SmallerClustersMeanMoreOfThem) {
+  RunOptions options = tiny_options();
+  options.cluster_cores = 8;
+  const ChipResult chip = run_chip(ConfigId::kShStt, "swaptions", options);
+  EXPECT_EQ(chip.clusters.size(), 8u);
+}
+
+TEST(Report, CsvRowFieldCountMatchesHeader) {
+  const SimResult r = run_chip(ConfigId::kShStt, "fft", tiny_options())
+                          .clusters.front();
+  const std::string header = result_csv_header();
+  const std::string row = result_csv_row(r);
+  const auto count = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count(header), count(row));
+  EXPECT_NE(row.find("SH-STT,fft,"), std::string::npos);
+}
+
+TEST(Report, WriteResultsCsv) {
+  const ChipResult chip = run_chip(ConfigId::kShStt, "fft", tiny_options());
+  std::ostringstream os;
+  write_results_csv(os, chip.clusters);
+  const std::string csv = os.str();
+  // Header + 4 cluster rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+  EXPECT_EQ(csv.rfind(result_csv_header(), 0), 0u);
+}
+
+TEST(Report, TraceCsvHasOneRowPerEpoch) {
+  RunOptions options;
+  options.workload_scale = 0.2;
+  const SimResult r = run_experiment(ConfigId::kShSttCc, "bodytrack", options);
+  std::ostringstream os;
+  write_trace_csv(os, r);
+  const std::string csv = os.str();
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            r.trace.size() + 1);
+}
+
+TEST(Report, SummaryMentionsConfigAndUnits) {
+  const SimResult r = run_chip(ConfigId::kShStt, "fft", tiny_options())
+                          .clusters.front();
+  const std::string line = summarize(r);
+  EXPECT_NE(line.find("SH-STT/fft"), std::string::npos);
+  EXPECT_NE(line.find("ms"), std::string::npos);
+  EXPECT_NE(line.find("mJ"), std::string::npos);
+}
+
+TEST(Report, ChipCsvRow) {
+  const ChipResult chip = run_chip(ConfigId::kShStt, "fft", tiny_options());
+  const std::string row = chip_csv_row(chip);
+  const std::string header = chip_csv_header();
+  EXPECT_NE(row.find("SH-STT,fft,4,"), std::string::npos);
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            std::count(row.begin(), row.end(), ','));
+}
+
+}  // namespace
+}  // namespace respin::core

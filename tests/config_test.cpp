@@ -1,0 +1,188 @@
+// Tests for the configuration layer — all eight Table IV configurations
+// must build with mutually consistent derived parameters.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+
+namespace respin::core {
+namespace {
+
+TEST(Config, AllEightConfigurationsBuild) {
+  const auto ids = all_config_ids();
+  ASSERT_EQ(ids.size(), 8u);
+  for (ConfigId id : ids) {
+    const ClusterConfig cfg = make_cluster_config(id, CacheSize::kMedium);
+    EXPECT_EQ(cfg.cluster_cores, 16u);
+    EXPECT_EQ(cfg.clusters_per_chip, 4u);
+    EXPECT_EQ(cfg.multipliers.size(), 16u);
+    EXPECT_GT(cfg.power.core_instruction_pj, 0.0);
+    EXPECT_GT(cfg.power.core_leakage_w, 0.0);
+    EXPECT_GT(cfg.power.l1_leakage_w, 0.0);
+  }
+}
+
+TEST(Config, NamesMatchPaperTableIV) {
+  EXPECT_STREQ(to_string(ConfigId::kPrSramNt), "PR-SRAM-NT");
+  EXPECT_STREQ(to_string(ConfigId::kHpSramCmp), "HP-SRAM-CMP");
+  EXPECT_STREQ(to_string(ConfigId::kShSramNom), "SH-SRAM-Nom");
+  EXPECT_STREQ(to_string(ConfigId::kShStt), "SH-STT");
+  EXPECT_STREQ(to_string(ConfigId::kShSttCc), "SH-STT-CC");
+  EXPECT_STREQ(to_string(ConfigId::kShSttCcOracle), "SH-STT-CC-Oracle");
+  EXPECT_STREQ(to_string(ConfigId::kPrSttCc), "PR-STT-CC");
+  EXPECT_STREQ(to_string(ConfigId::kShSttCcOs), "SH-STT-CC-OS");
+}
+
+TEST(Config, BaselineIsPrivateSramAtSafeRail) {
+  const auto cfg = make_cluster_config(ConfigId::kPrSramNt, CacheSize::kMedium);
+  EXPECT_FALSE(cfg.shared_l1);
+  EXPECT_EQ(cfg.cache_tech, nvsim::MemTech::kSram);
+  EXPECT_DOUBLE_EQ(cfg.cache_vdd, 0.65);
+  EXPECT_DOUBLE_EQ(cfg.core_vdd, 0.40);
+  EXPECT_EQ(cfg.governor, GovernorKind::kNone);
+  EXPECT_TRUE(cfg.l1_crosses_domains);
+}
+
+TEST(Config, HighPerformanceRunsEverythingNominal) {
+  const auto cfg =
+      make_cluster_config(ConfigId::kHpSramCmp, CacheSize::kMedium);
+  EXPECT_DOUBLE_EQ(cfg.core_vdd, 1.0);
+  EXPECT_DOUBLE_EQ(cfg.cache_vdd, 1.0);
+  EXPECT_FALSE(cfg.l1_crosses_domains);
+  for (int m : cfg.multipliers) {
+    EXPECT_GE(m, 1);
+    EXPECT_LE(m, 2);
+  }
+}
+
+TEST(Config, SharedSttIsTheProposal) {
+  const auto cfg = make_cluster_config(ConfigId::kShStt, CacheSize::kMedium);
+  EXPECT_TRUE(cfg.shared_l1);
+  EXPECT_EQ(cfg.cache_tech, nvsim::MemTech::kSttRam);
+  EXPECT_DOUBLE_EQ(cfg.cache_vdd, 1.0);
+  EXPECT_DOUBLE_EQ(cfg.core_vdd, 0.40);
+  EXPECT_EQ(cfg.l1_shared_capacity, 256u * 1024u);  // 16KB x 16 cores.
+  // The paper's single-cycle STT read at 2.5 GHz.
+  EXPECT_EQ(cfg.controller.read_occupancy, 1u);
+}
+
+TEST(Config, SharedSramReadTakesTwoCycles) {
+  const auto cfg =
+      make_cluster_config(ConfigId::kShSramNom, CacheSize::kMedium);
+  EXPECT_EQ(cfg.controller.read_occupancy, 2u);  // 533.6 ps at 0.4 ns clock.
+}
+
+TEST(Config, GovernorsWiredPerConfig) {
+  EXPECT_EQ(make_cluster_config(ConfigId::kShSttCc, CacheSize::kMedium)
+                .governor,
+            GovernorKind::kGreedy);
+  EXPECT_EQ(make_cluster_config(ConfigId::kShSttCcOracle, CacheSize::kMedium)
+                .governor,
+            GovernorKind::kOracle);
+  EXPECT_EQ(make_cluster_config(ConfigId::kPrSttCc, CacheSize::kMedium)
+                .governor,
+            GovernorKind::kGreedy);
+  EXPECT_EQ(make_cluster_config(ConfigId::kShSttCcOs, CacheSize::kMedium)
+                .governor,
+            GovernorKind::kOs);
+  EXPECT_FALSE(
+      make_cluster_config(ConfigId::kPrSttCc, CacheSize::kMedium).shared_l1);
+}
+
+TEST(Config, NtMultipliersInPaperRange) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto cfg =
+        make_cluster_config(ConfigId::kShStt, CacheSize::kMedium, 16, seed);
+    for (int m : cfg.multipliers) {
+      EXPECT_GE(m, 4);  // 1.6 ns.
+      EXPECT_LE(m, 6);  // 2.4 ns.
+    }
+  }
+}
+
+TEST(Config, TableICacheSizes) {
+  EXPECT_EQ(chip_l2_bytes(CacheSize::kSmall), 8ull << 20);
+  EXPECT_EQ(chip_l2_bytes(CacheSize::kMedium), 16ull << 20);
+  EXPECT_EQ(chip_l2_bytes(CacheSize::kLarge), 32ull << 20);
+  EXPECT_EQ(chip_l3_bytes(CacheSize::kSmall), 24ull << 20);
+  EXPECT_EQ(chip_l3_bytes(CacheSize::kMedium), 48ull << 20);
+  EXPECT_EQ(chip_l3_bytes(CacheSize::kLarge), 96ull << 20);
+}
+
+TEST(Config, BacksideSlicesScaleWithSizeClass) {
+  const auto small = make_cluster_config(ConfigId::kShStt, CacheSize::kSmall);
+  const auto large = make_cluster_config(ConfigId::kShStt, CacheSize::kLarge);
+  EXPECT_EQ(small.backside.l2_capacity_bytes, 2ull << 20);
+  EXPECT_EQ(large.backside.l2_capacity_bytes, 8ull << 20);
+  EXPECT_EQ(small.backside.l3_capacity_bytes, 6ull << 20);
+  EXPECT_EQ(large.backside.l3_capacity_bytes, 24ull << 20);
+  EXPECT_GT(large.power.l2_leakage_w, small.power.l2_leakage_w);
+}
+
+TEST(Config, ClusterSizeSweepGeometry) {
+  for (std::uint32_t cores : {4u, 8u, 16u, 32u}) {
+    const auto cfg =
+        make_cluster_config(ConfigId::kShStt, CacheSize::kMedium, cores);
+    EXPECT_EQ(cfg.cluster_cores, cores);
+    EXPECT_EQ(cfg.clusters_per_chip, 64u / cores);
+    EXPECT_EQ(cfg.l1_shared_capacity, 16ull * 1024 * cores);
+    // Total chip L2/L3 stays constant across cluster sizes.
+    EXPECT_EQ(cfg.backside.l2_capacity_bytes * cfg.clusters_per_chip,
+              chip_l2_bytes(CacheSize::kMedium));
+  }
+}
+
+TEST(Config, NtSramBacksideIsSlowerThanStt) {
+  const auto baseline =
+      make_cluster_config(ConfigId::kPrSramNt, CacheSize::kMedium);
+  const auto stt = make_cluster_config(ConfigId::kShStt, CacheSize::kMedium);
+  EXPECT_GT(baseline.backside.l2_hit_cycles, stt.backside.l2_hit_cycles);
+  EXPECT_GT(baseline.backside.l3_hit_cycles, stt.backside.l3_hit_cycles);
+}
+
+TEST(Config, PrivateSttStoreTakesAboutThreeCoreCycles) {
+  // Paper §II: nominal-voltage STT-RAM writes complete in ~3 cycles of a
+  // 500 MHz core.
+  const auto cfg = make_cluster_config(ConfigId::kPrSttCc, CacheSize::kMedium);
+  EXPECT_GE(cfg.private_store_cycles, 2u);
+  EXPECT_LE(cfg.private_store_cycles, 4u);
+}
+
+TEST(Config, BarrierCostsReflectCoherence) {
+  const auto shared = make_cluster_config(ConfigId::kShStt, CacheSize::kMedium);
+  const auto private_cfg =
+      make_cluster_config(ConfigId::kPrSramNt, CacheSize::kMedium);
+  EXPECT_LT(shared.barrier_arrival_cycles, private_cfg.barrier_arrival_cycles);
+  EXPECT_EQ(shared.barrier_arrival_messages, 0u);
+  EXPECT_GT(private_cfg.barrier_arrival_messages, 0u);
+}
+
+TEST(Config, LeakagePowersFollowTableIIIRatios) {
+  const auto nt = make_cluster_config(ConfigId::kPrSramNt, CacheSize::kMedium);
+  const auto nom =
+      make_cluster_config(ConfigId::kShSramNom, CacheSize::kMedium);
+  const auto stt = make_cluster_config(ConfigId::kShStt, CacheSize::kMedium);
+  // SRAM at 0.65 V leaks 65% of nominal; STT leaks ~13% of nominal SRAM.
+  EXPECT_NEAR(nt.power.l2_leakage_w / nom.power.l2_leakage_w, 0.65, 0.01);
+  EXPECT_NEAR(stt.power.l2_leakage_w / nom.power.l2_leakage_w, 114.0 / 881.0,
+              0.01);
+}
+
+TEST(Config, InvalidClusterSizesRejected) {
+  EXPECT_THROW(make_cluster_config(ConfigId::kShStt, CacheSize::kMedium, 3),
+               std::logic_error);
+  EXPECT_THROW(make_cluster_config(ConfigId::kShStt, CacheSize::kMedium, 64),
+               std::logic_error);
+  EXPECT_THROW(make_cluster_config(ConfigId::kShStt, CacheSize::kMedium, 0),
+               std::logic_error);
+}
+
+TEST(Config, SeedsChangeMultipliersOnly) {
+  const auto a = make_cluster_config(ConfigId::kShStt, CacheSize::kMedium, 16, 1);
+  const auto b = make_cluster_config(ConfigId::kShStt, CacheSize::kMedium, 16, 2);
+  EXPECT_EQ(a.backside.l2_hit_cycles, b.backside.l2_hit_cycles);
+  EXPECT_EQ(a.power.l1_read_pj, b.power.l1_read_pj);
+  EXPECT_NE(a.multipliers, b.multipliers);
+}
+
+}  // namespace
+}  // namespace respin::core

@@ -1,0 +1,161 @@
+// Tests for the greedy consolidation governor (paper Fig. 5), the
+// efficiency ranking, and the round-robin remapping helpers.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/consolidation.hpp"
+
+namespace respin::core {
+namespace {
+
+GovernorParams quiet_params() {
+  GovernorParams p;
+  p.min_active_cores = 4;
+  p.epi_threshold = 0.02;
+  return p;
+}
+
+TEST(Greedy, FirstDecisionShutsOneCoreDown) {
+  GreedyGovernor governor(quiet_params(), 16);
+  EXPECT_EQ(governor.decide(100.0, 16), 15u);
+}
+
+TEST(Greedy, KeepsDescendingWhileEpiImproves) {
+  GreedyGovernor governor(quiet_params(), 16);
+  std::uint32_t k = governor.decide(100.0, 16);
+  double epi = 95.0;
+  for (int i = 0; i < 5; ++i) {
+    const std::uint32_t next = governor.decide(epi, k);
+    EXPECT_EQ(next, k - 1);
+    k = next;
+    epi *= 0.95;  // Monotone improvement, above threshold.
+  }
+}
+
+TEST(Greedy, ReversesOnRegression) {
+  GreedyGovernor governor(quiet_params(), 16);
+  std::uint32_t k = governor.decide(100.0, 16);  // 15.
+  k = governor.decide(90.0, k);                  // 14, improving.
+  const std::uint32_t reversed = governor.decide(99.0, k);  // Worse: back up.
+  EXPECT_EQ(reversed, k + 1);
+}
+
+TEST(Greedy, HoldsWithinThreshold) {
+  GreedyGovernor governor(quiet_params(), 16);
+  std::uint32_t k = governor.decide(100.0, 16);
+  k = governor.decide(90.0, k);
+  EXPECT_EQ(governor.decide(90.5, k), k);  // 0.55% change: hold.
+}
+
+TEST(Greedy, RespectsFloorAndCeiling) {
+  GovernorParams params = quiet_params();
+  GreedyGovernor governor(params, 16);
+  std::uint32_t k = governor.decide(100.0, 16);
+  double epi = 95.0;
+  for (int i = 0; i < 30 && k > params.min_active_cores; ++i) {
+    k = governor.decide(epi, k);
+    epi *= 0.9;
+  }
+  EXPECT_EQ(k, params.min_active_cores);
+  // Still improving: must not go below the floor.
+  EXPECT_EQ(governor.decide(epi * 0.9, k), params.min_active_cores);
+}
+
+TEST(Greedy, InfiniteEpiHolds) {
+  GreedyGovernor governor(quiet_params(), 16);
+  std::uint32_t k = governor.decide(100.0, 16);
+  EXPECT_EQ(governor.decide(std::numeric_limits<double>::infinity(), k), k);
+}
+
+// Drives the governor into a 15,15,16,15 hover: four decisions within one
+// core of each other with a reversal, which must engage the back-off.
+std::uint32_t drive_into_hold(GreedyGovernor& governor) {
+  std::uint32_t k = governor.decide(100.0, 16);   // First epoch: 15.
+  EXPECT_EQ(k, 15u);
+  k = governor.decide(101.0, k);                  // 1% change: hold at 15.
+  EXPECT_EQ(k, 15u);
+  k = governor.decide(105.0, k);                  // Worse: reverse up -> 16.
+  EXPECT_EQ(k, 16u);
+  k = governor.decide(109.0, k);                  // Worse again: reverse.
+  return k;
+}
+
+TEST(Greedy, OscillationTriggersExponentialBackoff) {
+  GreedyGovernor governor(quiet_params(), 16);
+  const std::uint32_t k = drive_into_hold(governor);
+  // Oscillation detected: the governor pins the current state and holds.
+  EXPECT_EQ(k, 16u);
+  EXPECT_GT(governor.hold_remaining(), 0u);
+  // While holding, small EPI changes do not move the state.
+  EXPECT_EQ(governor.decide(108.0, k), k);
+}
+
+TEST(Greedy, BackoffEscalatesOnRepeatedOscillation) {
+  GovernorParams params = quiet_params();
+  GreedyGovernor governor(params, 16);
+  std::uint32_t k = drive_into_hold(governor);
+  const std::uint32_t first_hold = governor.hold_remaining();
+  EXPECT_EQ(first_hold, params.backoff_initial);
+  // Drain the hold with stable EPIs, then oscillate again.
+  while (governor.hold_remaining() > 0) k = governor.decide(109.0, k);
+  k = governor.decide(104.0, k);  // Improve: step.
+  k = governor.decide(109.0, k);  // Worse: reverse.
+  k = governor.decide(104.5, k);  // Worse-ish: reverse again -> hover.
+  if (governor.hold_remaining() == 0) k = governor.decide(109.0, k);
+  EXPECT_GE(governor.hold_remaining(), first_hold);
+}
+
+TEST(Greedy, PhaseChangeEscapesHold) {
+  GovernorParams params = quiet_params();
+  params.phase_change_threshold = 0.25;
+  GreedyGovernor governor(params, 16);
+  std::uint32_t k = drive_into_hold(governor);
+  ASSERT_GT(governor.hold_remaining(), 0u);
+  // A 3x EPI jump (program phase change) must break the hold and move.
+  const std::uint32_t after = governor.decide(400.0, k);
+  EXPECT_EQ(governor.hold_remaining(), 0u);
+  EXPECT_NE(after, k);
+}
+
+TEST(Greedy, RejectsOutOfRangeState) {
+  GreedyGovernor governor(quiet_params(), 16);
+  EXPECT_THROW(governor.decide(1.0, 17), std::logic_error);
+  EXPECT_THROW(governor.decide(1.0, 2), std::logic_error);
+  EXPECT_THROW(GreedyGovernor(quiet_params(), 2), std::logic_error);
+}
+
+TEST(EfficiencyRanking, FasterCoresFirstTiesById) {
+  const std::vector<int> multipliers = {6, 4, 5, 4, 6, 5};
+  const auto order = efficiency_ranking(multipliers);
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{1, 3, 2, 5, 0, 4}));
+}
+
+TEST(EfficiencyRanking, EmptyAndUniform) {
+  EXPECT_TRUE(efficiency_ranking({}).empty());
+  const auto order = efficiency_ranking({5, 5, 5});
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(RoundRobin, StartsWithMostEfficientCore) {
+  const std::vector<std::uint32_t> active = {3, 1, 7};
+  const auto assignment = round_robin_assignment(active, 7);
+  EXPECT_EQ(assignment,
+            (std::vector<std::uint32_t>{3, 1, 7, 3, 1, 7, 3}));
+}
+
+TEST(RoundRobin, LoadSpreadIsBalanced) {
+  const std::vector<std::uint32_t> active = {0, 1, 2, 3, 4};
+  const auto assignment = round_robin_assignment(active, 16);
+  std::vector<int> load(5, 0);
+  for (std::uint32_t host : assignment) ++load[host];
+  const auto [lo, hi] = std::minmax_element(load.begin(), load.end());
+  EXPECT_LE(*hi - *lo, 1);
+}
+
+TEST(RoundRobin, RejectsEmptyActiveSet) {
+  EXPECT_THROW(round_robin_assignment({}, 4), std::logic_error);
+}
+
+}  // namespace
+}  // namespace respin::core

@@ -1,0 +1,231 @@
+// Tests for the priority shift registers and the time-multiplexed shared
+// cache controller, including a replay of the paper's Figure 3 example.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/priority_register.hpp"
+#include "core/shared_cache_controller.hpp"
+
+namespace respin::core {
+namespace {
+
+TEST(PriorityRegister, PreloadEncodesSlackInOnes) {
+  PriorityRegister reg;
+  reg.preload(2);  // "00011" for core 0 in paper Fig. 3(b).
+  EXPECT_EQ(reg.raw(), 0b11u);
+  EXPECT_EQ(reg.slack(), 2u);
+  reg.preload(4);  // "01111" for core 1.
+  EXPECT_EQ(reg.raw(), 0b1111u);
+}
+
+TEST(PriorityRegister, ShiftDrainsTowardExpiry) {
+  PriorityRegister reg;
+  reg.preload(3);
+  EXPECT_FALSE(reg.critical());
+  reg.shift();
+  EXPECT_EQ(reg.slack(), 2u);
+  reg.shift();
+  EXPECT_TRUE(reg.critical());  // "00001".
+  EXPECT_FALSE(reg.expired());
+  reg.shift();
+  EXPECT_TRUE(reg.expired());
+}
+
+TEST(PriorityRegister, BoundsChecked) {
+  PriorityRegister reg;
+  EXPECT_THROW(reg.preload(0), std::logic_error);
+  EXPECT_THROW(reg.preload(PriorityRegister::kWidth + 1), std::logic_error);
+}
+
+ControllerParams stt_params(std::uint32_t cores = 16) {
+  ControllerParams p;
+  p.core_count = cores;
+  p.request_delay_cycles = 2;
+  p.read_occupancy = 1;
+  p.write_occupancy = 2;
+  p.store_queue_depth = 4;
+  return p;
+}
+
+std::vector<ServicedRead> step_n(SharedCacheController& ctrl,
+                                 std::int64_t from, std::int64_t to) {
+  std::vector<ServicedRead> out;
+  for (std::int64_t t = from; t < to; ++t) ctrl.step(t, out);
+  return out;
+}
+
+TEST(Controller, SingleReadServicedWithinWindow) {
+  SharedCacheController ctrl(stt_params(), 1);
+  ctrl.submit_read(/*core=*/0, /*multiplier=*/4, /*now=*/0);
+  const auto serviced = step_n(ctrl, 0, 4);
+  ASSERT_EQ(serviced.size(), 1u);
+  EXPECT_EQ(serviced[0].core, 0u);
+  EXPECT_EQ(serviced[0].issued_at, 0);
+  // Visible at cycle 2 (wire + level shifter), serviced immediately.
+  EXPECT_EQ(serviced[0].serviced_at, 2);
+  EXPECT_EQ(serviced[0].half_misses, 0u);
+}
+
+// Paper Figure 3: requests from cores with periods 4..6 landing in cycles
+// 0-1; the cache services one per cycle, most urgent (fewest ones) first.
+TEST(Controller, PaperFigure3Schedule) {
+  ControllerParams params = stt_params(5);
+  SharedCacheController ctrl(params, 1);
+  // Core 0: multiplier 4, issues at 0 (visible 2, deadline end of 3).
+  ctrl.submit_read(0, 4, 0);
+  // Core 2: multiplier 5, issues at 0 (visible 2, deadline 4).
+  ctrl.submit_read(2, 5, 0);
+  // Core 3: multiplier 6, issues at 0 (visible 2, deadline 5)... with
+  // re-arms, the controller must still return it by its stretched window.
+  ctrl.submit_read(3, 6, 0);
+  // Core 1: multiplier 6, issues at 1 (visible 3).
+  ctrl.submit_read(1, 6, 1);
+  // Core 4: multiplier 5, issues at 1 (visible 3).
+  ctrl.submit_read(4, 5, 1);
+
+  std::vector<ServicedRead> out;
+  for (std::int64_t t = 0; t < 10; ++t) ctrl.step(t, out);
+  ASSERT_EQ(out.size(), 5u);
+
+  // One service per cycle starting at cycle 2; core 0 (tightest slack)
+  // must be among the first two served, and every request must be serviced
+  // by issue + 2 * multiplier (worst case one half-miss).
+  for (const auto& s : out) {
+    EXPECT_LE(s.serviced_at - s.issued_at, 2 * 6);
+  }
+  EXPECT_LE(out[0].serviced_at, 3);
+  std::set<std::uint32_t> cores;
+  for (const auto& s : out) cores.insert(s.core);
+  EXPECT_EQ(cores.size(), 5u);
+  // Total half-misses must match the stats (at most 2 in this overload).
+  EXPECT_LE(ctrl.stats().half_misses, 2u);
+}
+
+TEST(Controller, UrgentRequestWinsArbitration) {
+  SharedCacheController ctrl(stt_params(4), 1);
+  ctrl.submit_read(0, 6, 0);  // Slack 4 at visibility.
+  ctrl.submit_read(1, 4, 0);  // Slack 2 at visibility: tighter.
+  const auto out = step_n(ctrl, 0, 3);
+  ASSERT_GE(out.size(), 1u);
+  EXPECT_EQ(out[0].core, 1u);
+}
+
+TEST(Controller, HalfMissRearmsCriticalAndWinsNextCycle) {
+  ControllerParams params = stt_params(4);
+  params.read_occupancy = 2;  // Slow read port to force a half-miss.
+  SharedCacheController ctrl(params, 1);
+  ctrl.submit_read(0, 4, 0);
+  ctrl.submit_read(1, 4, 0);
+  std::vector<ServicedRead> out;
+  for (std::int64_t t = 0; t < 10; ++t) ctrl.step(t, out);
+  ASSERT_EQ(out.size(), 2u);
+  // The loser missed its first window: half-miss recorded, serviced at the
+  // next opportunity, i.e. a 2-core-cycle hit (paper §II.A).
+  EXPECT_EQ(ctrl.stats().half_misses, 1u);
+  EXPECT_GE(out[1].half_misses, 1u);
+  const auto latency = out[1].serviced_at + 1 - out[1].issued_at;
+  EXPECT_LE(latency, 2 * 4);
+}
+
+TEST(Controller, OneOutstandingReadPerCoreEnforced) {
+  SharedCacheController ctrl(stt_params(), 1);
+  ctrl.submit_read(0, 4, 0);
+  EXPECT_THROW(ctrl.submit_read(0, 4, 1), std::logic_error);
+}
+
+TEST(Controller, MultiplierMustExceedWireDelay) {
+  SharedCacheController ctrl(stt_params(), 1);
+  EXPECT_THROW(ctrl.submit_read(0, 2, 0), std::logic_error);
+}
+
+TEST(Controller, StoreQueueBackpressure) {
+  SharedCacheController ctrl(stt_params(), 1);  // Depth 4.
+  int accepted = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (ctrl.submit_store(0)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(ctrl.stats().store_queue_rejections, 4u);
+  // Draining frees space: write port takes one every 2 cycles.
+  std::vector<ServicedRead> out;
+  for (std::int64_t t = 0; t < 12; ++t) ctrl.step(t, out);
+  EXPECT_TRUE(ctrl.submit_store(12));
+}
+
+TEST(Controller, FillsOutrankStores) {
+  ControllerParams params = stt_params();
+  params.write_occupancy = 4;
+  SharedCacheController ctrl(params, 1);
+  ctrl.submit_store(0);
+  ctrl.submit_store(0);
+  ctrl.submit_fill(0);
+  std::vector<ServicedRead> out;
+  // After the current write completes, the fill must grab the port before
+  // the queued stores: with occupancy 4, by cycle 12 all three have
+  // drained only if the fill didn't wait behind both stores... verify
+  // ordering indirectly via queue emptiness timing.
+  for (std::int64_t t = 0; t < 5; ++t) ctrl.step(t, out);
+  // At t=5: one write in flight. Ensure controller still has pending work.
+  EXPECT_TRUE(ctrl.has_pending_work());
+  for (std::int64_t t = 5; t < 20; ++t) ctrl.step(t, out);
+  EXPECT_FALSE(ctrl.has_pending_work());
+}
+
+TEST(Controller, ArrivalHistogramCountsPerCycle) {
+  SharedCacheController ctrl(stt_params(), 1);
+  ctrl.submit_read(0, 4, 0);  // Visible cycle 2.
+  ctrl.submit_read(1, 4, 0);  // Visible cycle 2.
+  ctrl.submit_store(0);       // Visible cycle 2.
+  std::vector<ServicedRead> out;
+  for (std::int64_t t = 0; t < 8; ++t) ctrl.step(t, out);
+  const auto& h = ctrl.stats().arrivals_per_cycle;
+  EXPECT_EQ(h.total(), 8u);          // One sample per stepped cycle.
+  EXPECT_EQ(h.bucket(3), 1u);        // The burst cycle.
+  EXPECT_EQ(h.bucket(0), 7u);        // All other cycles quiet.
+}
+
+TEST(Controller, ReadsEventuallyServicedUnderSaturation) {
+  ControllerParams params = stt_params(16);
+  SharedCacheController ctrl(params, 1);
+  std::vector<ServicedRead> out;
+  std::int64_t t = 0;
+  // 16 cores re-issue a read every core cycle for a while: saturated.
+  std::vector<std::int64_t> next_issue(16, 0);
+  std::vector<bool> outstanding(16, false);
+  int serviced_total = 0;
+  for (; t < 2000; ++t) {
+    out.clear();
+    ctrl.step(t, out);
+    for (const auto& s : out) {
+      outstanding[s.core] = false;
+      next_issue[s.core] = t + 4;
+      ++serviced_total;
+    }
+    for (int c = 0; c < 16; ++c) {
+      if (!outstanding[c] && t >= next_issue[c] && t % 4 == 0) {
+        ctrl.submit_read(static_cast<std::uint32_t>(c), 4, t);
+        outstanding[c] = true;
+      }
+    }
+  }
+  // Read port limit: at most one service per cycle, so ~25% of offered
+  // load at 16 requesters; but nobody starves.
+  EXPECT_GT(serviced_total, 1500);
+  EXPECT_EQ(ctrl.stats().reads_serviced,
+            static_cast<std::uint64_t>(serviced_total));
+}
+
+TEST(Controller, BusyCycleAccounting) {
+  SharedCacheController ctrl(stt_params(), 1);
+  std::vector<ServicedRead> out;
+  for (std::int64_t t = 0; t < 5; ++t) ctrl.step(t, out);  // Idle.
+  EXPECT_EQ(ctrl.stats().busy_cycles, 0u);
+  ctrl.submit_read(0, 4, 5);
+  for (std::int64_t t = 5; t < 10; ++t) ctrl.step(t, out);
+  EXPECT_GT(ctrl.stats().busy_cycles, 0u);
+  EXPECT_EQ(ctrl.stats().total_cycles, 10u);
+}
+
+}  // namespace
+}  // namespace respin::core

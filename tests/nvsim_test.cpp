@@ -1,0 +1,174 @@
+// Tests for respin::nvsim — the array model must reproduce the paper's
+// Table III anchor points and obey its scaling laws.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "nvsim/array_model.hpp"
+#include "util/units.hpp"
+
+namespace respin::nvsim {
+namespace {
+
+ArrayConfig sram(std::uint64_t capacity, double vdd,
+                 std::uint32_t banks = 1) {
+  return ArrayConfig{.tech = MemTech::kSram,
+                     .capacity_bytes = capacity,
+                     .block_bytes = 32,
+                     .associativity = 2,
+                     .vdd = vdd,
+                     .bank_count = banks};
+}
+
+ArrayConfig stt(std::uint64_t capacity, double vdd, std::uint32_t banks = 1) {
+  ArrayConfig c = sram(capacity, vdd, banks);
+  c.tech = MemTech::kSttRam;
+  return c;
+}
+
+// --- Table III anchors -----------------------------------------------------
+
+TEST(TableIII, Sram16KBx16At065V) {
+  // 16 independent 16KB banks at 0.65 V: per-bank latency/energy with
+  // whole-structure leakage/area.
+  const ArrayFigures f = evaluate(sram(256 * util::KiB(1), 0.65, 16));
+  EXPECT_NEAR(static_cast<double>(f.read_latency), 1337.0, 15.0);
+  EXPECT_NEAR(f.read_energy, 2.578, 0.08);
+  EXPECT_NEAR(f.leakage_power, 0.573, 0.01);
+  EXPECT_NEAR(f.area_mm2, 0.9176, 0.01);
+}
+
+TEST(TableIII, Sram16KBx16At100V) {
+  const ArrayFigures f = evaluate(sram(256 * util::KiB(1), 1.0, 16));
+  EXPECT_NEAR(static_cast<double>(f.read_latency), 211.9, 2.0);
+  EXPECT_NEAR(f.read_energy, 6.102, 0.19);
+  EXPECT_NEAR(f.leakage_power, 0.881, 0.01);
+  EXPECT_NEAR(f.area_mm2, 0.9176, 0.01);
+}
+
+TEST(TableIII, Sram256KBMonolithic) {
+  const ArrayFigures f = evaluate(sram(256 * util::KiB(1), 1.0));
+  EXPECT_NEAR(static_cast<double>(f.read_latency), 533.6, 5.0);
+  EXPECT_NEAR(f.read_energy, 42.41, 1.3);
+  EXPECT_NEAR(f.leakage_power, 0.881, 0.01);
+}
+
+TEST(TableIII, SttRam256KB) {
+  const ArrayFigures f = evaluate(stt(256 * util::KiB(1), 1.0));
+  EXPECT_NEAR(static_cast<double>(f.read_latency), 588.2, 6.0);
+  EXPECT_NEAR(static_cast<double>(f.write_latency), 5208.0, 55.0);
+  EXPECT_NEAR(f.read_energy, 29.32, 0.9);
+  EXPECT_NEAR(f.leakage_power, 0.114, 0.005);
+  EXPECT_NEAR(f.area_mm2, 0.2451, 0.005);
+}
+
+// --- Scaling laws ----------------------------------------------------------
+
+TEST(Scaling, LatencyGrowsWithCubeRootOfCapacity) {
+  const auto small = evaluate(sram(16 * util::KiB(1), 1.0));
+  const auto big = evaluate(sram(128 * util::KiB(1), 1.0));
+  const double ratio = static_cast<double>(big.read_latency) /
+                       static_cast<double>(small.read_latency);
+  EXPECT_NEAR(ratio, 2.0, 0.05);  // 8x capacity -> 8^(1/3) = 2.
+}
+
+TEST(Scaling, BankingRestoresPerBankLatency) {
+  const auto mono = evaluate(sram(16 * util::KiB(1), 1.0));
+  const auto banked = evaluate(sram(256 * util::KiB(1), 1.0, 16));
+  EXPECT_EQ(mono.read_latency, banked.read_latency);
+  // But leakage covers the whole banked structure.
+  EXPECT_NEAR(banked.leakage_power / mono.leakage_power, 16.0, 0.01);
+}
+
+TEST(Scaling, EnergyScalesWithVddSquared) {
+  const auto high = evaluate(sram(16 * util::KiB(1), 1.0));
+  const auto low = evaluate(sram(16 * util::KiB(1), 0.65));
+  EXPECT_NEAR(low.read_energy / high.read_energy, 0.65 * 0.65, 1e-6);
+}
+
+TEST(Scaling, LeakageScalesLinearlyWithVdd) {
+  const auto high = evaluate(sram(64 * util::KiB(1), 1.0));
+  const auto low = evaluate(sram(64 * util::KiB(1), 0.65));
+  EXPECT_NEAR(low.leakage_power / high.leakage_power, 0.65, 1e-6);
+}
+
+TEST(Scaling, SttLeakageRatioHoldsAcrossSizes) {
+  for (std::uint64_t kb : {64u, 256u, 1024u, 4096u}) {
+    const auto s = evaluate(sram(kb * util::KiB(1), 1.0));
+    const auto m = evaluate(stt(kb * util::KiB(1), 1.0));
+    EXPECT_NEAR(m.leakage_power / s.leakage_power, 114.0 / 881.0, 1e-6)
+        << kb << "KB";
+  }
+}
+
+TEST(Scaling, SttWriteDominatedByPulseNotGeometry) {
+  const auto small = evaluate(stt(64 * util::KiB(1), 1.0));
+  const auto big = evaluate(stt(4096 * util::KiB(1), 1.0));
+  // Write latency grows far slower than read latency with capacity.
+  const double write_growth = static_cast<double>(big.write_latency) /
+                              static_cast<double>(small.write_latency);
+  const double read_growth = static_cast<double>(big.read_latency) /
+                             static_cast<double>(small.read_latency);
+  EXPECT_LT(write_growth, 1.2);
+  EXPECT_GT(read_growth, 3.0);
+}
+
+TEST(Scaling, SttDensityAdvantage) {
+  const auto s = evaluate(sram(util::MiB(1), 1.0));
+  const auto m = evaluate(stt(util::MiB(1), 1.0));
+  EXPECT_NEAR(m.area_mm2 / s.area_mm2, 0.2451 / 0.9176, 1e-6);
+}
+
+TEST(Scaling, WiderBlocksCostMoreEnergy) {
+  ArrayConfig narrow = sram(64 * util::KiB(1), 1.0);
+  ArrayConfig wide = narrow;
+  wide.block_bytes = 128;
+  EXPECT_GT(evaluate(wide).read_energy, evaluate(narrow).read_energy);
+}
+
+TEST(Scaling, HigherAssociativityCostsEnergy) {
+  ArrayConfig low = sram(64 * util::KiB(1), 1.0);
+  ArrayConfig high = low;
+  high.associativity = 16;
+  EXPECT_GT(evaluate(high).read_energy, evaluate(low).read_energy);
+}
+
+TEST(Scaling, SramSlowsExponentiallyBelowNominal) {
+  const auto v10 = evaluate(sram(16 * util::KiB(1), 1.0));
+  const auto v08 = evaluate(sram(16 * util::KiB(1), 0.8));
+  const auto v065 = evaluate(sram(16 * util::KiB(1), 0.65));
+  EXPECT_GT(v08.read_latency, v10.read_latency);
+  EXPECT_GT(v065.read_latency, v08.read_latency);
+  EXPECT_NEAR(static_cast<double>(v065.read_latency) /
+                  static_cast<double>(v10.read_latency),
+              1337.0 / 211.9, 0.2);
+}
+
+// --- Validation ------------------------------------------------------------
+
+TEST(Validation, RejectsNonsenseConfigs) {
+  EXPECT_THROW(evaluate(sram(0, 1.0)), std::logic_error);
+  EXPECT_THROW(evaluate(sram(16 * util::KiB(1), 0.1)), std::logic_error);
+  ArrayConfig c = sram(16 * util::KiB(1), 1.0);
+  c.associativity = 0;
+  EXPECT_THROW(evaluate(c), std::logic_error);
+  c = sram(16 * util::KiB(1), 1.0);
+  c.bank_count = 0;
+  EXPECT_THROW(evaluate(c), std::logic_error);
+  c = sram(16 * util::KiB(1), 1.0);
+  c.block_bytes = 0;
+  EXPECT_THROW(evaluate(c), std::logic_error);
+}
+
+TEST(Describe, HumanReadable) {
+  EXPECT_EQ(describe(sram(256 * util::KiB(1), 1.0)), "SRAM 256KB @1V");
+  EXPECT_EQ(describe(stt(util::MiB(4), 1.0)), "STT-RAM 4MB @1V");
+}
+
+TEST(ToString, TechNames) {
+  EXPECT_STREQ(to_string(MemTech::kSram), "SRAM");
+  EXPECT_STREQ(to_string(MemTech::kSttRam), "STT-RAM");
+}
+
+}  // namespace
+}  // namespace respin::nvsim

@@ -1,0 +1,145 @@
+// Tests for respin::power — energy conversion arithmetic, leakage
+// integrals, power gating, and EPI edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/energy.hpp"
+
+namespace respin::power {
+namespace {
+
+PowerModel simple_model() {
+  PowerModel m;
+  m.core_instruction_pj = 10.0;
+  m.core_leakage_w = 2.0;
+  m.gated_leakage_fraction = 0.0;
+  m.core_count = 4;
+  m.core_idle_fraction = 0.5;
+  m.l1_read_pj = 1.0;
+  m.l1_write_pj = 3.0;
+  m.l1_leakage_w = 0.5;
+  m.l2_read_pj = 10.0;
+  m.l2_write_pj = 12.0;
+  m.l2_leakage_w = 1.5;
+  m.l3_read_pj = 20.0;
+  m.l3_write_pj = 25.0;
+  m.l3_leakage_w = 4.0;
+  m.dram_access_pj = 100.0;
+  m.coherence_message_pj = 2.0;
+  m.level_shifter_pj = 0.1;
+  m.uncore_w = 1.0;
+  return m;
+}
+
+TEST(Energy, CoreDynamicFromInstructions) {
+  ActivityCounts counts;
+  counts.instructions = 1000;
+  counts.core_busy_cycles = 1000;
+  const auto e = compute_energy(simple_model(), counts, 0);
+  EXPECT_DOUBLE_EQ(e.core_dynamic, 10'000.0);
+}
+
+TEST(Energy, IdleCyclesChargeTheConfiguredFloor) {
+  ActivityCounts counts;
+  counts.instructions = 1000;
+  counts.core_busy_cycles = 500;   // 2 instr per busy cycle.
+  counts.core_idle_cycles = 100;
+  const auto e = compute_energy(simple_model(), counts, 0);
+  // busy: 10000 pJ; per-busy-cycle: 20 pJ; idle: 100 * 20 * 0.5 = 1000.
+  EXPECT_DOUBLE_EQ(e.core_dynamic, 11'000.0);
+}
+
+TEST(Energy, CoreLeakageFollowsOnIntegral) {
+  ActivityCounts counts;
+  counts.core_on_ps = 4.0 * 1000.0;  // 4 cores on for 1000 ps.
+  const auto e = compute_energy(simple_model(), counts, 1000);
+  EXPECT_DOUBLE_EQ(e.core_leakage, 2.0 * 4000.0);
+}
+
+TEST(Energy, GatedCoresLeakResidualFraction) {
+  PowerModel m = simple_model();
+  m.gated_leakage_fraction = 0.25;
+  ActivityCounts counts;
+  counts.core_on_ps = 2.0 * 1000.0;  // 2 of 4 cores on for 1000 ps.
+  const auto e = compute_energy(m, counts, 1000);
+  // On: 2*2W*1000ps = 4000; gated: 2 cores * 0.25 * 2W * 1000 = 1000.
+  EXPECT_DOUBLE_EQ(e.core_leakage, 5000.0);
+}
+
+TEST(Energy, CacheDynamicPerAccess) {
+  ActivityCounts counts;
+  counts.l1_reads = 10;
+  counts.l1_writes = 5;
+  counts.l2_reads = 2;
+  counts.l2_writes = 1;
+  counts.l3_reads = 1;
+  counts.l3_writes = 2;
+  const auto e = compute_energy(simple_model(), counts, 0);
+  EXPECT_DOUBLE_EQ(e.cache_dynamic,
+                   10 * 1.0 + 5 * 3.0 + 2 * 10.0 + 12.0 + 20.0 + 2 * 25.0);
+}
+
+TEST(Energy, CacheLeakageRunsForFullInterval) {
+  ActivityCounts counts;
+  const auto e = compute_energy(simple_model(), counts, 2000);
+  EXPECT_DOUBLE_EQ(e.cache_leakage, (0.5 + 1.5 + 4.0) * 2000.0);
+}
+
+TEST(Energy, NetworkAndDram) {
+  ActivityCounts counts;
+  counts.dram_accesses = 3;
+  counts.coherence_messages = 10;
+  counts.level_shifter_crossings = 100;
+  const auto e = compute_energy(simple_model(), counts, 500);
+  EXPECT_DOUBLE_EQ(e.dram, 300.0);
+  EXPECT_DOUBLE_EQ(e.network, 10 * 2.0 + 100 * 0.1 + 1.0 * 500.0);
+}
+
+TEST(Energy, TotalsAndSplits) {
+  ActivityCounts counts;
+  counts.instructions = 100;
+  counts.core_busy_cycles = 100;
+  counts.core_on_ps = 4.0 * 100.0;
+  counts.l1_reads = 10;
+  const auto e = compute_energy(simple_model(), counts, 100);
+  EXPECT_DOUBLE_EQ(e.total(), e.core_dynamic + e.core_leakage +
+                                  e.cache_dynamic + e.cache_leakage + e.dram +
+                                  e.network);
+  EXPECT_DOUBLE_EQ(e.leakage(), e.core_leakage + e.cache_leakage);
+  EXPECT_DOUBLE_EQ(e.dynamic(), e.total() - e.leakage());
+}
+
+TEST(Energy, CountsSubtractionGivesEpochDeltas) {
+  ActivityCounts a;
+  a.instructions = 100;
+  a.l1_reads = 50;
+  a.core_on_ps = 1000.0;
+  ActivityCounts b;
+  b.instructions = 350;
+  b.l1_reads = 80;
+  b.core_on_ps = 2500.0;
+  const ActivityCounts d = b - a;
+  EXPECT_EQ(d.instructions, 250u);
+  EXPECT_EQ(d.l1_reads, 30u);
+  EXPECT_DOUBLE_EQ(d.core_on_ps, 1500.0);
+}
+
+TEST(Epi, NormalAndDegenerate) {
+  EnergyBreakdown e;
+  e.core_dynamic = 500.0;
+  e.dram = 500.0;
+  EXPECT_DOUBLE_EQ(energy_per_instruction(e, 100), 10.0);
+  EXPECT_TRUE(std::isinf(energy_per_instruction(e, 0)));
+}
+
+TEST(Energy, ZeroActivityZeroDynamic) {
+  ActivityCounts counts;
+  const auto e = compute_energy(simple_model(), counts, 0);
+  EXPECT_DOUBLE_EQ(e.core_dynamic, 0.0);
+  EXPECT_DOUBLE_EQ(e.cache_dynamic, 0.0);
+  EXPECT_DOUBLE_EQ(e.total(), 0.0);
+}
+
+}  // namespace
+}  // namespace respin::power

@@ -1,0 +1,207 @@
+// Tests for respin::mem::PrivateL1System — the MESI directory protocol of
+// the private-cache baseline, including a cross-core invariant sweep.
+#include <gtest/gtest.h>
+
+#include "mem/backside.hpp"
+#include "mem/private_l1.hpp"
+#include "util/rng.hpp"
+
+namespace respin::mem {
+namespace {
+
+class PrivateL1Test : public ::testing::Test {
+ protected:
+  PrivateL1Test() : backside_(BacksideParams{}), system_(params()) {}
+
+  static PrivateL1Params params() {
+    PrivateL1Params p;
+    p.core_count = 4;
+    return p;
+  }
+
+  Backside backside_;
+  PrivateL1System system_;
+};
+
+TEST_F(PrivateL1Test, ColdLoadMissesThenHits) {
+  auto first = system_.access(0, 0x1000, AccessType::kLoad, backside_);
+  EXPECT_FALSE(first.l1_hit);
+  EXPECT_GT(first.extra_cycles, 0u);
+  auto second = system_.access(0, 0x1000, AccessType::kLoad, backside_);
+  EXPECT_TRUE(second.l1_hit);
+  EXPECT_EQ(second.extra_cycles, 0u);
+}
+
+TEST_F(PrivateL1Test, FirstLoaderGetsExclusive) {
+  system_.access(0, 0x1000, AccessType::kLoad, backside_);
+  EXPECT_EQ(*system_.l1d(0).probe(0x1000 / 32), Mesi::kExclusive);
+}
+
+TEST_F(PrivateL1Test, SecondLoaderDemotesToShared) {
+  system_.access(0, 0x1000, AccessType::kLoad, backside_);
+  system_.access(1, 0x1000, AccessType::kLoad, backside_);
+  EXPECT_EQ(*system_.l1d(1).probe(0x1000 / 32), Mesi::kShared);
+}
+
+TEST_F(PrivateL1Test, StoreHitOnExclusiveIsSilent) {
+  system_.access(0, 0x1000, AccessType::kLoad, backside_);
+  auto store = system_.access(0, 0x1000, AccessType::kStore, backside_);
+  EXPECT_TRUE(store.l1_hit);
+  EXPECT_EQ(store.extra_cycles, 0u);
+  EXPECT_EQ(*system_.l1d(0).probe(0x1000 / 32), Mesi::kModified);
+  EXPECT_EQ(system_.coherence_stats().upgrades, 0u);
+}
+
+TEST_F(PrivateL1Test, StoreOnSharedUpgradesAndInvalidates) {
+  system_.access(0, 0x1000, AccessType::kLoad, backside_);
+  system_.access(1, 0x1000, AccessType::kLoad, backside_);
+  auto store = system_.access(0, 0x1000, AccessType::kStore, backside_);
+  EXPECT_TRUE(store.l1_hit);
+  EXPECT_GT(store.extra_cycles, 0u);  // Directory round trip.
+  EXPECT_EQ(system_.coherence_stats().upgrades, 1u);
+  EXPECT_GE(system_.coherence_stats().invalidations_sent, 1u);
+  EXPECT_FALSE(system_.l1d(1).probe(0x1000 / 32).has_value());
+  EXPECT_EQ(*system_.l1d(0).probe(0x1000 / 32), Mesi::kModified);
+}
+
+TEST_F(PrivateL1Test, LoadOfDirtyPeerLineIntervenes) {
+  system_.access(0, 0x1000, AccessType::kStore, backside_);
+  const auto writebacks_before = system_.coherence_stats().writebacks;
+  auto load = system_.access(1, 0x1000, AccessType::kLoad, backside_);
+  EXPECT_FALSE(load.l1_hit);
+  EXPECT_EQ(system_.coherence_stats().interventions, 1u);
+  EXPECT_GT(system_.coherence_stats().writebacks, writebacks_before);
+  // Both copies now Shared.
+  EXPECT_EQ(*system_.l1d(0).probe(0x1000 / 32), Mesi::kShared);
+  EXPECT_EQ(*system_.l1d(1).probe(0x1000 / 32), Mesi::kShared);
+}
+
+TEST_F(PrivateL1Test, StoreOverDirtyPeerTransfersOwnership) {
+  system_.access(0, 0x1000, AccessType::kStore, backside_);
+  auto store = system_.access(1, 0x1000, AccessType::kStore, backside_);
+  EXPECT_FALSE(store.l1_hit);
+  EXPECT_FALSE(system_.l1d(0).probe(0x1000 / 32).has_value());
+  EXPECT_EQ(*system_.l1d(1).probe(0x1000 / 32), Mesi::kModified);
+  // A third core reading pulls a writeback from core 1.
+  system_.access(2, 0x1000, AccessType::kLoad, backside_);
+  EXPECT_EQ(*system_.l1d(1).probe(0x1000 / 32), Mesi::kShared);
+}
+
+TEST_F(PrivateL1Test, StoreMissWithCleanPeersInvalidatesAll) {
+  system_.access(0, 0x1000, AccessType::kLoad, backside_);
+  system_.access(1, 0x1000, AccessType::kLoad, backside_);
+  system_.access(2, 0x1000, AccessType::kStore, backside_);
+  EXPECT_FALSE(system_.l1d(0).probe(0x1000 / 32).has_value());
+  EXPECT_FALSE(system_.l1d(1).probe(0x1000 / 32).has_value());
+  EXPECT_EQ(*system_.l1d(2).probe(0x1000 / 32), Mesi::kModified);
+}
+
+TEST_F(PrivateL1Test, IfetchFillsInstructionCacheOnly) {
+  auto fetch = system_.access(0, 0x9000, AccessType::kIfetch, backside_);
+  EXPECT_FALSE(fetch.l1_hit);
+  EXPECT_TRUE(system_.l1i(0).probe(0x9000 / 32).has_value());
+  EXPECT_FALSE(system_.l1d(0).probe(0x9000 / 32).has_value());
+  EXPECT_TRUE(
+      system_.access(0, 0x9000, AccessType::kIfetch, backside_).l1_hit);
+}
+
+TEST_F(PrivateL1Test, IfetchSharedAcrossCoresWithoutCoherence) {
+  system_.access(0, 0x9000, AccessType::kIfetch, backside_);
+  const auto coh = system_.coherence_stats();
+  system_.access(1, 0x9000, AccessType::kIfetch, backside_);
+  EXPECT_EQ(system_.coherence_stats().invalidations_sent,
+            coh.invalidations_sent);
+  EXPECT_EQ(system_.coherence_stats().upgrades, coh.upgrades);
+}
+
+TEST_F(PrivateL1Test, FlushWritesBackDirtyLines) {
+  system_.access(0, 0x1000, AccessType::kStore, backside_);
+  system_.access(0, 0x2000, AccessType::kLoad, backside_);
+  const auto writebacks_before = system_.coherence_stats().writebacks;
+  system_.flush_core(0, backside_);
+  EXPECT_EQ(system_.l1d(0).resident_lines(), 0u);
+  EXPECT_EQ(system_.l1i(0).resident_lines(), 0u);
+  EXPECT_EQ(system_.coherence_stats().writebacks, writebacks_before + 1);
+  // Reload misses again (the "cold cache" consolidation cost).
+  EXPECT_FALSE(
+      system_.access(0, 0x1000, AccessType::kLoad, backside_).l1_hit);
+}
+
+TEST_F(PrivateL1Test, FlushLeavesPeersIntact) {
+  system_.access(0, 0x1000, AccessType::kLoad, backside_);
+  system_.access(1, 0x1000, AccessType::kLoad, backside_);
+  system_.flush_core(0, backside_);
+  EXPECT_TRUE(system_.l1d(1).probe(0x1000 / 32).has_value());
+  // Peer's copy still coherent: a store by core 2 must invalidate it.
+  system_.access(2, 0x1000, AccessType::kStore, backside_);
+  EXPECT_FALSE(system_.l1d(1).probe(0x1000 / 32).has_value());
+}
+
+TEST_F(PrivateL1Test, AccessCountsForEnergy) {
+  system_.access(0, 0x1000, AccessType::kLoad, backside_);   // read + fill.
+  system_.access(0, 0x1000, AccessType::kStore, backside_);  // write.
+  EXPECT_EQ(system_.l1_reads(), 1u);
+  EXPECT_EQ(system_.l1_writes(), 2u);  // Fill + store.
+}
+
+TEST_F(PrivateL1Test, RejectsBadCore) {
+  EXPECT_THROW(system_.access(9, 0x0, AccessType::kLoad, backside_),
+               std::logic_error);
+  EXPECT_THROW(system_.flush_core(9, backside_), std::logic_error);
+}
+
+// Randomized invariant sweep: after any access sequence, (a) a Modified
+// line exists in at most one L1 and (b) any valid line in an L1 has no
+// Modified copy elsewhere.
+TEST(PrivateL1Property, SingleWriterInvariant) {
+  PrivateL1Params params;
+  params.core_count = 8;
+  Backside backside{BacksideParams{}};
+  PrivateL1System system(params);
+  util::Rng rng("mesi.property", 3);
+
+  constexpr int kLines = 64;
+  for (int i = 0; i < 20000; ++i) {
+    const auto core = static_cast<std::uint32_t>(rng.uniform_u64(8));
+    const Addr addr = 32 * rng.uniform_u64(kLines);
+    const auto type =
+        rng.bernoulli(0.4) ? AccessType::kStore : AccessType::kLoad;
+    system.access(core, addr, type, backside);
+
+    if (i % 500 == 0) {
+      for (int line = 0; line < kLines; ++line) {
+        int modified = 0;
+        int valid = 0;
+        for (std::uint32_t c = 0; c < 8; ++c) {
+          const auto state = system.l1d(c).probe(static_cast<LineAddr>(line));
+          if (!state.has_value()) continue;
+          ++valid;
+          if (*state == Mesi::kModified) ++modified;
+        }
+        ASSERT_LE(modified, 1) << "line " << line << " after op " << i;
+        if (modified == 1) {
+          ASSERT_EQ(valid, 1) << "M must be exclusive, line " << line;
+        }
+      }
+    }
+  }
+}
+
+// Under pure loads, no coherence traffic is ever generated.
+TEST(PrivateL1Property, ReadOnlySharingIsFree) {
+  PrivateL1Params params;
+  params.core_count = 8;
+  Backside backside{BacksideParams{}};
+  PrivateL1System system(params);
+  util::Rng rng("mesi.readonly", 4);
+  for (int i = 0; i < 5000; ++i) {
+    system.access(static_cast<std::uint32_t>(rng.uniform_u64(8)),
+                  32 * rng.uniform_u64(128), AccessType::kLoad, backside);
+  }
+  EXPECT_EQ(system.coherence_stats().upgrades, 0u);
+  EXPECT_EQ(system.coherence_stats().invalidations_sent, 0u);
+  EXPECT_EQ(system.coherence_stats().interventions, 0u);
+}
+
+}  // namespace
+}  // namespace respin::mem

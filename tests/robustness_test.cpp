@@ -1,0 +1,145 @@
+// Robustness and edge-case behaviour of the simulator: cycle limits,
+// degenerate workloads, extreme configurations, and misuse rejection.
+#include <gtest/gtest.h>
+
+#include "core/cluster_sim.hpp"
+#include "core/experiment.hpp"
+#include "workload/workload.hpp"
+
+namespace respin::core {
+namespace {
+
+TEST(Robustness, CycleLimitReportedNotFatal) {
+  ClusterConfig config =
+      make_cluster_config(ConfigId::kShStt, CacheSize::kMedium);
+  SimParams params;
+  params.workload_scale = 1.0;
+  params.max_cycles = 5'000;  // Far too short to finish.
+  ClusterSim sim(config, workload::benchmark("ocean"), params);
+  sim.run();
+  const SimResult r = sim.result();
+  EXPECT_TRUE(r.hit_cycle_limit);
+  EXPECT_FALSE(sim.done());
+  EXPECT_LE(r.cycles, 5'001);
+  // Metrics are still well-formed.
+  EXPECT_GE(r.energy.total(), 0.0);
+}
+
+TEST(Robustness, SingleBarrierOnlyWorkload) {
+  // A workload that is almost all synchronization still completes.
+  workload::WorkloadSpec spec;
+  spec.name = "barrier-storm";
+  workload::Phase p;
+  p.instructions = 200;
+  p.barriers = 20;
+  p.mem_fraction = 0.1;
+  spec.phases = {p};
+  spec.repeat = 3;
+  ClusterConfig config =
+      make_cluster_config(ConfigId::kShStt, CacheSize::kMedium);
+  SimParams params;
+  ClusterSim sim(config, spec, params);
+  sim.run();
+  EXPECT_TRUE(sim.done());
+}
+
+TEST(Robustness, PureComputeWorkload) {
+  workload::WorkloadSpec spec;
+  spec.name = "pure-compute";
+  workload::Phase p;
+  p.instructions = 5'000;
+  p.mem_fraction = 0.0;
+  p.barriers = 0;
+  spec.phases = {p};
+  ClusterConfig config =
+      make_cluster_config(ConfigId::kPrSramNt, CacheSize::kMedium);
+  ClusterSim sim(config, spec, SimParams{});
+  sim.run();
+  EXPECT_TRUE(sim.done());
+  const SimResult r = sim.result();
+  // Ifetch traffic still flows even with no data accesses.
+  EXPECT_GT(r.counts.l1_reads, 0u);
+}
+
+TEST(Robustness, StoreOnlyMemoryTraffic) {
+  workload::WorkloadSpec spec;
+  spec.name = "store-storm";
+  workload::Phase p;
+  p.instructions = 20'000;
+  p.mem_fraction = 0.6;
+  p.store_fraction = 1.0;
+  p.barriers = 0;
+  spec.phases = {p};
+  for (ConfigId id : {ConfigId::kShStt, ConfigId::kPrSramNt}) {
+    ClusterConfig config = make_cluster_config(id, CacheSize::kMedium);
+    ClusterSim sim(config, spec, SimParams{});
+    sim.run();
+    EXPECT_TRUE(sim.done()) << to_string(id);
+  }
+}
+
+TEST(Robustness, LoadOnlyMemoryTraffic) {
+  workload::WorkloadSpec spec;
+  spec.name = "load-storm";
+  workload::Phase p;
+  p.instructions = 20'000;
+  p.mem_fraction = 0.6;
+  p.store_fraction = 0.0;
+  p.barriers = 0;
+  p.hot_kb = 2048;       // Bigger than any cache level.
+  p.hot_fraction = 1.0;
+  spec.phases = {p};
+  ClusterConfig config =
+      make_cluster_config(ConfigId::kShStt, CacheSize::kSmall);
+  ClusterSim sim(config, spec, SimParams{});
+  sim.run();
+  EXPECT_TRUE(sim.done());
+  EXPECT_GT(sim.result().counts.dram_accesses, 0u);
+}
+
+TEST(Robustness, TinyClusterOfFour) {
+  RunOptions options;
+  options.cluster_cores = 4;
+  options.workload_scale = 0.05;
+  for (ConfigId id : {ConfigId::kShStt, ConfigId::kShSttCc,
+                      ConfigId::kPrSramNt}) {
+    const SimResult r = run_experiment(id, "fft", options);
+    EXPECT_GT(r.instructions, 0u) << to_string(id);
+  }
+}
+
+TEST(Robustness, LargestCluster) {
+  RunOptions options;
+  options.cluster_cores = 32;
+  options.workload_scale = 0.03;
+  const SimResult r = run_experiment(ConfigId::kShStt, "ocean", options);
+  EXPECT_GT(r.instructions, 0u);
+  EXPECT_FALSE(r.hit_cycle_limit);
+}
+
+TEST(Robustness, ConsolidationWithTinyWorkload) {
+  // Workload ends before the first epoch boundary: the governor must not
+  // misbehave on an empty trace.
+  RunOptions options;
+  options.workload_scale = 0.01;
+  const SimResult r = run_experiment(ConfigId::kShSttCc, "swaptions", options);
+  EXPECT_GT(r.instructions, 0u);
+  EXPECT_GE(r.avg_active_cores, 4.0);
+}
+
+TEST(Robustness, SeedsProduceDifferentButSaneRuns) {
+  RunOptions a;
+  a.workload_scale = 0.05;
+  a.seed = 1;
+  RunOptions b = a;
+  b.seed = 99;
+  const SimResult ra = run_experiment(ConfigId::kShStt, "barnes", a);
+  const SimResult rb = run_experiment(ConfigId::kShStt, "barnes", b);
+  EXPECT_NE(ra.cycles, rb.cycles);
+  // Same statistical workload: runtimes within 2x of each other.
+  EXPECT_LT(ra.seconds, 2.0 * rb.seconds);
+  EXPECT_LT(rb.seconds, 2.0 * ra.seconds);
+}
+
+}  // namespace
+}  // namespace respin::core

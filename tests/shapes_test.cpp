@@ -1,0 +1,199 @@
+// Paper-shape regression tests.
+//
+// These lock in the *qualitative results* of the reproduction at reduced
+// workload scale: who wins, in which direction, and roughly by how much.
+// They are the contract between this repository and the paper's claims;
+// the bench harnesses print the full-scale versions.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/experiment.hpp"
+#include "util/stats.hpp"
+#include "workload/workload.hpp"
+
+namespace respin::core {
+namespace {
+
+// One shared run cache so each (config, benchmark) simulates once.
+const SimResult& cached(ConfigId id, const std::string& bench) {
+  static std::map<std::pair<ConfigId, std::string>, SimResult> cache;
+  const auto key = std::make_pair(id, bench);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    RunOptions options;
+    options.workload_scale = 0.3;
+    it = cache.emplace(key, run_experiment(id, bench, options)).first;
+  }
+  return it->second;
+}
+
+double suite_energy_ratio(ConfigId id) {
+  std::vector<double> ratios;
+  for (const std::string& bench : workload::benchmark_names()) {
+    ratios.push_back(cached(id, bench).energy.total() /
+                     cached(ConfigId::kPrSramNt, bench).energy.total());
+  }
+  return util::geometric_mean(ratios);
+}
+
+double suite_time_ratio(ConfigId id) {
+  std::vector<double> ratios;
+  for (const std::string& bench : workload::benchmark_names()) {
+    ratios.push_back(cached(id, bench).seconds /
+                     cached(ConfigId::kPrSramNt, bench).seconds);
+  }
+  return util::geometric_mean(ratios);
+}
+
+// --- Figure 7: performance -------------------------------------------------
+
+TEST(PaperShapes, Fig7SharedSttSpeedsUpTheSuite) {
+  const double ratio = suite_time_ratio(ConfigId::kShStt);
+  // Paper: 0.89. Allow the scaled-down band.
+  EXPECT_LT(ratio, 0.97);
+  EXPECT_GT(ratio, 0.80);
+}
+
+TEST(PaperShapes, Fig7HighPerformanceChipIsFastest) {
+  EXPECT_LT(suite_time_ratio(ConfigId::kHpSramCmp),
+            suite_time_ratio(ConfigId::kShStt));
+}
+
+TEST(PaperShapes, Fig7RaytraceBenefitsMost) {
+  // raytrace's shared-scene reuse makes it a top shared-cache winner.
+  const double raytrace = cached(ConfigId::kShStt, "raytrace").seconds /
+                          cached(ConfigId::kPrSramNt, "raytrace").seconds;
+  EXPECT_LT(raytrace, suite_time_ratio(ConfigId::kShStt));
+}
+
+// --- Figures 8/9: energy ----------------------------------------------------
+
+TEST(PaperShapes, Fig9SharedSttSavesAboutAQuarter) {
+  const double ratio = suite_energy_ratio(ConfigId::kShStt);
+  // Paper: 0.77.
+  EXPECT_LT(ratio, 0.85);
+  EXPECT_GT(ratio, 0.68);
+}
+
+TEST(PaperShapes, Fig9HighPerformanceChipCostsMore) {
+  const double ratio = suite_energy_ratio(ConfigId::kHpSramCmp);
+  // Paper: 1.40.
+  EXPECT_GT(ratio, 1.15);
+  EXPECT_LT(ratio, 1.75);
+}
+
+TEST(PaperShapes, Fig9OracleBeatsPlainShared) {
+  EXPECT_LT(suite_energy_ratio(ConfigId::kShSttCcOracle),
+            suite_energy_ratio(ConfigId::kShStt));
+}
+
+TEST(PaperShapes, Fig9OsConsolidationIsCounterproductive) {
+  // Paper: +27% vs SH-STT.
+  EXPECT_GT(suite_energy_ratio(ConfigId::kShSttCcOs),
+            1.1 * suite_energy_ratio(ConfigId::kShStt));
+}
+
+TEST(PaperShapes, Fig8SavingsGrowWithCacheSize) {
+  auto ratio_at = [&](CacheSize size) {
+    RunOptions options;
+    options.workload_scale = 0.3;
+    options.size = size;
+    std::vector<double> ratios;
+    for (const char* bench : {"ocean", "raytrace", "swaptions"}) {
+      const double base =
+          run_experiment(ConfigId::kPrSramNt, bench, options).energy.total();
+      ratios.push_back(
+          run_experiment(ConfigId::kShStt, bench, options).energy.total() /
+          base);
+    }
+    return util::geometric_mean(ratios);
+  };
+  const double small = ratio_at(CacheSize::kSmall);
+  const double large = ratio_at(CacheSize::kLarge);
+  EXPECT_LT(large, small);  // Bigger caches -> bigger leakage savings.
+}
+
+// --- Figures 10/11: shared-cache service quality ----------------------------
+
+TEST(PaperShapes, Fig10MostCyclesAreQuiet) {
+  util::Histogram total(9);
+  for (const char* bench : {"ocean", "raytrace", "radix"}) {
+    total.merge(cached(ConfigId::kShStt, bench).dl1_arrivals);
+  }
+  // Paper: ~49% of cycles see no request; the distribution is decreasing.
+  EXPECT_GT(total.fraction(0), 0.30);
+  EXPECT_GT(total.fraction(0), total.fraction(1));
+  EXPECT_GT(total.fraction(1), total.fraction(3));
+}
+
+TEST(PaperShapes, Fig11SingleCycleHitsDominate) {
+  util::Histogram total(8);
+  std::uint64_t half_misses = 0;
+  std::uint64_t reads = 0;
+  for (const std::string& bench : workload::benchmark_names()) {
+    const SimResult& r = cached(ConfigId::kShStt, bench);
+    total.merge(r.read_hit_latency);
+    half_misses += r.dl1_half_misses;
+    reads += r.dl1_read_hits + r.dl1_read_misses;
+  }
+  // Paper: 95.8% in one cycle, ~4% half-misses.
+  EXPECT_GT(total.fraction(1), 0.90);
+  const double half_miss_rate =
+      static_cast<double>(half_misses) / static_cast<double>(reads);
+  EXPECT_LT(half_miss_rate, 0.10);
+}
+
+// --- Figures 12-14: consolidation -------------------------------------------
+
+TEST(PaperShapes, Fig12RadixConsolidatesDeep) {
+  const SimResult& r = cached(ConfigId::kShSttCcOracle, "radix");
+  EXPECT_LT(r.avg_active_cores, 12.0);
+  // Radix is the paper's best consolidation case: large extra savings.
+  EXPECT_LT(r.energy.total(),
+            0.85 * cached(ConfigId::kShStt, "radix").energy.total());
+}
+
+TEST(PaperShapes, Fig13GreedyLagsOracleOnLu) {
+  const SimResult& greedy = cached(ConfigId::kShSttCc, "lu");
+  const SimResult& oracle = cached(ConfigId::kShSttCcOracle, "lu");
+  // Paper Fig. 13: the greedy search is visibly sub-optimal on lu.
+  EXPECT_GT(greedy.energy.total(), oracle.energy.total());
+  EXPECT_GT(greedy.avg_active_cores, oracle.avg_active_cores);
+}
+
+TEST(PaperShapes, Fig14ConsolidationUsesTheDynamicRange) {
+  util::RunningStat avg;
+  std::uint32_t deepest = 16;
+  for (const std::string& bench : workload::benchmark_names()) {
+    const SimResult& r = cached(ConfigId::kShSttCcOracle, bench);
+    avg.add(r.avg_active_cores);
+    deepest = std::min(deepest, r.min_active_cores);
+  }
+  // Paper: average ~10/16 with excursions down to 4.
+  EXPECT_LT(avg.mean(), 15.0);
+  EXPECT_LE(deepest, 6u);
+}
+
+// --- Section V.D: cluster size ----------------------------------------------
+
+TEST(PaperShapes, ClusterOf16BeatsClusterOf32) {
+  auto gain = [&](std::uint32_t cores) {
+    RunOptions options;
+    options.workload_scale = 0.3;
+    options.cluster_cores = cores;
+    std::vector<double> ratios;
+    for (const char* bench : {"ocean", "raytrace", "streamcluster"}) {
+      const double base =
+          run_experiment(ConfigId::kPrSramNt, bench, options).seconds;
+      ratios.push_back(
+          run_experiment(ConfigId::kShStt, bench, options).seconds / base);
+    }
+    return util::geometric_mean(ratios);
+  };
+  // Lower time ratio = bigger gain; 16 must beat 32 (paper §V.D).
+  EXPECT_LT(gain(16), gain(32));
+}
+
+}  // namespace
+}  // namespace respin::core

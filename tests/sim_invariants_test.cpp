@@ -1,0 +1,108 @@
+// Cross-cutting simulator invariants, checked over a (config x benchmark)
+// grid: accounting identities that must hold for any run.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "core/experiment.hpp"
+
+namespace respin::core {
+namespace {
+
+using Case = std::tuple<ConfigId, std::string>;
+
+const SimResult& run_case(const Case& c) {
+  static std::map<Case, SimResult> cache;
+  auto it = cache.find(c);
+  if (it == cache.end()) {
+    RunOptions options;
+    options.workload_scale = 0.08;
+    it = cache.emplace(c, run_experiment(std::get<0>(c), std::get<1>(c),
+                                         options))
+             .first;
+  }
+  return it->second;
+}
+
+class SimInvariantsTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SimInvariantsTest, ArrivalCensusCoversEveryCycle) {
+  const SimResult& r = run_case(GetParam());
+  if (r.dl1_cycles == 0) GTEST_SKIP() << "private-cache configuration";
+  // The controller samples the arrival histogram exactly once per cycle.
+  EXPECT_EQ(r.dl1_arrivals.total(), r.dl1_cycles);
+  EXPECT_EQ(static_cast<std::int64_t>(r.dl1_cycles), r.cycles);
+}
+
+TEST_P(SimInvariantsTest, ReadsSplitIntoHitsAndMisses) {
+  const SimResult& r = run_case(GetParam());
+  if (r.dl1_cycles == 0) GTEST_SKIP();
+  EXPECT_EQ(r.read_hit_latency.total(), r.dl1_read_hits);
+  EXPECT_GT(r.dl1_read_hits + r.dl1_read_misses, 0u);
+  // Hit-rate sanity bounds only: memory-bound benchmarks (radix's 2MB
+  // scatter) legitimately miss most reads in the 256KB shared L1D.
+  const double hit_rate =
+      static_cast<double>(r.dl1_read_hits) /
+      static_cast<double>(r.dl1_read_hits + r.dl1_read_misses);
+  EXPECT_GT(hit_rate, 0.05);
+  EXPECT_LT(hit_rate, 1.0);
+}
+
+TEST_P(SimInvariantsTest, EnergyIdentities) {
+  const SimResult& r = run_case(GetParam());
+  EXPECT_NEAR(r.energy.total(),
+              r.energy.core_dynamic + r.energy.core_leakage +
+                  r.energy.cache_dynamic + r.energy.cache_leakage +
+                  r.energy.dram + r.energy.network,
+              1e-3);
+  EXPECT_GE(r.energy.core_leakage, 0.0);
+  EXPECT_GT(r.epi_pj(), 0.0);
+}
+
+TEST_P(SimInvariantsTest, TimeAndCyclesAgree) {
+  const SimResult& r = run_case(GetParam());
+  EXPECT_NEAR(r.seconds, static_cast<double>(r.cycles) * 0.4e-9, 1e-12);
+}
+
+TEST_P(SimInvariantsTest, MemoryHierarchyFlowsDownward) {
+  const SimResult& r = run_case(GetParam());
+  // Every L3 read was an L2 miss; every DRAM access was an L3 miss.
+  EXPECT_LE(r.counts.l3_reads, r.counts.l2_reads);
+  EXPECT_LE(r.counts.dram_accesses,
+            r.counts.l3_reads + r.counts.l3_writes + r.counts.l2_writes);
+  // Every backside fill originates from an L1-side event (load miss,
+  // store miss, or ifetch miss), so total L1 traffic bounds L2 reads.
+  EXPECT_GT(r.counts.l1_reads + r.counts.l1_writes, r.counts.l2_reads);
+}
+
+TEST_P(SimInvariantsTest, OnCoreIntegralBounded) {
+  const SimResult& r = run_case(GetParam());
+  const double elapsed_ps = static_cast<double>(r.cycles) * 400.0;
+  EXPECT_LE(r.counts.core_on_ps, 16.0 * elapsed_ps * 1.001);
+  EXPECT_GT(r.counts.core_on_ps, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimInvariantsTest,
+    ::testing::Values(Case{ConfigId::kPrSramNt, "ocean"},
+                      Case{ConfigId::kPrSramNt, "swaptions"},
+                      Case{ConfigId::kHpSramCmp, "fft"},
+                      Case{ConfigId::kShSramNom, "raytrace"},
+                      Case{ConfigId::kShStt, "ocean"},
+                      Case{ConfigId::kShStt, "radix"},
+                      Case{ConfigId::kShSttCc, "bodytrack"},
+                      Case{ConfigId::kPrSttCc, "lu"},
+                      Case{ConfigId::kShSttCcOs, "streamcluster"}),
+    [](const auto& info) {
+      std::string name = std::string(to_string(std::get<0>(info.param))) +
+                         "_" + std::get<1>(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace respin::core

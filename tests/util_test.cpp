@@ -1,0 +1,221 @@
+// Tests for respin::util — RNG determinism and distributions, streaming
+// statistics, histograms, and the table renderer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace respin::util {
+namespace {
+
+TEST(Units, NsRoundTrips) {
+  EXPECT_EQ(ns(0.4), 400);
+  EXPECT_EQ(ns(1.6), 1600);
+  EXPECT_DOUBLE_EQ(to_ns(2400), 2.4);
+}
+
+TEST(Units, FrequencyOfPeriod) {
+  EXPECT_DOUBLE_EQ(frequency_hz(400), 2.5e9);
+  EXPECT_EQ(period_from_ghz(2.5), 400);
+}
+
+TEST(Units, LeakageEnergyIsWattsTimesPicoseconds) {
+  // 1 W over 1 ns = 1000 pJ... 1 W * 1000 ps = 1000 pJ = 1 nJ.
+  EXPECT_DOUBLE_EQ(leakage_energy(1.0, 1000), 1000.0);
+}
+
+TEST(Units, CapacityLiterals) {
+  EXPECT_EQ(KiB(16), 16384u);
+  EXPECT_EQ(MiB(4), 4u * 1024 * 1024);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a("stream", 7);
+  Rng b("stream", 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DistinctStreamsDiffer) {
+  Rng a("stream", 7);
+  Rng b("stream", 8);
+  Rng c("other", 7);
+  int same_ab = 0;
+  int same_ac = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto x = a.next_u64();
+    if (x == b.next_u64()) ++same_ab;
+    if (x == c.next_u64()) ++same_ac;
+  }
+  EXPECT_EQ(same_ab, 0);
+  EXPECT_EQ(same_ac, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng("uniform", 1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformU64Unbiased) {
+  Rng rng("u64", 1);
+  std::vector<int> counts(7, 0);
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_u64(7)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 7, kDraws / 7 * 0.15);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng("normal", 1);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.add(rng.normal());
+  EXPECT_NEAR(stat.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stat.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, GeometricMeanMatchesTheory) {
+  Rng rng("geom", 1);
+  const double p = 0.3;
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    stat.add(static_cast<double>(rng.geometric(p, 100000)));
+  }
+  EXPECT_NEAR(stat.mean(), (1.0 - p) / p, 0.08);
+}
+
+TEST(Rng, GeometricRespectsCap) {
+  Rng rng("geomcap", 1);
+  for (int i = 0; i < 1000; ++i) EXPECT_LE(rng.geometric(0.001, 5), 5u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng("bern", 1);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) heads += rng.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(heads / 20000.0, 0.25, 0.02);
+}
+
+TEST(RunningStat, BasicMoments) {
+  RunningStat s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat all;
+  RunningStat left;
+  RunningStat right;
+  Rng rng("merge", 1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(4);
+  h.add(0);
+  h.add(1, 2);
+  h.add(3);
+  h.add(10);  // Overflows into the last bucket.
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 0u);
+  EXPECT_EQ(h.bucket(3), 2u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.4);
+}
+
+TEST(Histogram, Quantile) {
+  Histogram h(8);
+  for (std::uint64_t v = 0; v < 8; ++v) h.add(v, 10);
+  EXPECT_EQ(h.quantile(0.0), 0u);
+  EXPECT_EQ(h.quantile(0.5), 3u);
+  EXPECT_EQ(h.quantile(1.0), 7u);
+}
+
+TEST(Histogram, MergeAddsMass) {
+  Histogram a(4);
+  Histogram b(4);
+  a.add(1);
+  b.add(1, 3);
+  b.add(2);
+  a.merge(b);
+  EXPECT_EQ(a.bucket(1), 4u);
+  EXPECT_EQ(a.bucket(2), 1u);
+  EXPECT_EQ(a.total(), 5u);
+}
+
+TEST(Histogram, MergeRejectsMismatchedWidth) {
+  Histogram a(4);
+  Histogram b(5);
+  EXPECT_THROW(a.merge(b), std::logic_error);
+}
+
+TEST(Means, GeometricAndArithmetic) {
+  EXPECT_DOUBLE_EQ(geometric_mean({2.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(arithmetic_mean({2.0, 8.0}), 5.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({}), 0.0);
+  EXPECT_THROW(geometric_mean({1.0, -1.0}), std::logic_error);
+}
+
+TEST(Table, RendersAlignedRows) {
+  TextTable t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"bb", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| bb    | 22    |"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  TextTable t("Demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(percent(-0.112), "-11.2%");
+  EXPECT_EQ(percent(0.05, 0), "+5%");
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10), "#####");
+  EXPECT_EQ(ascii_bar(0.0, 10.0, 10), "");
+}
+
+TEST(Env, FallbackWhenUnset) {
+  EXPECT_EQ(env_long("RESPIN_DEFINITELY_UNSET_VAR", 42), 42);
+}
+
+}  // namespace
+}  // namespace respin::util

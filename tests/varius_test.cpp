@@ -1,0 +1,185 @@
+// Tests for respin::varius — the process-variation map: determinism,
+// distribution moments, spatial structure, and multiplier derivation.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tech/technology.hpp"
+#include "util/stats.hpp"
+#include "varius/variation.hpp"
+
+namespace respin::varius {
+namespace {
+
+tech::TechnologyParams tech_params() {
+  return tech::TechnologyParams::ipdps2017();
+}
+
+TEST(VariationMap, DeterministicPerSeed) {
+  VariationParams params;
+  params.seed = 42;
+  VariationMap a(tech_params(), params, 8);
+  VariationMap b(tech_params(), params, 8);
+  for (std::uint32_t c = 0; c < a.core_count(); ++c) {
+    EXPECT_DOUBLE_EQ(a.core_vth(c), b.core_vth(c));
+  }
+}
+
+TEST(VariationMap, DifferentSeedsDifferentDies) {
+  VariationParams pa;
+  pa.seed = 1;
+  VariationParams pb;
+  pb.seed = 2;
+  VariationMap a(tech_params(), pa, 8);
+  VariationMap b(tech_params(), pb, 8);
+  int differing = 0;
+  for (std::uint32_t c = 0; c < a.core_count(); ++c) {
+    if (a.core_vth(c) != b.core_vth(c)) ++differing;
+  }
+  EXPECT_GT(differing, 32);
+}
+
+TEST(VariationMap, GridMomentsMatchSigma) {
+  const auto tp = tech_params();
+  VariationParams params;
+  params.grid_size = 64;
+  util::RunningStat stat;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    params.seed = seed;
+    VariationMap map(tp, params, 8);
+    for (std::uint32_t y = 0; y < map.grid_size(); ++y) {
+      for (std::uint32_t x = 0; x < map.grid_size(); ++x) {
+        stat.add(map.grid_vth(x, y));
+      }
+    }
+  }
+  EXPECT_NEAR(stat.mean(), tp.vth_mean, 0.01);
+  EXPECT_NEAR(stat.stddev(), tp.vth_mean * tp.vth_sigma_ratio, 0.005);
+}
+
+TEST(VariationMap, SpatialCorrelationDecaysWithDistance) {
+  const auto tp = tech_params();
+  VariationParams params;
+  params.grid_size = 64;
+  // Average product of deviations at distance 1 vs distance 24.
+  double near_cov = 0.0;
+  double far_cov = 0.0;
+  int samples = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    params.seed = seed;
+    VariationMap map(tp, params, 8);
+    for (std::uint32_t y = 0; y < 64; ++y) {
+      for (std::uint32_t x = 0; x + 24 < 64; ++x) {
+        const double a = map.grid_vth(x, y) - tp.vth_mean;
+        near_cov += a * (map.grid_vth(x + 1, y) - tp.vth_mean);
+        far_cov += a * (map.grid_vth(x + 24, y) - tp.vth_mean);
+        ++samples;
+      }
+    }
+  }
+  EXPECT_GT(near_cov / samples, 2.0 * std::abs(far_cov / samples));
+}
+
+TEST(VariationMap, CoreVthIsWorstOfFootprint) {
+  const auto tp = tech_params();
+  VariationParams params;
+  params.grid_size = 32;
+  params.seed = 7;
+  VariationMap map(tp, params, 8);
+  // Core (0,0) covers grid cells [0,4) x [0,4).
+  double worst = -1.0;
+  for (std::uint32_t y = 0; y < 4; ++y) {
+    for (std::uint32_t x = 0; x < 4; ++x) {
+      worst = std::max(worst, map.grid_vth(x, y));
+    }
+  }
+  EXPECT_DOUBLE_EQ(map.core_vth(0), worst);
+}
+
+TEST(VariationMap, WorstCaseBiasesCoreVthAboveMean) {
+  const auto tp = tech_params();
+  VariationParams params;
+  util::RunningStat stat;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    params.seed = seed;
+    VariationMap map(tp, params, 8);
+    for (std::uint32_t c = 0; c < map.core_count(); ++c) {
+      stat.add(map.core_vth(c));
+    }
+  }
+  EXPECT_GT(stat.mean(), tp.vth_mean);  // max over footprint > mean.
+}
+
+TEST(VariationMap, FrequencySpreadAtNearThreshold) {
+  const auto tp = tech_params();
+  VariationParams params;
+  params.seed = 3;
+  VariationMap map(tp, params, 8);
+  double fmin = 1e18;
+  double fmax = 0.0;
+  for (std::uint32_t c = 0; c < map.core_count(); ++c) {
+    const double f = map.core_max_frequency(c, tp.nt_core_vdd);
+    fmin = std::min(fmin, f);
+    fmax = std::max(fmax, f);
+  }
+  // Paper: fast cores are almost twice as fast as slow ones.
+  EXPECT_GT(fmax / fmin, 1.3);
+  EXPECT_LT(fmax / fmin, 3.0);
+}
+
+TEST(VariationMap, RejectsBadGeometry) {
+  VariationParams params;
+  params.grid_size = 4;
+  EXPECT_THROW(VariationMap(tech_params(), params, 8), std::logic_error);
+  params = VariationParams{};
+  params.systematic_fraction = 1.5;
+  EXPECT_THROW(VariationMap(tech_params(), params, 8), std::logic_error);
+}
+
+TEST(ClusterMultipliers, WithinConfiguredRange) {
+  const auto tp = tech_params();
+  tech::ClusterClocking clocking;
+  VariationParams params;
+  params.seed = 5;
+  VariationMap map(tp, params, 8);
+  const auto mults =
+      cluster_multipliers(map, clocking, tp.nt_core_vdd, 0, 16);
+  ASSERT_EQ(mults.size(), 16u);
+  for (int m : mults) {
+    EXPECT_GE(m, clocking.min_core_multiplier);
+    EXPECT_LE(m, clocking.max_core_multiplier);
+  }
+}
+
+TEST(ClusterMultipliers, HeterogeneousAcrossDies) {
+  // Across several dies the quantizer should produce a mix of multipliers,
+  // not a degenerate single bin (the time-multiplexing controller depends
+  // on heterogeneous core frequencies).
+  const auto tp = tech_params();
+  tech::TechnologyParams fast = tp;
+  fast.nominal_frequency_hz *= 1.35;  // Matches the config layer's margin.
+  tech::ClusterClocking clocking;
+  std::set<int> seen;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    VariationParams params;
+    params.seed = seed;
+    VariationMap map(fast, params, 8);
+    for (int m :
+         cluster_multipliers(map, clocking, tp.nt_core_vdd, 0, 64)) {
+      seen.insert(m);
+    }
+  }
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(ClusterMultipliers, RangeChecked) {
+  const auto tp = tech_params();
+  tech::ClusterClocking clocking;
+  VariationParams params;
+  VariationMap map(tp, params, 8);
+  EXPECT_THROW(cluster_multipliers(map, clocking, tp.nt_core_vdd, 60, 16),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace respin::varius

@@ -1,0 +1,130 @@
+// Parameterized statistical validation of every catalog benchmark: the
+// generated op stream must deliver each benchmark's specified memory
+// intensity, store ratio, and shared-access fraction, with all addresses
+// inside their regions. This pins the workload models to their published
+// characterizations benchmark by benchmark.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "workload/workload.hpp"
+
+namespace respin::workload {
+namespace {
+
+struct StreamStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t shared = 0;
+  std::uint64_t barriers = 0;
+};
+
+StreamStats measure(const WorkloadSpec& spec, std::uint32_t thread) {
+  ThreadWorkload work(spec, thread, 16, 0.2, 1);
+  StreamStats stats;
+  while (!work.finished()) {
+    const Op op = work.next();
+    switch (op.kind) {
+      case OpKind::kLoad:
+        ++stats.loads;
+        break;
+      case OpKind::kStore:
+        ++stats.stores;
+        break;
+      case OpKind::kBarrier:
+        ++stats.barriers;
+        break;
+      default:
+        break;
+    }
+    if ((op.kind == OpKind::kLoad || op.kind == OpKind::kStore) &&
+        op.addr >= ThreadWorkload::shared_base() &&
+        op.addr < ThreadWorkload::code_base()) {
+      ++stats.shared;
+    }
+  }
+  stats.instructions = work.instructions_emitted();
+  return stats;
+}
+
+// Instruction-weighted expectation of a phase field over the spec.
+template <typename Getter>
+double expected(const WorkloadSpec& spec, Getter get) {
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const Phase& p : spec.phases) {
+    const auto instr = static_cast<double>(p.instructions);
+    weighted += get(p) * instr;
+    total += instr;
+  }
+  return weighted / total;
+}
+
+class BenchmarkStatsTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkStatsTest, MemoryIntensityMatchesSpec) {
+  const WorkloadSpec& spec = benchmark(GetParam());
+  const StreamStats stats = measure(spec, 3);
+  const double measured =
+      static_cast<double>(stats.loads + stats.stores) /
+      static_cast<double>(stats.instructions);
+  const double target =
+      expected(spec, [](const Phase& p) { return p.mem_fraction; });
+  // Work imbalance reweights phases per thread; allow a modest band.
+  EXPECT_NEAR(measured, target, 0.06) << GetParam();
+}
+
+TEST_P(BenchmarkStatsTest, StoreRatioMatchesSpec) {
+  const WorkloadSpec& spec = benchmark(GetParam());
+  const StreamStats stats = measure(spec, 5);
+  const double measured = static_cast<double>(stats.stores) /
+                          static_cast<double>(stats.loads + stats.stores);
+  const double target = expected(spec, [](const Phase& p) {
+    return p.store_fraction * p.mem_fraction;
+  }) / expected(spec, [](const Phase& p) { return p.mem_fraction; });
+  EXPECT_NEAR(measured, target, 0.08) << GetParam();
+}
+
+TEST_P(BenchmarkStatsTest, SharedFractionMatchesSpec) {
+  const WorkloadSpec& spec = benchmark(GetParam());
+  const StreamStats stats = measure(spec, 7);
+  const double measured = static_cast<double>(stats.shared) /
+                          static_cast<double>(stats.loads + stats.stores);
+  const double target = expected(spec, [](const Phase& p) {
+    return p.shared_fraction * p.mem_fraction;
+  }) / expected(spec, [](const Phase& p) { return p.mem_fraction; });
+  EXPECT_NEAR(measured, target, 0.08) << GetParam();
+}
+
+TEST_P(BenchmarkStatsTest, EveryThreadTerminates) {
+  const WorkloadSpec& spec = benchmark(GetParam());
+  for (std::uint32_t t : {0u, 8u, 15u}) {
+    ThreadWorkload work(spec, t, 16, 0.05, 2);
+    std::size_t guard = 0;
+    while (!work.finished() && guard++ < (1u << 22)) work.next();
+    EXPECT_TRUE(work.finished()) << GetParam() << " thread " << t;
+  }
+}
+
+TEST_P(BenchmarkStatsTest, BarrierCountIndependentOfThread) {
+  const WorkloadSpec& spec = benchmark(GetParam());
+  const StreamStats a = measure(spec, 0);
+  const StreamStats b = measure(spec, 11);
+  EXPECT_EQ(a.barriers, b.barriers) << GetParam();
+  EXPECT_GT(a.barriers, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, BenchmarkStatsTest,
+                         ::testing::ValuesIn(benchmark_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace respin::workload

@@ -1,0 +1,334 @@
+// Tests for respin::workload — determinism, op-stream statistics, barrier
+// alignment across threads, and the benchmark catalog.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "workload/workload.hpp"
+
+namespace respin::workload {
+namespace {
+
+WorkloadSpec two_phase_spec() {
+  WorkloadSpec spec;
+  spec.name = "test";
+  Phase a;
+  a.instructions = 10'000;
+  a.mem_fraction = 0.3;
+  a.store_fraction = 0.4;
+  a.shared_fraction = 0.25;
+  a.barriers = 2;
+  Phase b = a;
+  b.instructions = 5'000;
+  b.parallel_fraction = 0.5;
+  b.barriers = 1;
+  spec.phases = {a, b};
+  spec.repeat = 2;
+  return spec;
+}
+
+std::vector<Op> drain(ThreadWorkload& thread, std::size_t cap = 1u << 22) {
+  std::vector<Op> ops;
+  while (!thread.finished() && ops.size() < cap) {
+    ops.push_back(thread.next());
+  }
+  return ops;
+}
+
+TEST(ThreadWorkload, DeterministicStream) {
+  const WorkloadSpec spec = two_phase_spec();
+  ThreadWorkload a(spec, 0, 4, 1.0, 7);
+  ThreadWorkload b(spec, 0, 4, 1.0, 7);
+  for (int i = 0; i < 5000; ++i) {
+    const Op x = a.next();
+    const Op y = b.next();
+    ASSERT_EQ(static_cast<int>(x.kind), static_cast<int>(y.kind));
+    ASSERT_EQ(x.addr, y.addr);
+    ASSERT_EQ(x.count, y.count);
+  }
+}
+
+TEST(ThreadWorkload, DifferentSeedsDifferentStreams) {
+  const WorkloadSpec spec = two_phase_spec();
+  ThreadWorkload a(spec, 0, 4, 1.0, 7);
+  ThreadWorkload b(spec, 0, 4, 1.0, 8);
+  int diffs = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next().addr != b.next().addr) ++diffs;
+  }
+  EXPECT_GT(diffs, 100);
+}
+
+TEST(ThreadWorkload, BarrierSequenceIdenticalAcrossThreads) {
+  const WorkloadSpec spec = two_phase_spec();
+  std::vector<std::vector<std::uint64_t>> barrier_ids(4);
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    ThreadWorkload thread(spec, t, 4, 1.0, 7);
+    for (const Op& op : drain(thread)) {
+      if (op.kind == OpKind::kBarrier) barrier_ids[t].push_back(op.addr);
+    }
+  }
+  for (std::uint32_t t = 1; t < 4; ++t) {
+    EXPECT_EQ(barrier_ids[t], barrier_ids[0]) << "thread " << t;
+  }
+  // (barriers-in-phase + end barrier) summed over the unrolled phases:
+  // ((2+1) + (1+1)) * 2 repeats = 10.
+  ASSERT_EQ(barrier_ids[0].size(), 10u);
+  for (std::size_t i = 0; i < barrier_ids[0].size(); ++i) {
+    EXPECT_EQ(barrier_ids[0][i], i);  // Dense, ordered ids.
+  }
+}
+
+TEST(ThreadWorkload, BarrierCountsAlignedEvenAtExtremeScales) {
+  // Regression: a light thread whose phase budget is smaller than the
+  // phase's barrier count must still emit every barrier, or the cluster
+  // barrier deadlocks (found via the 32-core robustness test).
+  const WorkloadSpec& ocean = benchmark("ocean");
+  for (double scale : {0.01, 0.03}) {
+    std::uint64_t expected = 0;
+    for (std::uint32_t t = 0; t < 16; ++t) {
+      ThreadWorkload thread(ocean, t, 16, scale, 1);
+      std::uint64_t barriers = 0;
+      for (const Op& op : drain(thread)) {
+        if (op.kind == OpKind::kBarrier) ++barriers;
+      }
+      if (t == 0) {
+        expected = barriers;
+      } else {
+        ASSERT_EQ(barriers, expected) << "thread " << t << " scale " << scale;
+      }
+    }
+  }
+}
+
+TEST(ThreadWorkload, InstructionCountMatchesSpec) {
+  WorkloadSpec spec = two_phase_spec();
+  spec.phases[1].parallel_fraction = 1.0;  // Every thread full-work.
+  ThreadWorkload thread(spec, 0, 4, 1.0, 7);
+  drain(thread);
+  // Full-work thread: (10000 + 5000) * 2 within the +-10% work jitter.
+  const auto emitted = static_cast<double>(thread.instructions_emitted());
+  EXPECT_GT(emitted, 27'000.0);
+  EXPECT_LT(emitted, 33'100.0);
+}
+
+TEST(ThreadWorkload, ScaleMultipliesWork) {
+  WorkloadSpec spec = two_phase_spec();
+  spec.phases[1].parallel_fraction = 1.0;
+  ThreadWorkload full(spec, 0, 4, 1.0, 7);
+  ThreadWorkload quarter(spec, 0, 4, 0.25, 7);
+  drain(full);
+  drain(quarter);
+  EXPECT_NEAR(static_cast<double>(quarter.instructions_emitted()),
+              0.25 * static_cast<double>(full.instructions_emitted()),
+              0.05 * static_cast<double>(full.instructions_emitted()));
+}
+
+TEST(ThreadWorkload, ReducedParallelismShrinksSomeThreads) {
+  WorkloadSpec spec = two_phase_spec();  // Phase b: par 0.5.
+  spec.repeat = 1;  // One reduced phase, so the light slots are visible.
+  std::vector<std::uint64_t> totals;
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    ThreadWorkload thread(spec, t, 4, 1.0, 7);
+    drain(thread);
+    totals.push_back(thread.instructions_emitted());
+  }
+  const auto [lo, hi] = std::minmax_element(totals.begin(), totals.end());
+  EXPECT_LT(static_cast<double>(*lo), 0.8 * static_cast<double>(*hi));
+}
+
+TEST(ThreadWorkload, MemFractionApproximatesTarget) {
+  WorkloadSpec spec = two_phase_spec();
+  spec.phases.resize(1);
+  spec.phases[0].instructions = 200'000;
+  spec.phases[0].barriers = 0;
+  spec.repeat = 1;
+  ThreadWorkload thread(spec, 0, 4, 1.0, 7);
+  std::uint64_t mem_ops = 0;
+  for (const Op& op : drain(thread)) {
+    if (op.kind == OpKind::kLoad || op.kind == OpKind::kStore) ++mem_ops;
+  }
+  const double fraction = static_cast<double>(mem_ops) /
+                          static_cast<double>(thread.instructions_emitted());
+  EXPECT_NEAR(fraction, 0.3, 0.02);
+}
+
+TEST(ThreadWorkload, StoreFractionApproximatesTarget) {
+  WorkloadSpec spec = two_phase_spec();
+  spec.phases.resize(1);
+  spec.phases[0].instructions = 200'000;
+  spec.repeat = 1;
+  ThreadWorkload thread(spec, 0, 4, 1.0, 7);
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  for (const Op& op : drain(thread)) {
+    if (op.kind == OpKind::kLoad) ++loads;
+    if (op.kind == OpKind::kStore) ++stores;
+  }
+  EXPECT_NEAR(static_cast<double>(stores) / (loads + stores), 0.4, 0.03);
+}
+
+TEST(ThreadWorkload, AddressesStayInTheRightRegions) {
+  const WorkloadSpec spec = two_phase_spec();
+  for (std::uint32_t t : {0u, 3u}) {
+    ThreadWorkload thread(spec, t, 4, 1.0, 7);
+    std::uint64_t shared = 0;
+    std::uint64_t total = 0;
+    for (const Op& op : drain(thread)) {
+      if (op.kind != OpKind::kLoad && op.kind != OpKind::kStore) continue;
+      ++total;
+      if (op.addr >= ThreadWorkload::shared_base() &&
+          op.addr < ThreadWorkload::code_base()) {
+        ++shared;
+      } else {
+        const mem::Addr base = ThreadWorkload::private_base(t);
+        ASSERT_GE(op.addr, base);
+        ASSERT_LT(op.addr, ThreadWorkload::private_base(t + 1));
+      }
+    }
+    EXPECT_NEAR(static_cast<double>(shared) / total, 0.25, 0.04);
+  }
+}
+
+TEST(ThreadWorkload, PrivateRegionsAreDisjointAcrossThreads) {
+  EXPECT_LT(ThreadWorkload::private_base(0), ThreadWorkload::private_base(1));
+  EXPECT_LT(ThreadWorkload::private_base(15), ThreadWorkload::shared_base());
+  EXPECT_LT(ThreadWorkload::shared_base(), ThreadWorkload::code_base());
+}
+
+TEST(ThreadWorkload, IfetchStreamStaysInCodeRegion) {
+  const WorkloadSpec spec = two_phase_spec();
+  ThreadWorkload thread(spec, 1, 4, 1.0, 7);
+  mem::Addr previous = 0;
+  int sequential = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const mem::Addr addr = thread.next_ifetch_addr();
+    ASSERT_GE(addr, ThreadWorkload::code_base());
+    ASSERT_LT(addr, ThreadWorkload::code_base() + spec.code_kb * 1024ull);
+    if (addr == previous + 32) ++sequential;
+    previous = addr;
+  }
+  // Mostly sequential fetch with occasional taken branches.
+  EXPECT_GT(sequential, 1500);
+  EXPECT_LT(sequential, 1999);
+}
+
+TEST(ThreadWorkload, FinishedIsSticky) {
+  WorkloadSpec spec = two_phase_spec();
+  spec.phases.resize(1);
+  spec.phases[0].instructions = 100;
+  spec.repeat = 1;
+  ThreadWorkload thread(spec, 0, 4, 1.0, 7);
+  drain(thread);
+  EXPECT_TRUE(thread.finished());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(static_cast<int>(thread.next().kind),
+              static_cast<int>(OpKind::kFinished));
+  }
+}
+
+TEST(ThreadWorkload, ComputeOpsCarryPhaseIpc) {
+  WorkloadSpec spec = two_phase_spec();
+  spec.phases.resize(1);
+  spec.phases[0].ipc = 1.7;
+  spec.repeat = 1;
+  ThreadWorkload thread(spec, 0, 4, 1.0, 7);
+  bool saw_compute = false;
+  for (const Op& op : drain(thread)) {
+    if (op.kind == OpKind::kCompute) {
+      EXPECT_DOUBLE_EQ(op.ipc, 1.7);
+      saw_compute = true;
+    }
+  }
+  EXPECT_TRUE(saw_compute);
+}
+
+TEST(ThreadWorkload, RejectsBadConstruction) {
+  const WorkloadSpec spec = two_phase_spec();
+  EXPECT_THROW(ThreadWorkload(spec, 4, 4, 1.0, 7), std::logic_error);
+  EXPECT_THROW(ThreadWorkload(spec, 0, 4, 0.0, 7), std::logic_error);
+  WorkloadSpec empty;
+  empty.name = "empty";
+  EXPECT_THROW(ThreadWorkload(empty, 0, 4, 1.0, 7), std::logic_error);
+}
+
+TEST(Catalog, ContainsThePapersThirteenBenchmarks) {
+  const auto names = benchmark_names();
+  ASSERT_EQ(names.size(), 13u);
+  const std::set<std::string> expected = {
+      "barnes",       "cholesky", "fft",       "lu",        "ocean",
+      "radiosity",    "radix",    "raytrace",  "water-ns",  "blackscholes",
+      "bodytrack",    "streamcluster", "swaptions"};
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);
+}
+
+TEST(Catalog, LookupByNameAndUnknownRejected) {
+  EXPECT_EQ(benchmark("ocean").name, "ocean");
+  EXPECT_THROW(benchmark("doom"), std::logic_error);
+}
+
+TEST(Catalog, OceanHasManyBarriers) {
+  const WorkloadSpec& ocean = benchmark("ocean");
+  std::uint32_t barriers = 0;
+  for (const Phase& p : ocean.phases) barriers += p.barriers + 1;
+  barriers *= ocean.repeat;
+  EXPECT_GT(barriers, 100u);  // "hundreds of barriers".
+}
+
+TEST(Catalog, RaytraceIsSharingHeavy) {
+  const WorkloadSpec& raytrace = benchmark("raytrace");
+  double max_shared = 0.0;
+  for (const Phase& p : raytrace.phases) {
+    max_shared = std::max(max_shared, p.shared_fraction);
+  }
+  EXPECT_GE(max_shared, 0.5);
+}
+
+TEST(Catalog, LuLosesParallelismInLaterStages) {
+  const WorkloadSpec& lu = benchmark("lu");
+  EXPECT_GT(lu.phases.front().parallel_fraction,
+            lu.phases.back().parallel_fraction + 0.5);
+}
+
+TEST(Catalog, AllPhasesAreWellFormed) {
+  for (const WorkloadSpec& spec : benchmark_catalog()) {
+    EXPECT_FALSE(spec.phases.empty()) << spec.name;
+    EXPECT_GE(spec.repeat, 1u) << spec.name;
+    for (const Phase& p : spec.phases) {
+      EXPECT_GT(p.instructions, 0u) << spec.name;
+      EXPECT_GT(p.ipc, 0.0) << spec.name;
+      EXPECT_LE(p.ipc, 2.0) << spec.name;
+      EXPECT_GE(p.mem_fraction, 0.0) << spec.name;
+      EXPECT_LE(p.mem_fraction, 1.0) << spec.name;
+      EXPECT_GE(p.parallel_fraction, 0.0) << spec.name;
+      EXPECT_LE(p.parallel_fraction, 1.0) << spec.name;
+    }
+  }
+}
+
+// Property: every thread of every catalog benchmark terminates and emits
+// the same barrier count.
+TEST(CatalogProperty, AllBenchmarksTerminateWithAlignedBarriers) {
+  for (const WorkloadSpec& spec : benchmark_catalog()) {
+    std::uint64_t expected_barriers = UINT64_MAX;
+    for (std::uint32_t t = 0; t < 4; ++t) {
+      ThreadWorkload thread(spec, t, 4, 0.05, 1);
+      std::uint64_t barriers = 0;
+      for (const Op& op : drain(thread)) {
+        if (op.kind == OpKind::kBarrier) ++barriers;
+      }
+      ASSERT_TRUE(thread.finished()) << spec.name;
+      if (expected_barriers == UINT64_MAX) {
+        expected_barriers = barriers;
+      } else {
+        ASSERT_EQ(barriers, expected_barriers) << spec.name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace respin::workload

@@ -1,0 +1,136 @@
+// respin_sim — command-line driver for the Respin simulator.
+//
+// Runs one (configuration, benchmark) pair — or the whole suite — and
+// prints a summary; optionally exports results and consolidation traces
+// as CSV for external analysis.
+//
+//   respin_sim --config SH-STT-CC --benchmark radix
+//   respin_sim --config SH-STT --all --csv results.csv
+//   respin_sim --config SH-STT-CC --benchmark lu --trace trace.csv
+//   respin_sim --config SH-STT --benchmark ocean --chip
+//
+// Options:
+//   --config <name>      Table IV configuration (default SH-STT)
+//   --benchmark <name>   benchmark (default ocean); --all runs the suite
+//   --size <class>       small | medium | large          (default medium)
+//   --cluster <n>        cores per cluster: 4/8/16/32    (default 16)
+//   --scale <x>          workload length multiplier      (default 1.0)
+//   --seed <n>           die + workload seed             (default 1)
+//   --chip               simulate all clusters of the 64-core chip
+//   --csv <file>         write result rows as CSV
+//   --trace <file>       write the consolidation trace as CSV
+//   --list               list configurations and benchmarks, then exit
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/chip.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+[[noreturn]] void usage_error(const char* message) {
+  std::fprintf(stderr, "respin_sim: %s (try --list)\n", message);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace respin;
+
+  std::string config_name = "SH-STT";
+  std::string benchmark = "ocean";
+  bool run_all = false;
+  bool chip = false;
+  std::string csv_path;
+  std::string trace_path;
+  core::RunOptions options;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) usage_error((std::string(flag) + " needs a value").c_str());
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--config") == 0) {
+      config_name = need_value("--config");
+    } else if (std::strcmp(argv[i], "--benchmark") == 0) {
+      benchmark = need_value("--benchmark");
+    } else if (std::strcmp(argv[i], "--all") == 0) {
+      run_all = true;
+    } else if (std::strcmp(argv[i], "--size") == 0) {
+      options.size = core::parse_cache_size(need_value("--size"));
+    } else if (std::strcmp(argv[i], "--cluster") == 0) {
+      options.cluster_cores =
+          static_cast<std::uint32_t>(std::atoi(need_value("--cluster")));
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      options.workload_scale = std::atof(need_value("--scale"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      options.seed = static_cast<std::uint64_t>(
+          std::strtoull(need_value("--seed"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--chip") == 0) {
+      chip = true;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv_path = need_value("--csv");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = need_value("--trace");
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      std::printf("configurations:\n");
+      for (core::ConfigId id : core::all_config_ids()) {
+        std::printf("  %s\n", core::to_string(id));
+      }
+      std::printf("benchmarks:\n");
+      for (const std::string& name : workload::benchmark_names()) {
+        std::printf("  %s\n", name.c_str());
+      }
+      return 0;
+    } else {
+      usage_error((std::string("unknown option ") + argv[i]).c_str());
+    }
+  }
+
+  const core::ConfigId config = core::parse_config_id(config_name);
+
+  if (chip) {
+    const core::ChipResult result = core::run_chip(config, benchmark, options);
+    std::printf("%s/%s on the full 64-core chip (%zu clusters):\n",
+                result.config_name.c_str(), benchmark.c_str(),
+                result.clusters.size());
+    std::printf("  time %.3f ms, energy %.1f mJ, power %.1f W, %llu instr\n",
+                result.seconds * 1e3, result.energy.total() * 1e-9,
+                result.watts(),
+                static_cast<unsigned long long>(result.instructions));
+    for (const auto& r : result.clusters) {
+      std::printf("  cluster: %s\n", core::summarize(r).c_str());
+    }
+    return 0;
+  }
+
+  std::vector<core::SimResult> results;
+  const std::vector<std::string> benches =
+      run_all ? workload::benchmark_names()
+              : std::vector<std::string>{benchmark};
+  for (const std::string& name : benches) {
+    results.push_back(core::run_experiment(config, name, options));
+    std::printf("%s\n", core::summarize(results.back()).c_str());
+  }
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) usage_error("cannot open --csv output file");
+    core::write_results_csv(out, results);
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) usage_error("cannot open --trace output file");
+    core::write_trace_csv(out, results.front());
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
+  return 0;
+}
