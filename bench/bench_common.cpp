@@ -2,7 +2,9 @@
 
 #include <cstdio>
 
+#include "exec/thread_pool.hpp"
 #include "util/env.hpp"
+#include "workload/workload.hpp"
 
 namespace respin::bench {
 
@@ -18,9 +20,15 @@ void print_banner(const std::string& artifact, const std::string& paper_claim,
   std::printf("Paper: %s\n", paper_claim.c_str());
   std::printf(
       "Setup: %u-core cluster, %s caches, workload scale %.1f "
-      "(RESPIN_SIM_SCALE)\n\n",
+      "(RESPIN_SIM_SCALE), %zu host threads (RESPIN_THREADS)\n\n",
       options.cluster_cores, core::to_string(options.size),
-      options.workload_scale);
+      options.workload_scale, exec::thread_count());
+}
+
+std::vector<std::vector<core::SimResult>> run_suite_matrix(
+    const std::vector<core::ConfigId>& configs,
+    const core::RunOptions& options) {
+  return core::run_matrix(configs, workload::benchmark_names(), options);
 }
 
 std::string norm(double value) { return util::fixed(value, 3); }

@@ -16,9 +16,17 @@ namespace respin::bench {
 core::RunOptions default_options();
 
 /// Prints a standard experiment banner: which paper artifact this binary
-/// regenerates and the knobs in effect.
+/// regenerates and the knobs in effect (including the host fan-out width).
 void print_banner(const std::string& artifact, const std::string& paper_claim,
                   const core::RunOptions& options);
+
+/// Runs the full benchmark suite for every configuration in `configs` as
+/// one parallel (config x benchmark) fan-out. Row i holds `configs[i]`'s
+/// results in workload::benchmark_names() order; each cell is identical
+/// to the serial core::run_experiment call it replaces.
+std::vector<std::vector<core::SimResult>> run_suite_matrix(
+    const std::vector<core::ConfigId>& configs,
+    const core::RunOptions& options);
 
 /// Formats "x.xx" normalized values.
 std::string norm(double value);

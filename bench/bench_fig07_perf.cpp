@@ -20,29 +20,30 @@ int main() {
       "SH-STT: -11% average vs PR-SRAM-NT; HP-SRAM-CMP fastest",
       options);
 
-  const core::ConfigId configs[] = {core::ConfigId::kShStt,
-                                    core::ConfigId::kShSramNom,
-                                    core::ConfigId::kHpSramCmp};
+  const std::vector<core::ConfigId> configs = {core::ConfigId::kShStt,
+                                               core::ConfigId::kShSramNom,
+                                               core::ConfigId::kHpSramCmp};
 
-  std::map<std::string, double> baseline_seconds;
-  for (const std::string& bench : workload::benchmark_names()) {
-    baseline_seconds[bench] =
-        core::run_experiment(core::ConfigId::kPrSramNt, bench, options)
-            .seconds;
-  }
+  // One fan-out covers the baseline row and all three comparison rows.
+  std::vector<core::ConfigId> grid = {core::ConfigId::kPrSramNt};
+  grid.insert(grid.end(), configs.begin(), configs.end());
+  const std::vector<std::vector<core::SimResult>> matrix =
+      bench::run_suite_matrix(grid, options);
+  const std::vector<core::SimResult>& baseline = matrix.front();
 
   util::TextTable table(
       "Execution time normalized to PR-SRAM-NT (lower is better)");
   table.set_header(
       {"benchmark", "SH-STT", "SH-SRAM-Nom", "HP-SRAM-CMP"});
 
+  const std::vector<std::string> names = workload::benchmark_names();
   std::map<core::ConfigId, std::vector<double>> ratios;
-  for (const std::string& bench : workload::benchmark_names()) {
-    std::vector<std::string> row = {bench};
-    for (core::ConfigId id : configs) {
-      const core::SimResult r = core::run_experiment(id, bench, options);
-      const double ratio = r.seconds / baseline_seconds[bench];
-      ratios[id].push_back(ratio);
+  for (std::size_t b = 0; b < names.size(); ++b) {
+    std::vector<std::string> row = {names[b]};
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+      const double ratio =
+          matrix[c + 1][b].seconds / baseline[b].seconds;
+      ratios[configs[c]].push_back(ratio);
       row.push_back(bench::norm(ratio));
     }
     table.add_row(row);

@@ -24,16 +24,18 @@ int main() {
         core::CacheSize::kLarge}) {
     core::RunOptions options = base_options;
     options.size = size;
+    const std::vector<std::vector<core::SimResult>> matrix =
+        bench::run_suite_matrix({core::ConfigId::kPrSramNt,
+                                 core::ConfigId::kShStt,
+                                 core::ConfigId::kShSramNom},
+                                options);
     double base = 0.0;
     double stt = 0.0;
     double nom = 0.0;
-    for (const std::string& bench : workload::benchmark_names()) {
-      base += core::run_experiment(core::ConfigId::kPrSramNt, bench, options)
-                  .energy.total();
-      stt += core::run_experiment(core::ConfigId::kShStt, bench, options)
-                 .energy.total();
-      nom += core::run_experiment(core::ConfigId::kShSramNom, bench, options)
-                 .energy.total();
+    for (std::size_t b = 0; b < matrix.front().size(); ++b) {
+      base += matrix[0][b].energy.total();
+      stt += matrix[1][b].energy.total();
+      nom += matrix[2][b].energy.total();
     }
     table.add_row({core::to_string(size), bench::norm(stt / base),
                    bench::norm(nom / base)});

@@ -1,0 +1,92 @@
+// Host-throughput microbench for the simulator itself (not a paper
+// artifact): measures simulations per second of host wall-clock so
+// changes to simulator speed show up in BENCH_*.json history.
+//
+// Three modes over the same (config x benchmark) grid:
+//   serial/no-skip   one thread, cycle-by-cycle clock (the reference path)
+//   serial/skip      one thread, event-driven clock
+//   parallel/skip    all host threads, event-driven clock
+// All three produce bit-identical results (asserted here on total cycles);
+// only the wall-clock differs.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "exec/parallel.hpp"
+#include "util/require.hpp"
+#include "util/table.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+struct Mode {
+  const char* name;
+  std::size_t threads;  // 0 = all host threads
+  bool cycle_skip;
+};
+
+}  // namespace
+
+int main() {
+  using namespace respin;
+  core::RunOptions options = bench::default_options();
+  // A quarter of the usual workload keeps the three-mode sweep quick while
+  // still exercising every benchmark's phase structure.
+  options.workload_scale *= 0.25;
+  bench::print_banner(
+      "Simulator throughput (host sims/sec; not a paper artifact)",
+      "tracks simulator speed: parallel fan-out + event-driven clock",
+      options);
+
+  const std::vector<core::ConfigId> configs = {core::ConfigId::kPrSramNt,
+                                               core::ConfigId::kShStt};
+  const std::vector<std::string> benches = workload::benchmark_names();
+  const std::size_t sims = configs.size() * benches.size();
+
+  const Mode modes[] = {
+      {"serial/no-skip", 1, false},
+      {"serial/skip", 1, true},
+      {"parallel/skip", 0, true},
+  };
+
+  util::TextTable table("Host throughput (higher is better)");
+  table.set_header({"mode", "threads", "wall (s)", "sims/sec", "speedup"});
+
+  double reference_wall = 0.0;
+  std::int64_t reference_cycles = -1;
+  for (const Mode& mode : modes) {
+    exec::set_thread_count(mode.threads);
+    options.cycle_skip = mode.cycle_skip;
+    const auto start = std::chrono::steady_clock::now();
+    const auto matrix = core::run_matrix(configs, benches, options);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::int64_t total_cycles = 0;
+    for (const auto& row : matrix) {
+      for (const core::SimResult& r : row) total_cycles += r.cycles;
+    }
+    if (reference_cycles < 0) {
+      reference_cycles = total_cycles;
+      reference_wall = wall;
+    }
+    RESPIN_REQUIRE(total_cycles == reference_cycles,
+                   "throughput modes must simulate identical work");
+    table.add_row({mode.name, std::to_string(exec::thread_count()),
+                   util::fixed(wall, 2),
+                   util::fixed(static_cast<double>(sims) / wall, 2),
+                   util::fixed(reference_wall / wall, 2)});
+  }
+  exec::set_thread_count(0);
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Grid: %zu configs x %zu benchmarks = %zu cluster sims, %.2g simulated\n"
+      "Gcycles total. speedup is vs serial/no-skip (the seed's path).\n",
+      configs.size(), benches.size(), sims,
+      static_cast<double>(reference_cycles) * 1e-9);
+  return 0;
+}

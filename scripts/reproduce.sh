@@ -10,7 +10,7 @@ cd "$(dirname "$0")/.."
 scale="${1:-1}"
 export RESPIN_SIM_SCALE="$scale"
 
-cmake -B build -G Ninja
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt

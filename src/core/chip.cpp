@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/oracle.hpp"
+#include "exec/parallel.hpp"
 #include "util/require.hpp"
 #include "workload/workload.hpp"
 
@@ -21,30 +22,40 @@ ChipResult run_chip(ConfigId id, const std::string& benchmark,
                     const RunOptions& options) {
   const std::uint32_t clusters = 64 / options.cluster_cores;
 
+  // Build every cluster's configuration up front (each carries its own
+  // VARIUS die region); the simulation and the tail-leakage accounting
+  // below both read from this one set.
+  std::vector<ClusterConfig> configs;
+  configs.reserve(clusters);
+  for (std::uint32_t c = 0; c < clusters; ++c) {
+    configs.push_back(make_chip_cluster_config(
+        id, options.size, options.cluster_cores, c, options.seed));
+  }
+
   ChipResult chip;
   chip.benchmark = benchmark;
-  chip.clusters.reserve(clusters);
+  chip.config_name = configs.front().name;
 
-  for (std::uint32_t c = 0; c < clusters; ++c) {
-    const ClusterConfig config = make_chip_cluster_config(
-        id, options.size, options.cluster_cores, c, options.seed);
-    chip.config_name = config.name;
+  // Clusters are architecturally independent (no cross-cluster coherence
+  // in any evaluated configuration) and ClusterSim is a value type, so the
+  // chip fans out one simulation per cluster. Results come back in cluster
+  // order and each simulation is seeded independently, so the outcome is
+  // bit-identical to the serial loop.
+  chip.clusters = exec::parallel_map_n(clusters, [&](std::size_t c) {
     SimParams params;
     params.workload_scale = options.workload_scale;
+    params.cycle_skip = options.cycle_skip;
     // Each cluster runs its own process instance of the benchmark: a
     // distinct workload seed per cluster.
     params.seed = options.seed + 1000ull * c;
-    ClusterSim sim(config, workload::benchmark(benchmark), params);
-    SimResult result;
-    if (config.governor == GovernorKind::kOracle) {
-      result = run_with_oracle(
-          sim, OracleParams{.stride = options.oracle_stride});
-    } else {
-      sim.run();
-      result = sim.result();
+    ClusterSim sim(configs[c], workload::benchmark(benchmark), params);
+    if (configs[c].governor == GovernorKind::kOracle) {
+      return run_with_oracle(sim,
+                             OracleParams{.stride = options.oracle_stride});
     }
-    chip.clusters.push_back(std::move(result));
-  }
+    sim.run();
+    return sim.result();
+  });
 
   // Chip finish time = slowest cluster.
   for (const SimResult& r : chip.clusters) {
@@ -67,8 +78,7 @@ ChipResult run_chip(ConfigId id, const std::string& benchmark,
 
     const double tail_seconds = chip.seconds - r.seconds;
     if (tail_seconds > 0.0) {
-      const ClusterConfig config = make_chip_cluster_config(
-          id, options.size, options.cluster_cores, c, options.seed);
+      const ClusterConfig& config = configs[c];
       const double cache_leak_w = config.power.l1_leakage_w +
                                   config.power.l2_leakage_w +
                                   config.power.l3_leakage_w;

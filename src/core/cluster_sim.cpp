@@ -59,6 +59,12 @@ ClusterSim::ClusterSim(ClusterConfig config,
   }
   next_epoch_instructions_ = cfg_.governor_params.epoch_instructions;
   next_epoch_cycle_ = cfg_.os_epoch_cycles;
+
+  next_core_tick_ = kNever;
+  for (const cpu::PhysicalCore& core : cores_) {
+    next_core_tick_ = std::min(next_core_tick_, core.next_tick);
+  }
+  epoch_watched_ = cfg_.governor != GovernorKind::kNone;
 }
 
 std::int64_t ClusterSim::next_boundary_after(std::uint32_t pid,
@@ -82,6 +88,9 @@ void ClusterSim::run() {
 }
 
 bool ClusterSim::run_one_epoch() {
+  // An external driver (oracle) is watching epoch boundaries, so the
+  // event-driven clock must stop on them from here on.
+  epoch_watched_ = true;
   while (!done()) {
     if (now_ >= params_.max_cycles) break;
     step_cycle();
@@ -150,10 +159,54 @@ void ClusterSim::step_cycle() {
     fill_events_.pop();
     apply_fill(event);
   }
-  for (std::uint32_t pid = 0; pid < cores_.size(); ++pid) {
-    if (cores_[pid].next_tick == now_) step_core(pid);
+  if (now_ >= next_core_tick_) {
+    std::int64_t next = kNever;
+    for (std::uint32_t pid = 0; pid < cores_.size(); ++pid) {
+      if (cores_[pid].next_tick == now_) step_core(pid);
+      next = std::min(next, cores_[pid].next_tick);
+    }
+    next_core_tick_ = next;
   }
-  ++now_;
+  advance_clock();
+}
+
+void ClusterSim::advance_clock() {
+  const std::int64_t next = now_ + 1;
+  std::int64_t target = next;
+  // Event-driven clock: jump to the soonest cycle where anything can
+  // change — a core tick, a fill-event return, the shared-cache
+  // controller's next activity (a request becoming visible or a drain
+  // opportunity; while a visible read waits it arbitrates and ages
+  // priority registers every cycle, so the jump collapses to +1), and
+  // (when observed) an epoch boundary. No jump once the workload has
+  // completed: the run loop exits at the next cycle, and the finish time
+  // must match the cycle-by-cycle clock.
+  if (params_.cycle_skip && !done()) {
+    target = next_core_tick_;
+    if (!fill_events_.empty()) {
+      target = std::min(target, fill_events_.top().cycle);
+    }
+    // The controller scan is the costliest bound, so consult it only when
+    // the cheaper bounds leave room to jump at all.
+    if (dl1_ctrl_ && target > next) {
+      target = std::min(target, dl1_ctrl_->next_activity_cycle(now_));
+    }
+    if (epoch_watched_) {
+      if (cfg_.governor == GovernorKind::kOs) {
+        target = std::min(target, next_epoch_cycle_);
+      } else if (counts_.instructions >= next_epoch_instructions_) {
+        // An instruction-count boundary is already pending; the caller
+        // handles it at now_ + 1 exactly as the cycle-by-cycle clock does.
+        target = next;
+      }
+    }
+    target = std::min(target, params_.max_cycles);
+    target = std::max(target, next);
+    if (dl1_ctrl_ && target > next) {
+      dl1_ctrl_->note_skipped_cycles(target - next);
+    }
+  }
+  now_ = target;
 }
 
 void ClusterSim::step_core(std::uint32_t pid) {
@@ -236,7 +289,65 @@ void ClusterSim::step_core(std::uint32_t pid) {
 
   // Current vcore cannot progress: hardware mode switches on stall.
   ++p.idle_cycles;
-  if (!os_mode && p.vcores.size() > 1) try_context_switch(pid);
+  if (!os_mode && p.vcores.size() > 1) {
+    try_context_switch(pid);
+    return;
+  }
+  fast_forward_idle(pid);
+}
+
+void ClusterSim::fast_forward_idle(std::uint32_t pid) {
+  // Idle-tick elision: a stalled core whose wake-up cycle is exactly
+  // computable ticks only idle until then, so its next_tick can jump
+  // straight there with the skipped ticks credited to idle_cycles in one
+  // go. Requires a quiescent scheduling environment — a single resident
+  // thread (no rotation or context-switch bookkeeping on intermediate
+  // ticks) and no observed epochs (no mid-window power gating, migration
+  // or boundary sampling that could see the pre-credited idles).
+  if (!params_.cycle_skip || epoch_watched_) return;
+  cpu::PhysicalCore& p = cores_[pid];
+  if (p.vcores.size() != 1) return;
+  const cpu::VirtualCore& v = vcores_[p.vcores.front()];
+  std::int64_t ready = 0;
+  switch (v.state) {
+    case cpu::WaitState::kMemory:
+      // kNever means the shared controller still holds the read; the
+      // service cycle is unknown, so the core must keep polling.
+      if (v.mem_ready_cycle == kNever) return;
+      ready = v.mem_ready_cycle;
+      break;
+    case cpu::WaitState::kBarrier:
+      // Only once the barrier has completed is the release cycle fixed
+      // (no further arrival can move it: every other thread is past it).
+      if (barrier_.completed < static_cast<std::int64_t>(v.barrier_id)) {
+        return;
+      }
+      ready = barrier_.last_release;
+      break;
+    case cpu::WaitState::kStoreBuffer: {
+      // Private path only: the drain backlog is this core's own state.
+      // Shared-path retries go through the controller's store queue, whose
+      // occupancy depends on the other cores.
+      if (cfg_.shared_l1) return;
+      const std::int64_t store_cost =
+          static_cast<std::int64_t>(cfg_.private_store_cycles) *
+          p.multiplier;
+      ready = p.store_drain_free_at -
+              kPrivateStoreBufferDepth * store_cost;
+      break;
+    }
+    default:
+      return;
+  }
+  ready = std::max(ready, p.stalled_until);
+  const std::int64_t wake = next_boundary_after(pid, ready);
+  // Ticks past max_cycles never execute, so their idles are not credited.
+  const std::int64_t limit =
+      std::min(wake, next_boundary_after(pid, params_.max_cycles));
+  const std::int64_t elided = (limit - p.next_tick) / p.multiplier;
+  if (wake <= p.next_tick) return;
+  if (elided > 0) p.idle_cycles += static_cast<std::uint64_t>(elided);
+  p.next_tick = wake;
 }
 
 bool ClusterSim::try_context_switch(std::uint32_t pid) {
@@ -610,6 +721,7 @@ void ClusterSim::power_up_one() {
   p.stalled_until =
       now_ + cfg_.core_timing.power_on_stall_cycles * p.multiplier;
   p.next_tick = next_boundary_after(target, now_ + 1);
+  next_core_tick_ = std::min(next_core_tick_, p.next_tick);
   ++powered_cores_;
   ++active_count_;
 

@@ -36,6 +36,12 @@ struct SimParams {
   double workload_scale = 1.0;  ///< Multiplies phase instruction counts.
   std::uint64_t seed = 1;       ///< Workload + arbitration seed.
   std::int64_t max_cycles = 400'000'000;  ///< Safety valve (cache cycles).
+  /// Event-driven clock: when the shared-cache controller has nothing in
+  /// flight, jump straight to the next scheduled event (core tick, fill
+  /// return, epoch boundary) instead of stepping cycle by cycle. Results
+  /// are bit-identical either way (see docs/performance.md); the switch
+  /// exists so the determinism tests can pin that down.
+  bool cycle_skip = true;
 };
 
 /// One point of the consolidation trace (paper Figs. 12/13).
@@ -139,7 +145,9 @@ class ClusterSim {
   };
 
   void step_cycle();
+  void advance_clock();
   void step_core(std::uint32_t pid);
+  void fast_forward_idle(std::uint32_t pid);
   void execute_vcore(std::uint32_t pid, std::uint32_t vid);
   void issue_load(std::uint32_t pid, std::uint32_t vid);
   bool issue_store(std::uint32_t pid, std::uint32_t vid);
@@ -167,6 +175,14 @@ class ClusterSim {
   SimParams params_;
   std::string benchmark_name_;
   std::int64_t now_ = 0;
+  /// Cached min of cores_[*].next_tick: the core scan runs only on cycles
+  /// where some core actually ticks, and the event-driven clock jumps to
+  /// it when the cache side is quiescent.
+  std::int64_t next_core_tick_ = 0;
+  /// True when epoch boundaries are observable (a governor is configured
+  /// or run_one_epoch drives the sim), which pins the clock to boundary
+  /// cycles so epoch bookkeeping matches the cycle-by-cycle schedule.
+  bool epoch_watched_ = false;
 
   std::vector<cpu::VirtualCore> vcores_;
   std::vector<cpu::PhysicalCore> cores_;

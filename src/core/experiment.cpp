@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "exec/parallel.hpp"
 #include "util/require.hpp"
 #include "util/stats.hpp"
 #include "workload/workload.hpp"
@@ -15,6 +16,7 @@ SimResult run_experiment(ConfigId id, const std::string& benchmark,
   SimParams params;
   params.workload_scale = options.workload_scale;
   params.seed = options.seed;
+  params.cycle_skip = options.cycle_skip;
   ClusterSim sim(config, workload::benchmark(benchmark), params);
   if (config.governor == GovernorKind::kOracle) {
     return run_with_oracle(sim, OracleParams{.stride = options.oracle_stride});
@@ -24,11 +26,31 @@ SimResult run_experiment(ConfigId id, const std::string& benchmark,
 }
 
 std::vector<SimResult> run_suite(ConfigId id, const RunOptions& options) {
-  std::vector<SimResult> results;
-  for (const std::string& name : workload::benchmark_names()) {
-    results.push_back(run_experiment(id, name, options));
+  const std::vector<std::string> names = workload::benchmark_names();
+  return exec::parallel_map(names, [&](const std::string& name) {
+    return run_experiment(id, name, options);
+  });
+}
+
+std::vector<std::vector<SimResult>> run_matrix(
+    const std::vector<ConfigId>& configs,
+    const std::vector<std::string>& benchmarks,
+    const RunOptions& options) {
+  const std::size_t columns = benchmarks.size();
+  std::vector<std::vector<SimResult>> rows(configs.size());
+  if (columns == 0) return rows;
+  // Flatten the grid so the pool load-balances across the whole sweep
+  // (one slow configuration doesn't serialize its row).
+  std::vector<SimResult> cells =
+      exec::parallel_map_n(configs.size() * columns, [&](std::size_t i) {
+        return run_experiment(configs[i / columns], benchmarks[i % columns],
+                              options);
+      });
+  for (std::size_t r = 0; r < configs.size(); ++r) {
+    rows[r].assign(std::make_move_iterator(cells.begin() + r * columns),
+                   std::make_move_iterator(cells.begin() + (r + 1) * columns));
   }
-  return results;
+  return rows;
 }
 
 double mean_ratio(const std::vector<SimResult>& results,

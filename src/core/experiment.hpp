@@ -19,6 +19,9 @@ struct RunOptions {
   double workload_scale = 1.0;
   std::uint64_t seed = 1;
   std::uint32_t oracle_stride = 2;
+  /// Event-driven clock in ClusterSim (see SimParams::cycle_skip); off is
+  /// the cycle-by-cycle reference path, results are identical.
+  bool cycle_skip = true;
 };
 
 /// Runs `benchmark` on configuration `id` and returns the cluster-level
@@ -27,8 +30,19 @@ struct RunOptions {
 SimResult run_experiment(ConfigId id, const std::string& benchmark,
                          const RunOptions& options = {});
 
-/// Runs all 13 benchmarks on one configuration.
+/// Runs all 13 benchmarks on one configuration, fanned out over the
+/// respin::exec thread pool. Results are in benchmark_names() order and
+/// bit-identical to running each benchmark serially.
 std::vector<SimResult> run_suite(ConfigId id, const RunOptions& options = {});
+
+/// Runs the full (configuration x benchmark) grid in one parallel fan-out
+/// — the shape of the paper's design-space sweeps. Returns one row per
+/// configuration, in the given order, each row in `benchmarks` order;
+/// every cell equals the corresponding run_experiment call.
+std::vector<std::vector<SimResult>> run_matrix(
+    const std::vector<ConfigId>& configs,
+    const std::vector<std::string>& benchmarks,
+    const RunOptions& options = {});
 
 /// Geometric-mean ratio of (metric of `results` / metric of `baseline`),
 /// matched by benchmark name. `metric` picks seconds or energy.

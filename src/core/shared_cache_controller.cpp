@@ -1,6 +1,7 @@
 #include "core/shared_cache_controller.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/require.hpp"
 
@@ -67,6 +68,48 @@ void SharedCacheController::submit_fill(std::int64_t now) {
 
 bool SharedCacheController::has_pending_work() const {
   return outstanding_ > 0 || !store_queue_.empty() || !fill_queue_.empty();
+}
+
+std::int64_t SharedCacheController::next_activity_cycle(
+    std::int64_t now) const {
+  std::int64_t next = std::numeric_limits<std::int64_t>::max();
+  for (const ReadSlot& slot : slots_) {
+    if (!slot.valid) continue;
+    // A visible read is arbitrated (and its priority register aged) every
+    // single cycle — no skipping while one waits.
+    if (slot.visible_at <= now) return now + 1;
+    next = std::min(next, slot.visible_at);
+  }
+  // Pipelined stores all have future visible times (matured ones already
+  // moved to the drain queue); the front is the soonest.
+  if (!pending_store_times_.empty()) {
+    next = std::min(next, pending_store_times_.front());
+  }
+  // A fill's visible cycle consumes an arrival-census slot even if the
+  // write port delays its drain, so stop at whichever comes first.
+  for (const std::int64_t visible : fill_queue_) {
+    next = std::min(next, visible > now
+                              ? visible
+                              : std::max(write_port_free_at_, now + 1));
+  }
+  // Queued stores are already visible; they drain when the port frees.
+  if (!store_queue_.empty()) {
+    next = std::min(next, std::max(write_port_free_at_, now + 1));
+  }
+  return std::max(next, now + 1);
+}
+
+void SharedCacheController::note_skipped_cycles(std::int64_t cycles) {
+  if (cycles <= 0) return;
+  // Inside a skipped window the arrival ring is all zeros (every pending
+  // visible time is at or beyond the window's end), so each skipped
+  // step() would have recorded a zero-arrival census; it counts as busy
+  // exactly when something is still in flight.
+  stats_.total_cycles += static_cast<std::uint64_t>(cycles);
+  stats_.arrivals_per_cycle.add(0, static_cast<std::uint64_t>(cycles));
+  if (has_pending_work()) {
+    stats_.busy_cycles += static_cast<std::uint64_t>(cycles);
+  }
 }
 
 void SharedCacheController::step(std::int64_t now,

@@ -91,6 +91,22 @@ class SharedCacheController {
   /// Advances one cache cycle; serviced reads are appended to `out`.
   void step(std::int64_t now, std::vector<ServicedRead>& out);
 
+  /// Earliest cycle strictly after `now` at which step() could do
+  /// anything beyond bookkeeping: a request becomes visible, a queued
+  /// store/fill can take the write port, or — when a visible read is
+  /// already waiting — simply now + 1, because arbitration and priority
+  /// aging run every cycle then. Returns INT64_MAX with nothing pending.
+  /// The owner's event-driven clock may jump straight to this cycle.
+  std::int64_t next_activity_cycle(std::int64_t now) const;
+
+  /// Accounts for `cycles` consecutive skipped cache cycles — the owner's
+  /// clock jumped over them because next_activity_cycle() proved inert.
+  /// Statistics advance exactly as if step() had been called once per
+  /// skipped cycle: the arrival census records zero arrivals (nothing can
+  /// become visible inside a skipped window) and busy_cycles counts the
+  /// window when work is merely parked in flight.
+  void note_skipped_cycles(std::int64_t cycles);
+
   bool has_pending_work() const;
   std::uint32_t store_queue_size() const {
     return static_cast<std::uint32_t>(store_queue_.size()) + pending_stores_;

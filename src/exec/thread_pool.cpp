@@ -1,0 +1,164 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "util/env.hpp"
+
+namespace respin::exec {
+
+namespace {
+
+/// Depth of pool tasks running on this thread; >0 forces inline execution
+/// for nested run() calls.
+thread_local int t_task_depth = 0;
+
+struct TaskScope {
+  TaskScope() { ++t_task_depth; }
+  ~TaskScope() { --t_task_depth; }
+};
+
+}  // namespace
+
+struct ThreadPool::Batch {
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancel{false};
+  std::size_t active = 0;  ///< Workers inside work(); guarded by pool mu_.
+  /// (index, exception) per failed task; guarded by pool mu_.
+  std::vector<std::pair<std::size_t, std::exception_ptr>> errors;
+};
+
+std::size_t default_thread_count() {
+  const long configured = util::env_long("RESPIN_THREADS", 0);
+  if (configured > 0) return static_cast<std::size_t>(configured);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+bool ThreadPool::in_task() { return t_task_depth > 0; }
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run(std::size_t n,
+                     const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1 || in_task()) {
+    // Inline path: no workers, a trivial batch, or a nested call from a
+    // task already running on this pool. Runs indices in order, so the
+    // first exception is from the lowest failing index here too.
+    TaskScope scope;
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::lock_guard<std::mutex> serialize(run_mu_);
+  Batch batch;
+  batch.fn = &fn;
+  batch.n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  work(batch);  // The caller is one of the execution lanes.
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return batch.active == 0; });
+    batch_ = nullptr;
+  }
+
+  if (!batch.errors.empty()) {
+    const auto lowest = std::min_element(
+        batch.errors.begin(), batch.errors.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(lowest->second);
+  }
+}
+
+void ThreadPool::work(Batch& batch) {
+  TaskScope scope;
+  for (;;) {
+    if (batch.cancel.load(std::memory_order_relaxed)) return;
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.n) return;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch.errors.emplace_back(i, std::current_exception());
+      batch.cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::worker_main() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Batch* batch = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      if (batch_ != nullptr) {
+        batch = batch_;
+        ++batch->active;  // Pins the batch alive until we drop to 0.
+      }
+    }
+    if (batch == nullptr) continue;  // Batch finished before we woke.
+    work(*batch);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--batch->active == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+std::size_t g_requested_threads = 0;  ///< 0 = auto.
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(g_requested_threads);
+  return *g_pool;
+}
+
+void set_thread_count(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_requested_threads = threads;
+  const std::size_t want =
+      threads == 0 ? default_thread_count() : threads;
+  if (g_pool && g_pool->size() != want) g_pool.reset();
+}
+
+std::size_t thread_count() { return global_pool().size(); }
+
+}  // namespace respin::exec

@@ -1,0 +1,85 @@
+// Deterministic host-level execution engine for experiment fan-out.
+//
+// ThreadPool runs an indexed batch of independent tasks over a fixed set
+// of worker threads (plus the calling thread). Tasks are claimed from a
+// monotonically increasing index counter, so every index runs exactly
+// once and writes its own result slot: the *outputs* are bit-identical to
+// a serial loop regardless of thread count or scheduling, which is the
+// contract the simulator's determinism tests pin down. There is no work
+// stealing and no task ordering guarantee beyond index-claiming order.
+//
+// Nested use is safe: a task that re-enters run() (directly or through
+// parallel_map) executes the inner batch inline on its own thread, so the
+// pool can never deadlock on itself. Exceptions thrown by tasks are
+// captured and the one from the lowest-numbered index is rethrown to the
+// caller after the batch drains (later indices may be skipped once an
+// exception is seen).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace respin::exec {
+
+/// Thread count the engine uses when not explicitly configured: the
+/// RESPIN_THREADS environment variable when set, otherwise
+/// std::thread::hardware_concurrency() (never less than 1).
+std::size_t default_thread_count();
+
+class ThreadPool {
+ public:
+  /// `threads` counts the calling thread: a pool of size N uses N-1
+  /// workers plus the caller. 0 means default_thread_count().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width, including the calling thread.
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(0) .. fn(n-1) across the pool and blocks until every claimed
+  /// index has finished. Distinct top-level callers are serialized; calls
+  /// from inside a running task execute inline (nested-use safety).
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// True when the current thread is executing a pool task (top-level
+  /// calls from such a thread run inline instead of re-entering the pool).
+  static bool in_task();
+
+ private:
+  struct Batch;
+
+  void worker_main();
+  void work(Batch& batch);
+
+  std::mutex run_mu_;  ///< Serializes top-level run() calls.
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  Batch* batch_ = nullptr;       ///< Current batch; guarded by mu_.
+  std::uint64_t generation_ = 0; ///< Bumped per batch; guarded by mu_.
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Process-wide pool shared by run_chip / run_suite / run_matrix.
+/// Constructed lazily with the configured thread count.
+ThreadPool& global_pool();
+
+/// Reconfigures the width of the global pool (0 = auto). Call this from
+/// tool startup before any parallel work; reconfiguring while another
+/// thread is using the global pool is not supported.
+void set_thread_count(std::size_t threads);
+
+/// Width the global pool currently has (constructing it if needed).
+std::size_t thread_count();
+
+}  // namespace respin::exec

@@ -1,0 +1,139 @@
+// Tests for the respin::exec engine: order preservation, determinism,
+// exception propagation, nested use, and concurrent top-level callers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace respin::exec {
+namespace {
+
+TEST(ThreadPool, SizeCountsTheCallingThread) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  ThreadPool solo(1);
+  EXPECT_EQ(solo.size(), 1u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.run(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroAndSingleTaskBatches) {
+  ThreadPool pool(3);
+  pool.run(0, [](std::size_t) { FAIL() << "no task should run"; });
+  int calls = 0;
+  pool.run(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelMap, PreservesInputOrder) {
+  ThreadPool pool(4);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  const std::vector<int> out =
+      parallel_map(pool, items, [](const int& x) { return 3 * x + 1; });
+  ASSERT_EQ(out.size(), items.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], 3 * static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ParallelMap, DeterministicAcrossRepeatsAndWidths) {
+  auto compute = [](std::size_t i) {
+    // Some mildly chaotic arithmetic so ordering bugs would show.
+    std::uint64_t v = i * 2654435761u + 1;
+    for (int k = 0; k < 50; ++k) v = v * 6364136223846793005ull + 11;
+    return v;
+  };
+  ThreadPool serial(1);
+  ThreadPool wide(8);
+  const auto a = parallel_map_n(serial, 64, compute);
+  const auto b = parallel_map_n(wide, 64, compute);
+  const auto c = parallel_map_n(wide, 64, compute);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+TEST(ThreadPool, PropagatesTheLowestFailingIndex) {
+  ThreadPool pool(4);
+  // Indices 7 and upward all throw; whatever interleaving happens, index
+  // 7's exception must be the one that surfaces.
+  try {
+    pool.run(64, [](std::size_t i) {
+      if (i >= 7) throw std::runtime_error("boom@" + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom@7");
+  }
+}
+
+TEST(ThreadPool, ExceptionLeavesThePoolReusable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run(8, [](std::size_t) { throw std::logic_error("once"); }),
+      std::logic_error);
+  std::atomic<int> ran{0};
+  pool.run(8, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, NestedRunExecutesInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> inner_hits(64);
+  std::atomic<int> outer_hits{0};
+  pool.run(8, [&](std::size_t outer) {
+    EXPECT_TRUE(ThreadPool::in_task());
+    ++outer_hits;
+    // Nested batches (and nested parallel_map) must not deadlock and must
+    // still run every index.
+    const auto values =
+        parallel_map_n(pool, 8, [&](std::size_t inner) {
+          ++inner_hits[outer * 8 + inner];
+          return outer * 8 + inner;
+        });
+    for (std::size_t inner = 0; inner < 8; ++inner) {
+      EXPECT_EQ(values[inner], outer * 8 + inner);
+    }
+  });
+  EXPECT_EQ(outer_hits.load(), 8);
+  for (const auto& h : inner_hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(ThreadPool::in_task());
+}
+
+TEST(ThreadPool, ConcurrentTopLevelCallersAreSerializedSafely) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(2 * 128);
+  std::thread other([&] {
+    pool.run(128, [&](std::size_t i) { ++hits[i]; });
+  });
+  pool.run(128, [&](std::size_t i) { ++hits[128 + i]; });
+  other.join();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(GlobalPool, SetThreadCountReconfigures) {
+  set_thread_count(2);
+  EXPECT_EQ(thread_count(), 2u);
+  set_thread_count(3);
+  EXPECT_EQ(thread_count(), 3u);
+  set_thread_count(0);  // Back to auto for the rest of the test binary.
+  EXPECT_GE(thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace respin::exec

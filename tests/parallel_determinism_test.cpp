@@ -1,0 +1,187 @@
+// Pins the performance engine's determinism contract: serial vs parallel
+// execution and cycle-by-cycle vs event-driven clocking must produce
+// bit-identical SimResults — same cycle counts, same histograms, same
+// energy — for every Table IV configuration.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/chip.hpp"
+#include "core/experiment.hpp"
+#include "exec/thread_pool.hpp"
+#include "util/stats.hpp"
+#include "workload/workload.hpp"
+
+namespace respin::core {
+namespace {
+
+void expect_same_histogram(const util::Histogram& a, const util::Histogram& b,
+                           const std::string& what) {
+  ASSERT_EQ(a.bucket_count(), b.bucket_count()) << what;
+  EXPECT_EQ(a.total(), b.total()) << what;
+  for (std::size_t i = 0; i < a.bucket_count(); ++i) {
+    EXPECT_EQ(a.bucket(i), b.bucket(i)) << what << " bucket " << i;
+  }
+}
+
+void expect_same_result(const SimResult& a, const SimResult& b) {
+  SCOPED_TRACE(a.config_name + "/" + a.benchmark);
+  EXPECT_EQ(a.config_name, b.config_name);
+  EXPECT_EQ(a.benchmark, b.benchmark);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.seconds, b.seconds);  // Bit-identical, not approximately.
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.hit_cycle_limit, b.hit_cycle_limit);
+
+  EXPECT_EQ(a.counts.instructions, b.counts.instructions);
+  EXPECT_EQ(a.counts.core_busy_cycles, b.counts.core_busy_cycles);
+  EXPECT_EQ(a.counts.core_idle_cycles, b.counts.core_idle_cycles);
+  EXPECT_EQ(a.counts.l1_reads, b.counts.l1_reads);
+  EXPECT_EQ(a.counts.l1_writes, b.counts.l1_writes);
+  EXPECT_EQ(a.counts.l2_reads, b.counts.l2_reads);
+  EXPECT_EQ(a.counts.l2_writes, b.counts.l2_writes);
+  EXPECT_EQ(a.counts.l3_reads, b.counts.l3_reads);
+  EXPECT_EQ(a.counts.l3_writes, b.counts.l3_writes);
+  EXPECT_EQ(a.counts.dram_accesses, b.counts.dram_accesses);
+  EXPECT_EQ(a.counts.coherence_messages, b.counts.coherence_messages);
+  EXPECT_EQ(a.counts.level_shifter_crossings,
+            b.counts.level_shifter_crossings);
+  EXPECT_EQ(a.counts.core_on_ps, b.counts.core_on_ps);
+
+  EXPECT_EQ(a.energy.core_dynamic, b.energy.core_dynamic);
+  EXPECT_EQ(a.energy.core_leakage, b.energy.core_leakage);
+  EXPECT_EQ(a.energy.cache_dynamic, b.energy.cache_dynamic);
+  EXPECT_EQ(a.energy.cache_leakage, b.energy.cache_leakage);
+  EXPECT_EQ(a.energy.dram, b.energy.dram);
+  EXPECT_EQ(a.energy.network, b.energy.network);
+
+  expect_same_histogram(a.read_hit_latency, b.read_hit_latency,
+                        "read_hit_latency");
+  EXPECT_EQ(a.dl1_read_hits, b.dl1_read_hits);
+  EXPECT_EQ(a.dl1_read_misses, b.dl1_read_misses);
+  EXPECT_EQ(a.dl1_half_misses, b.dl1_half_misses);
+  EXPECT_EQ(a.dl1_store_rejections, b.dl1_store_rejections);
+  expect_same_histogram(a.dl1_arrivals, b.dl1_arrivals, "dl1_arrivals");
+  EXPECT_EQ(a.dl1_cycles, b.dl1_cycles);
+
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].cycle, b.trace[i].cycle) << "trace sample " << i;
+    EXPECT_EQ(a.trace[i].active_cores, b.trace[i].active_cores)
+        << "trace sample " << i;
+    EXPECT_EQ(a.trace[i].epi_pj, b.trace[i].epi_pj) << "trace sample " << i;
+  }
+  EXPECT_EQ(a.avg_active_cores, b.avg_active_cores);
+  EXPECT_EQ(a.min_active_cores, b.min_active_cores);
+  EXPECT_EQ(a.max_active_cores, b.max_active_cores);
+}
+
+RunOptions tiny_options() {
+  RunOptions options;
+  options.workload_scale = 0.05;
+  return options;
+}
+
+// --- Event-driven clock vs cycle-by-cycle reference, all configs ----------
+
+class SkipEquivalenceTest : public ::testing::TestWithParam<ConfigId> {};
+
+TEST_P(SkipEquivalenceTest, SkipAndNoSkipAreBitIdentical) {
+  RunOptions skip = tiny_options();
+  skip.cycle_skip = true;
+  RunOptions no_skip = tiny_options();
+  no_skip.cycle_skip = false;
+  const SimResult a = run_experiment(GetParam(), "ocean", skip);
+  const SimResult b = run_experiment(GetParam(), "ocean", no_skip);
+  expect_same_result(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SkipEquivalenceTest,
+    ::testing::ValuesIn(all_config_ids()),
+    [](const ::testing::TestParamInfo<ConfigId>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// A second benchmark with different phase structure, on the key shared
+// and private configurations.
+TEST(SkipEquivalence, RadixOnSharedAndPrivate) {
+  for (ConfigId id :
+       {ConfigId::kPrSramNt, ConfigId::kShStt, ConfigId::kShSttCcOs}) {
+    RunOptions skip = tiny_options();
+    RunOptions no_skip = tiny_options();
+    no_skip.cycle_skip = false;
+    expect_same_result(run_experiment(id, "radix", skip),
+                       run_experiment(id, "radix", no_skip));
+  }
+}
+
+// --- Serial vs parallel fan-out -------------------------------------------
+
+TEST(ParallelDeterminism, RunSuiteMatchesSerial) {
+  const RunOptions options = tiny_options();
+  exec::set_thread_count(1);
+  const std::vector<SimResult> serial =
+      run_suite(ConfigId::kShSttCc, options);
+  exec::set_thread_count(4);
+  const std::vector<SimResult> parallel =
+      run_suite(ConfigId::kShSttCc, options);
+  exec::set_thread_count(0);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_EQ(serial.size(), workload::benchmark_names().size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].benchmark, workload::benchmark_names()[i]);
+    expect_same_result(serial[i], parallel[i]);
+  }
+}
+
+TEST(ParallelDeterminism, RunChipMatchesSerial) {
+  const RunOptions options = tiny_options();
+  exec::set_thread_count(1);
+  const ChipResult serial = run_chip(ConfigId::kShStt, "fft", options);
+  exec::set_thread_count(4);
+  const ChipResult parallel = run_chip(ConfigId::kShStt, "fft", options);
+  exec::set_thread_count(0);
+
+  EXPECT_EQ(serial.config_name, parallel.config_name);
+  EXPECT_EQ(serial.seconds, parallel.seconds);
+  EXPECT_EQ(serial.instructions, parallel.instructions);
+  EXPECT_EQ(serial.energy.core_dynamic, parallel.energy.core_dynamic);
+  EXPECT_EQ(serial.energy.core_leakage, parallel.energy.core_leakage);
+  EXPECT_EQ(serial.energy.cache_dynamic, parallel.energy.cache_dynamic);
+  EXPECT_EQ(serial.energy.cache_leakage, parallel.energy.cache_leakage);
+  EXPECT_EQ(serial.energy.dram, parallel.energy.dram);
+  EXPECT_EQ(serial.energy.network, parallel.energy.network);
+  ASSERT_EQ(serial.clusters.size(), parallel.clusters.size());
+  for (std::size_t c = 0; c < serial.clusters.size(); ++c) {
+    expect_same_result(serial.clusters[c], parallel.clusters[c]);
+  }
+}
+
+TEST(ParallelDeterminism, RunMatrixMatchesRunExperimentCells) {
+  const RunOptions options = tiny_options();
+  const std::vector<ConfigId> configs = {ConfigId::kPrSramNt,
+                                         ConfigId::kShStt};
+  const std::vector<std::string> benches = {"ocean", "lu"};
+  exec::set_thread_count(4);
+  const auto matrix = run_matrix(configs, benches, options);
+  exec::set_thread_count(0);
+
+  ASSERT_EQ(matrix.size(), configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    ASSERT_EQ(matrix[c].size(), benches.size());
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+      expect_same_result(matrix[c][b],
+                         run_experiment(configs[c], benches[b], options));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace respin::core

@@ -8,6 +8,7 @@
 //   respin_sim --config SH-STT --all --csv results.csv
 //   respin_sim --config SH-STT-CC --benchmark lu --trace trace.csv
 //   respin_sim --config SH-STT --benchmark ocean --chip
+//   respin_sim --config SH-STT --all --time --threads 8
 //
 // Options:
 //   --config <name>      Table IV configuration (default SH-STT)
@@ -17,9 +18,14 @@
 //   --scale <x>          workload length multiplier      (default 1.0)
 //   --seed <n>           die + workload seed             (default 1)
 //   --chip               simulate all clusters of the 64-core chip
+//   --threads <n>        host threads for the fan-out (default: all cores,
+//                        or RESPIN_THREADS); results do not depend on it
+//   --time               report wall-clock per run and aggregate sims/sec
+//   --no-skip            disable the event-driven clock (reference path)
 //   --csv <file>         write result rows as CSV
 //   --trace <file>       write the consolidation trace as CSV
 //   --list               list configurations and benchmarks, then exit
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +36,7 @@
 #include "core/chip.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
+#include "exec/parallel.hpp"
 #include "workload/workload.hpp"
 
 namespace {
@@ -37,6 +44,12 @@ namespace {
 [[noreturn]] void usage_error(const char* message) {
   std::fprintf(stderr, "respin_sim: %s (try --list)\n", message);
   std::exit(2);
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 }  // namespace
@@ -48,6 +61,7 @@ int main(int argc, char** argv) {
   std::string benchmark = "ocean";
   bool run_all = false;
   bool chip = false;
+  bool report_time = false;
   std::string csv_path;
   std::string trace_path;
   core::RunOptions options;
@@ -75,6 +89,14 @@ int main(int argc, char** argv) {
           std::strtoull(need_value("--seed"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--chip") == 0) {
       chip = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const int threads = std::atoi(need_value("--threads"));
+      if (threads < 1) usage_error("--threads needs a positive count");
+      exec::set_thread_count(static_cast<std::size_t>(threads));
+    } else if (std::strcmp(argv[i], "--time") == 0) {
+      report_time = true;
+    } else if (std::strcmp(argv[i], "--no-skip") == 0) {
+      options.cycle_skip = false;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv_path = need_value("--csv");
     } else if (std::strcmp(argv[i], "--trace") == 0) {
@@ -97,7 +119,9 @@ int main(int argc, char** argv) {
   const core::ConfigId config = core::parse_config_id(config_name);
 
   if (chip) {
+    const auto wall_start = std::chrono::steady_clock::now();
     const core::ChipResult result = core::run_chip(config, benchmark, options);
+    const double wall = seconds_since(wall_start);
     std::printf("%s/%s on the full 64-core chip (%zu clusters):\n",
                 result.config_name.c_str(), benchmark.c_str(),
                 result.clusters.size());
@@ -108,16 +132,53 @@ int main(int argc, char** argv) {
     for (const auto& r : result.clusters) {
       std::printf("  cluster: %s\n", core::summarize(r).c_str());
     }
+    if (report_time) {
+      std::printf(
+          "wall-clock: %.2f s for %zu cluster sims on %zu threads "
+          "(%.2f sims/sec)\n",
+          wall, result.clusters.size(), exec::thread_count(),
+          static_cast<double>(result.clusters.size()) / wall);
+    }
     return 0;
   }
 
-  std::vector<core::SimResult> results;
   const std::vector<std::string> benches =
       run_all ? workload::benchmark_names()
               : std::vector<std::string>{benchmark};
-  for (const std::string& name : benches) {
-    results.push_back(core::run_experiment(config, name, options));
-    std::printf("%s\n", core::summarize(results.back()).c_str());
+
+  // Fan the runs out over the host thread pool; each run times itself so
+  // --time can report per-run cost even when they overlap.
+  const auto wall_start = std::chrono::steady_clock::now();
+  struct TimedRun {
+    core::SimResult result;
+    double wall_seconds = 0.0;
+  };
+  const std::vector<TimedRun> runs =
+      exec::parallel_map(benches, [&](const std::string& name) {
+        const auto start = std::chrono::steady_clock::now();
+        TimedRun run;
+        run.result = core::run_experiment(config, name, options);
+        run.wall_seconds = seconds_since(start);
+        return run;
+      });
+  const double wall = seconds_since(wall_start);
+
+  std::vector<core::SimResult> results;
+  results.reserve(runs.size());
+  for (const TimedRun& run : runs) {
+    if (report_time) {
+      std::printf("[%6.2f s] %s\n", run.wall_seconds,
+                  core::summarize(run.result).c_str());
+    } else {
+      std::printf("%s\n", core::summarize(run.result).c_str());
+    }
+    results.push_back(run.result);
+  }
+  if (report_time) {
+    std::printf("wall-clock: %.2f s for %zu sims on %zu threads "
+                "(%.2f sims/sec)\n",
+                wall, runs.size(), exec::thread_count(),
+                static_cast<double>(runs.size()) / wall);
   }
 
   if (!csv_path.empty()) {
