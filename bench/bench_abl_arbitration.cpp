@@ -13,7 +13,8 @@
 #include "util/table.hpp"
 #include "workload/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   const core::RunOptions options = bench::default_options();
   bench::print_banner(
@@ -39,6 +40,7 @@ int main() {
       core::ClusterSim sim(config, workload::benchmark(bench), params);
       sim.run();
       const core::SimResult r = sim.result();
+      bench::export_metrics(r);
       const std::uint64_t reads = r.dl1_read_hits + r.dl1_read_misses;
       table.add_row(
           {bench,

@@ -14,7 +14,8 @@
 #include "util/table.hpp"
 #include "workload/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   const core::RunOptions options = bench::default_options();
   bench::print_banner(

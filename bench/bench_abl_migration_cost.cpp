@@ -13,7 +13,8 @@
 #include "util/table.hpp"
 #include "workload/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   const core::RunOptions options = bench::default_options();
   bench::print_banner(
@@ -41,6 +42,7 @@ int main() {
     core::ClusterSim sim(config, workload::benchmark("radix"), params);
     sim.run();
     const core::SimResult r = sim.result();
+    bench::export_metrics(r);
     table.add_row({std::to_string(config.core_timing.migration_cycles),
                    std::to_string(config.core_timing.power_on_stall_cycles),
                    util::fixed(r.avg_active_cores, 1),

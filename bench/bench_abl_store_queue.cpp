@@ -12,7 +12,8 @@
 #include "util/table.hpp"
 #include "workload/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   const core::RunOptions options = bench::default_options();
   bench::print_banner(
@@ -49,6 +50,7 @@ int main() {
     core::ClusterSim sim(config, workload::benchmark("fft"), params);
     sim.run();
     const core::SimResult r = sim.result();
+    bench::export_metrics(r);
     table.add_row({std::to_string(depth), util::fixed(r.seconds * 1e3, 3),
                    std::to_string(r.dl1_store_rejections),
                    util::percent(r.seconds * 1e3 / reference_ms - 1.0)});

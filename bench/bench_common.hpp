@@ -1,6 +1,6 @@
 // Shared plumbing for the experiment harness binaries: run-option setup
-// from RESPIN_SIM_SCALE, result caching across related binaries within one
-// process, and formatting helpers.
+// from RESPIN_SIM_SCALE, observability exports, result caching across
+// related binaries within one process, and formatting helpers.
 #pragma once
 
 #include <string>
@@ -11,8 +11,27 @@
 
 namespace respin::bench {
 
+/// Configures the observability exports for a bench binary from
+/// `--trace <file>` / `--metrics <file>` argv flags, falling back to the
+/// RESPIN_TRACE / RESPIN_METRICS environment variables. The trace sink is
+/// installed as the process-wide obs sink and returned by
+/// default_options() (so every simulation the bench runs emits into it);
+/// metric rows queued via export_metrics() are written at process exit.
+/// Benches that never call this still honour the environment variables —
+/// default_options() initializes from them lazily.
+void init_obs(int argc, char** argv);
+
+/// Queues every result's counter registry for the metrics export; no-op
+/// when no metrics destination is configured. run_suite_matrix() calls
+/// this automatically.
+void export_metrics(const std::vector<core::SimResult>& results);
+
+/// Single-result convenience for benches that run experiments one by one.
+void export_metrics(const core::SimResult& result);
+
 /// Default run options for the experiment binaries; workload scale comes
-/// from RESPIN_SIM_SCALE (default 1).
+/// from RESPIN_SIM_SCALE (default 1) and the trace sink from init_obs /
+/// RESPIN_TRACE.
 core::RunOptions default_options();
 
 /// Prints a standard experiment banner: which paper artifact this binary

@@ -13,7 +13,8 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   const core::RunOptions base = bench::default_options();
   bench::print_banner(
@@ -40,6 +41,7 @@ int main() {
     for (const char* bench : {"ocean", "raytrace"}) {
       const core::SimResult r =
           core::run_experiment(core::ConfigId::kShStt, bench, options);
+      bench::export_metrics(r);
       seconds += r.seconds;
       energy += r.energy.total();
     }

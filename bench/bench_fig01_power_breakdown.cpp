@@ -17,7 +17,8 @@
 #include "util/table.hpp"
 #include "util/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   bench::print_banner(
       "Figure 1 — CMP power breakdown, nominal vs near-threshold",

@@ -9,7 +9,8 @@
 #include "core/experiment.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   const core::RunOptions base_options = bench::default_options();
   bench::print_banner(
@@ -38,6 +39,7 @@ int main() {
       double seconds = 0.0;
       for (const std::string& bench : workload::benchmark_names()) {
         const core::SimResult r = core::run_experiment(id, bench, options);
+        bench::export_metrics(r);
         energy += r.energy.total();
         leak += r.energy.leakage();
         seconds += r.seconds;

@@ -9,7 +9,8 @@
 #include "core/experiment.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   const core::RunOptions base_options = bench::default_options();
   bench::print_banner("Figure 8 — energy vs cache size class",

@@ -12,7 +12,8 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   const core::RunOptions options = bench::default_options();
   bench::print_banner(
@@ -43,6 +44,7 @@ int main() {
     std::vector<std::string> row = {bench};
     for (core::ConfigId id : configs) {
       const core::SimResult r = core::run_experiment(id, bench, options);
+      bench::export_metrics(r);
       const double ratio = r.energy.total() / baseline[bench];
       ratios[id].push_back(ratio);
       row.push_back(bench::norm(ratio));

@@ -10,7 +10,8 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   const core::RunOptions options = bench::default_options();
   bench::print_banner(
@@ -28,6 +29,7 @@ int main() {
   for (const std::string& bench : workload::benchmark_names()) {
     const core::SimResult r =
         core::run_experiment(core::ConfigId::kShStt, bench, options);
+    bench::export_metrics(r);
     total.merge(r.dl1_arrivals);
     bool shown = false;
     for (const char* h : highlight) {

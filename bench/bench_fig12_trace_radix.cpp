@@ -27,7 +27,8 @@ void print_trace(const char* label, const respin::core::SimResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   const core::RunOptions options = bench::default_options();
   bench::print_banner("Figure 12 — consolidation trace of radix",

@@ -7,7 +7,8 @@
 #include "util/table.hpp"
 #include "util/units.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   bench::print_banner("Table III — L1D technology parameters (NVSim+CACTI)",
                       "STT-RAM: ~3.7x denser, ~7.7x lower leakage than SRAM",

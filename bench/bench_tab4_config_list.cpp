@@ -6,7 +6,8 @@
 #include "core/config.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   bench::print_banner("Table IV — architecture configurations",
                       "eight named configurations from baseline to SH-STT-CC",

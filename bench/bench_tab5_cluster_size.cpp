@@ -12,7 +12,8 @@
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   const core::RunOptions base_options = bench::default_options();
   bench::print_banner("Section V.D — optimal cluster size",

@@ -2,22 +2,36 @@
 // artifact): measures simulations per second of host wall-clock so
 // changes to simulator speed show up in BENCH_*.json history.
 //
-// Three modes over the same (config x benchmark) grid:
+// Four modes over the same (config x benchmark) grid:
 //   serial/no-skip   one thread, cycle-by-cycle clock (the reference path)
 //   serial/skip      one thread, event-driven clock
 //   parallel/skip    all host threads, event-driven clock
-// All three produce bit-identical results (asserted here on total cycles);
-// only the wall-clock differs.
+//   parallel/trace   parallel/skip with a live trace sink attached
+// All four produce bit-identical results (asserted here on total cycles);
+// only the wall-clock differs. The trace mode doubles as the
+// observability-overhead guard: with no sink attached the probes must be
+// free, and with a sink attached the simulated work must be unchanged.
 #include <chrono>
 #include <cstdio>
+#include <type_traits>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/experiment.hpp"
 #include "exec/parallel.hpp"
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 #include "util/table.hpp"
 #include "workload/workload.hpp"
+
+// Compile-time half of the zero-overhead guarantee: with the probes
+// compiled out (RESPIN_OBS=OFF), ScopedProbe must be an empty literal type
+// the optimizer can erase entirely.
+static_assert(std::is_empty_v<respin::obs::BasicScopedProbe<false>>,
+              "disabled scoped probes must compile to nothing");
+static_assert(
+    std::is_trivially_destructible_v<respin::obs::BasicScopedProbe<false>>,
+    "disabled scoped probes must compile to nothing");
 
 namespace {
 
@@ -25,11 +39,13 @@ struct Mode {
   const char* name;
   std::size_t threads;  // 0 = all host threads
   bool cycle_skip;
+  bool traced;
 };
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
   using namespace respin;
   core::RunOptions options = bench::default_options();
   // A quarter of the usual workload keeps the three-mode sweep quick while
@@ -46,19 +62,28 @@ int main() {
   const std::size_t sims = configs.size() * benches.size();
 
   const Mode modes[] = {
-      {"serial/no-skip", 1, false},
-      {"serial/skip", 1, true},
-      {"parallel/skip", 0, true},
+      {"serial/no-skip", 1, false, false},
+      {"serial/skip", 1, true, false},
+      {"parallel/skip", 0, true, false},
+      {"parallel/trace", 0, true, true},
   };
 
   util::TextTable table("Host throughput (higher is better)");
   table.set_header({"mode", "threads", "wall (s)", "sims/sec", "speedup"});
+
+  // The traced mode attaches a counting sink to every simulation and to
+  // the exec pool's probes; the untraced modes run with options.trace as
+  // configured (null unless --trace was given).
+  obs::CountingSink trace_counter;
+  obs::TraceSink* const untraced_sink = options.trace;
 
   double reference_wall = 0.0;
   std::int64_t reference_cycles = -1;
   for (const Mode& mode : modes) {
     exec::set_thread_count(mode.threads);
     options.cycle_skip = mode.cycle_skip;
+    options.trace = mode.traced ? &trace_counter : untraced_sink;
+    if (mode.traced) obs::set_global_sink(&trace_counter);
     const auto start = std::chrono::steady_clock::now();
     const auto matrix = core::run_matrix(configs, benches, options);
     const double wall =
@@ -74,19 +99,27 @@ int main() {
       reference_wall = wall;
     }
     RESPIN_REQUIRE(total_cycles == reference_cycles,
-                   "throughput modes must simulate identical work");
+                   "throughput modes (including tracing) must simulate "
+                   "identical work");
     table.add_row({mode.name, std::to_string(exec::thread_count()),
                    util::fixed(wall, 2),
                    util::fixed(static_cast<double>(sims) / wall, 2),
                    util::fixed(reference_wall / wall, 2)});
+    if (mode.traced) obs::set_global_sink(untraced_sink);
   }
   exec::set_thread_count(0);
+  RESPIN_REQUIRE(trace_counter.count() > 0,
+                 "the traced mode must have emitted events");
 
   std::printf("%s\n", table.render().c_str());
   std::printf(
       "Grid: %zu configs x %zu benchmarks = %zu cluster sims, %.2g simulated\n"
-      "Gcycles total. speedup is vs serial/no-skip (the seed's path).\n",
+      "Gcycles total. speedup is vs serial/no-skip (the seed's path).\n"
+      "Tracing guard: probes %s; traced mode emitted %llu events and\n"
+      "reproduced the reference cycle count exactly.\n",
       configs.size(), benches.size(), sims,
-      static_cast<double>(reference_cycles) * 1e-9);
+      static_cast<double>(reference_cycles) * 1e-9,
+      respin::obs::kCompiledIn ? "compiled in" : "compiled out",
+      static_cast<unsigned long long>(trace_counter.count()));
   return 0;
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates tests/goldens/metrics.csv after an intentional behaviour
+# change. Run from anywhere; builds the generator first so the snapshot
+# always reflects the current tree.
+#
+#   scripts/update_goldens.sh [build-dir]
+#
+# Review the resulting diff before committing: every drifted counter is a
+# deliberate simulator change, not noise — the grid is fully deterministic.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" --target respin_goldens -j "$(nproc)"
+"$build/tools/respin_goldens" --out "$repo/tests/goldens/metrics.csv"
+
+echo
+echo "Updated $repo/tests/goldens/metrics.csv — review with:"
+echo "  git diff tests/goldens/metrics.csv"

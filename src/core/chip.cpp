@@ -4,6 +4,7 @@
 
 #include "core/oracle.hpp"
 #include "exec/parallel.hpp"
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 #include "workload/workload.hpp"
 
@@ -45,6 +46,7 @@ ChipResult run_chip(ConfigId id, const std::string& benchmark,
     SimParams params;
     params.workload_scale = options.workload_scale;
     params.cycle_skip = options.cycle_skip;
+    params.trace = options.trace;
     // Each cluster runs its own process instance of the benchmark: a
     // distinct workload seed per cluster.
     params.seed = options.seed + 1000ull * c;
@@ -85,6 +87,16 @@ ChipResult run_chip(ConfigId id, const std::string& benchmark,
       chip.energy.cache_leakage += cache_leak_w * tail_seconds * 1e12;
       chip.energy.network += config.power.uncore_w * tail_seconds * 1e12;
     }
+  }
+  if (options.trace != nullptr) {
+    obs::Event event("chip_complete");
+    event.str("config", chip.config_name)
+        .str("benchmark", chip.benchmark)
+        .i64("clusters", static_cast<std::int64_t>(chip.clusters.size()))
+        .f64("seconds", chip.seconds)
+        .i64("instructions", static_cast<std::int64_t>(chip.instructions))
+        .f64("energy_pj", chip.energy.total());
+    options.trace->record(event);
   }
   return chip;
 }

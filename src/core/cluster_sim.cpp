@@ -106,6 +106,7 @@ bool ClusterSim::run_one_epoch() {
       trace_.push_back(ConsolidationSample{now_, active_count_,
                                            last_epoch_epi_});
       active_stat_.add(active_count_);
+      emit_epoch_event();
       epoch_counts_ = current_counts();
       epoch_start_ = now_;
       next_epoch_instructions_ =
@@ -134,6 +135,7 @@ void ClusterSim::on_epoch_boundary() {
   trace_.push_back(
       ConsolidationSample{now_, active_count_, last_epoch_epi_});
   active_stat_.add(active_count_);
+  emit_epoch_event();
 
   if (governor_) {
     const std::uint32_t target =
@@ -745,8 +747,56 @@ void ClusterSim::power_up_one() {
 
 void ClusterSim::apply_active_count(std::uint32_t target) {
   sync_power_integral();
+  const std::uint32_t from = active_count_;
   while (active_count_ > target) power_down_one();
   while (active_count_ < target) power_up_one();
+  if (params_.trace != nullptr && target != from) {
+    obs::Event event("consolidate");
+    event.str("config", cfg_.name)
+        .str("benchmark", benchmark_name_)
+        .i64("cycle", now_)
+        .i64("from_cores", from)
+        .i64("to_cores", target);
+    params_.trace->record(event);
+  }
+}
+
+void ClusterSim::emit_epoch_event() {
+  if (params_.trace == nullptr) return;
+  obs::Event event("epoch");
+  event.str("config", cfg_.name)
+      .str("benchmark", benchmark_name_)
+      .i64("cycle", now_)
+      .i64("active_cores", active_count_)
+      .i64("instructions", static_cast<std::int64_t>(counts_.instructions))
+      .f64("epi_pj", last_epoch_epi_);
+  params_.trace->record(event);
+}
+
+void ClusterSim::collect_counters(obs::CounterSet& set) const {
+  for (std::uint32_t pid = 0; pid < cores_.size(); ++pid) {
+    const cpu::PhysicalCore& p = cores_[pid];
+    const std::string prefix = "core" + std::to_string(pid);
+    set.add(prefix + ".multiplier", static_cast<std::int64_t>(p.multiplier));
+    set.add(prefix + ".powered_on", p.powered_on ? 1.0 : 0.0);
+    set.add(prefix + ".busy_cycles", p.busy_cycles);
+    set.add(prefix + ".idle_cycles", p.idle_cycles);
+    set.add(prefix + ".resident_vcores",
+            static_cast<std::uint64_t>(p.vcores.size()));
+  }
+  for (std::uint32_t vid = 0; vid < vcores_.size(); ++vid) {
+    set.add("vcore" + std::to_string(vid) + ".instructions",
+            vcores_[vid].instructions);
+  }
+  if (dl1_ctrl_) dl1_ctrl_->collect_counters(set, "dl1");
+  if (private_l1_) private_l1_->collect_counters(set, "pl1");
+  const mem::BacksideStats& b = backside_.stats();
+  set.add("backside.l2_reads", b.l2_reads);
+  set.add("backside.l2_writes", b.l2_writes);
+  set.add("backside.l3_reads", b.l3_reads);
+  set.add("backside.l3_writes", b.l3_writes);
+  set.add("backside.memory_reads", b.memory_reads);
+  set.add("backside.memory_writes", b.memory_writes);
 }
 
 void ClusterSim::sync_power_integral() {

@@ -26,6 +26,8 @@
 #include "mem/backside.hpp"
 #include "mem/cache_array.hpp"
 #include "mem/private_l1.hpp"
+#include "obs/counters.hpp"
+#include "obs/obs.hpp"
 #include "power/energy.hpp"
 #include "util/stats.hpp"
 #include "workload/workload.hpp"
@@ -42,6 +44,11 @@ struct SimParams {
   /// are bit-identical either way (see docs/performance.md); the switch
   /// exists so the determinism tests can pin that down.
   bool cycle_skip = true;
+  /// Structured trace destination (epoch boundaries, consolidation
+  /// decisions — see docs/observability.md for the schema). Null disables
+  /// tracing; emission only reads simulator state, so results are
+  /// bit-identical with tracing on or off.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// One point of the consolidation trace (paper Figs. 12/13).
@@ -122,6 +129,13 @@ class ClusterSim {
   /// progress under an experimental configuration).
   std::string describe_state() const;
 
+  /// Exports the full counter registry: per-core busy/idle/multiplier,
+  /// per-vcore committed instructions, shared-cache controller statistics
+  /// ("dl1.*") or private-L1 coherence counters ("pl1.*"), and backside
+  /// traffic ("backside.*"). Finer-grained than SimResult; callable
+  /// mid-run or at completion.
+  void collect_counters(obs::CounterSet& set) const;
+
   const ClusterConfig& config() const { return cfg_; }
 
  private:
@@ -162,6 +176,7 @@ class ClusterSim {
   void rotate_vcore(std::uint32_t pid, std::uint32_t penalty_cycles);
   void on_epoch_boundary();
   bool at_epoch_boundary() const;
+  void emit_epoch_event();
   void apply_active_count(std::uint32_t target);
   void power_down_one();
   void power_up_one();

@@ -9,6 +9,26 @@
 
 namespace respin::core {
 
+namespace {
+
+/// Completion record for the structured trace (schema in
+/// docs/observability.md).
+void emit_run_complete(obs::TraceSink* sink, const SimResult& result) {
+  if (sink == nullptr) return;
+  obs::Event event("run_complete");
+  event.str("config", result.config_name)
+      .str("benchmark", result.benchmark)
+      .i64("cycles", result.cycles)
+      .f64("seconds", result.seconds)
+      .i64("instructions", static_cast<std::int64_t>(result.instructions))
+      .f64("energy_pj", result.energy.total())
+      .f64("epi_pj", result.epi_pj())
+      .i64("hit_cycle_limit", result.hit_cycle_limit ? 1 : 0);
+  sink->record(event);
+}
+
+}  // namespace
+
 SimResult run_experiment(ConfigId id, const std::string& benchmark,
                          const RunOptions& options) {
   const ClusterConfig config = make_cluster_config(
@@ -17,12 +37,18 @@ SimResult run_experiment(ConfigId id, const std::string& benchmark,
   params.workload_scale = options.workload_scale;
   params.seed = options.seed;
   params.cycle_skip = options.cycle_skip;
+  params.trace = options.trace;
   ClusterSim sim(config, workload::benchmark(benchmark), params);
+  SimResult result;
   if (config.governor == GovernorKind::kOracle) {
-    return run_with_oracle(sim, OracleParams{.stride = options.oracle_stride});
+    result =
+        run_with_oracle(sim, OracleParams{.stride = options.oracle_stride});
+  } else {
+    sim.run();
+    result = sim.result();
   }
-  sim.run();
-  return sim.result();
+  emit_run_complete(options.trace, result);
+  return result;
 }
 
 std::vector<SimResult> run_suite(ConfigId id, const RunOptions& options) {

@@ -10,6 +10,7 @@
 #include "core/cluster_sim.hpp"
 #include "core/config.hpp"
 #include "core/oracle.hpp"
+#include "obs/obs.hpp"
 
 namespace respin::core {
 
@@ -22,6 +23,11 @@ struct RunOptions {
   /// Event-driven clock in ClusterSim (see SimParams::cycle_skip); off is
   /// the cycle-by-cycle reference path, results are identical.
   bool cycle_skip = true;
+  /// Structured trace destination, threaded through to every ClusterSim
+  /// (epoch/consolidation events) plus per-run completion records. Null
+  /// disables tracing; results are bit-identical either way. The sink
+  /// must be thread-safe: suites fan runs out over the exec pool.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Runs `benchmark` on configuration `id` and returns the cluster-level

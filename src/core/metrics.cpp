@@ -1,0 +1,122 @@
+#include "core/metrics.hpp"
+
+#include <ostream>
+
+#include "util/stats.hpp"
+
+namespace respin::core {
+
+namespace {
+
+void add_histogram(obs::CounterSet& set, const std::string& prefix,
+                   const util::Histogram& histogram) {
+  set.add(prefix + ".total", histogram.total());
+  for (std::size_t i = 0; i < histogram.bucket_count(); ++i) {
+    set.add(prefix + ".bucket" + std::to_string(i), histogram.bucket(i));
+  }
+}
+
+void add_energy(obs::CounterSet& set, const power::EnergyBreakdown& energy) {
+  set.add("energy.core_dynamic_pj", energy.core_dynamic);
+  set.add("energy.core_leakage_pj", energy.core_leakage);
+  set.add("energy.cache_dynamic_pj", energy.cache_dynamic);
+  set.add("energy.cache_leakage_pj", energy.cache_leakage);
+  set.add("energy.dram_pj", energy.dram);
+  set.add("energy.network_pj", energy.network);
+  set.add("energy.total_pj", energy.total());
+}
+
+void add_counts(obs::CounterSet& set, const power::ActivityCounts& counts) {
+  set.add("counts.instructions", counts.instructions);
+  set.add("counts.core_busy_cycles", counts.core_busy_cycles);
+  set.add("counts.core_idle_cycles", counts.core_idle_cycles);
+  set.add("counts.l1_reads", counts.l1_reads);
+  set.add("counts.l1_writes", counts.l1_writes);
+  set.add("counts.l2_reads", counts.l2_reads);
+  set.add("counts.l2_writes", counts.l2_writes);
+  set.add("counts.l3_reads", counts.l3_reads);
+  set.add("counts.l3_writes", counts.l3_writes);
+  set.add("counts.dram_accesses", counts.dram_accesses);
+  set.add("counts.coherence_messages", counts.coherence_messages);
+  set.add("counts.level_shifter_crossings", counts.level_shifter_crossings);
+  set.add("counts.core_on_ps", counts.core_on_ps);
+}
+
+}  // namespace
+
+obs::CounterSet metrics_of(const SimResult& result) {
+  obs::CounterSet set;
+  set.add("sim.cycles", result.cycles);
+  set.add("sim.seconds", result.seconds);
+  set.add("sim.instructions", result.instructions);
+  set.add("sim.hit_cycle_limit", result.hit_cycle_limit ? 1.0 : 0.0);
+  add_counts(set, result.counts);
+  add_energy(set, result.energy);
+  set.add("derived.epi_pj", result.epi_pj());
+  set.add("derived.watts", result.watts());
+  set.add("dl1.read_hits", result.dl1_read_hits);
+  set.add("dl1.read_misses", result.dl1_read_misses);
+  set.add("dl1.half_misses", result.dl1_half_misses);
+  set.add("dl1.store_rejections", result.dl1_store_rejections);
+  set.add("dl1.cycles", result.dl1_cycles);
+  add_histogram(set, "dl1.read_hit_latency", result.read_hit_latency);
+  add_histogram(set, "dl1.arrivals", result.dl1_arrivals);
+  set.add("consolidation.epochs", result.trace.size());
+  set.add("consolidation.avg_active_cores", result.avg_active_cores);
+  set.add("consolidation.min_active_cores",
+          static_cast<std::uint64_t>(result.min_active_cores));
+  set.add("consolidation.max_active_cores",
+          static_cast<std::uint64_t>(result.max_active_cores));
+  return set;
+}
+
+obs::CounterSet metrics_of(const ChipResult& result) {
+  obs::CounterSet set;
+  set.add("chip.clusters", result.clusters.size());
+  set.add("chip.seconds", result.seconds);
+  set.add("chip.instructions", result.instructions);
+  add_energy(set, result.energy);
+  set.add("derived.watts", result.watts());
+  return set;
+}
+
+obs::MetricsRow metrics_row(const SimResult& result) {
+  return obs::MetricsRow{result.config_name + "/" + result.benchmark,
+                         metrics_of(result)};
+}
+
+void write_metrics_csv(std::ostream& os,
+                       const std::vector<SimResult>& results) {
+  std::vector<obs::MetricsRow> rows;
+  rows.reserve(results.size());
+  for (const SimResult& r : results) rows.push_back(metrics_row(r));
+  obs::write_metrics_csv(os, rows);
+}
+
+const std::vector<std::string>& golden_benchmarks() {
+  static const std::vector<std::string> benchmarks = {"ocean", "radix", "lu",
+                                                      "fft"};
+  return benchmarks;
+}
+
+RunOptions golden_options() {
+  RunOptions options;
+  // Short runs: the goldens pin behaviour, not paper-scale statistics.
+  options.workload_scale = 0.05;
+  options.seed = 1;
+  return options;
+}
+
+std::vector<obs::MetricsRow> golden_snapshot() {
+  const std::vector<ConfigId> configs = all_config_ids();
+  const auto matrix = run_matrix(configs, golden_benchmarks(),
+                                 golden_options());
+  std::vector<obs::MetricsRow> rows;
+  rows.reserve(configs.size() * golden_benchmarks().size());
+  for (const auto& row : matrix) {
+    for (const SimResult& r : row) rows.push_back(metrics_row(r));
+  }
+  return rows;
+}
+
+}  // namespace respin::core

@@ -1,0 +1,57 @@
+// Canonical metric snapshots: the bridge between simulation results and
+// the respin::obs counter registries.
+//
+// metrics_of() flattens a SimResult (or ChipResult) into a named
+// CounterSet covering every statistic the paper's tables and figures
+// derive from — timing, energy split, activity counts, shared-L1
+// behaviour including full histograms, and the consolidation summary.
+// The golden-stats harness pins exactly this set: if a counter here
+// changes value, goldens_test fails and names it.
+//
+// The counter taxonomy is documented in docs/observability.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/chip.hpp"
+#include "core/cluster_sim.hpp"
+#include "core/experiment.hpp"
+#include "obs/counters.hpp"
+#include "obs/golden.hpp"
+
+namespace respin::core {
+
+/// Flattens one finished cluster run into named counters.
+obs::CounterSet metrics_of(const SimResult& result);
+
+/// Flattens a chip-level aggregate (per-cluster rows are not included;
+/// pin them individually if needed).
+obs::CounterSet metrics_of(const ChipResult& result);
+
+/// Row form for golden tables: run id "CONFIG/benchmark".
+obs::MetricsRow metrics_row(const SimResult& result);
+
+/// Writes a metrics CSV (run,counter,value) for a result set — the
+/// respin_sim --metrics and bench RESPIN_METRICS export format.
+void write_metrics_csv(std::ostream& os,
+                       const std::vector<SimResult>& results);
+
+// ---- Golden-stats grid ---------------------------------------------------
+// The pinned grid is every Table IV configuration crossed with four
+// benchmarks of distinct phase structure, at a reduced workload scale so
+// the regression check stays fast. scripts/update_goldens.sh regenerates
+// tests/goldens/metrics.csv via the respin_goldens tool.
+
+/// Benchmarks pinned by the goldens: ocean, radix, lu, fft.
+const std::vector<std::string>& golden_benchmarks();
+
+/// Run options the goldens are generated and checked with.
+RunOptions golden_options();
+
+/// Runs the full golden grid (all configs x golden_benchmarks(), fanned
+/// out over the exec pool) and returns one row per run in grid order.
+std::vector<obs::MetricsRow> golden_snapshot();
+
+}  // namespace respin::core

@@ -99,6 +99,21 @@ std::int64_t SharedCacheController::next_activity_cycle(
   return std::max(next, now + 1);
 }
 
+void SharedCacheController::collect_counters(obs::CounterSet& set,
+                                             const std::string& prefix) const {
+  set.add(prefix + ".reads_serviced", stats_.reads_serviced);
+  set.add(prefix + ".half_misses", stats_.half_misses);
+  set.add(prefix + ".stores_accepted", stats_.stores_accepted);
+  set.add(prefix + ".store_queue_rejections", stats_.store_queue_rejections);
+  set.add(prefix + ".fills", stats_.fills);
+  set.add(prefix + ".busy_cycles", stats_.busy_cycles);
+  set.add(prefix + ".total_cycles", stats_.total_cycles);
+  for (std::size_t i = 0; i < stats_.arrivals_per_cycle.bucket_count(); ++i) {
+    set.add(prefix + ".arrivals.bucket" + std::to_string(i),
+            stats_.arrivals_per_cycle.bucket(i));
+  }
+}
+
 void SharedCacheController::note_skipped_cycles(std::int64_t cycles) {
   if (cycles <= 0) return;
   // Inside a skipped window the arrival ring is all zeros (every pending

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/priority_register.hpp"
+#include "obs/counters.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -114,6 +115,12 @@ class SharedCacheController {
 
   const ControllerParams& params() const { return params_; }
   const ControllerStats& stats() const { return stats_; }
+
+  /// Exports the controller statistics (including the arrival histogram
+  /// bucket by bucket) into `set` under `prefix` ("<prefix>.half_misses",
+  /// ...). Part of the respin::obs counter-registry taxonomy.
+  void collect_counters(obs::CounterSet& set,
+                        const std::string& prefix) const;
 
  private:
   struct ReadSlot {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "util/env.hpp"
 
 namespace respin::exec {
@@ -72,6 +73,11 @@ void ThreadPool::run(std::size_t n,
   }
 
   std::lock_guard<std::mutex> serialize(run_mu_);
+  // Batch-granularity timing probe: emits one "probe" event per top-level
+  // fan-out to the global obs sink (a no-op branch when none installed).
+  obs::ScopedProbe probe("exec.batch");
+  probe.add("tasks", static_cast<std::int64_t>(n));
+  probe.add("threads", static_cast<std::int64_t>(size()));
   Batch batch;
   batch.fn = &fn;
   batch.n = n;

@@ -204,4 +204,28 @@ void PrivateL1System::flush_core(std::uint32_t core, Backside& backside) {
   l1i_[core].flush();
 }
 
+void PrivateL1System::collect_counters(obs::CounterSet& set,
+                                       const std::string& prefix) const {
+  set.add(prefix + ".l1_reads", l1_reads_);
+  set.add(prefix + ".l1_writes", l1_writes_);
+  set.add(prefix + ".upgrades", coherence_.upgrades);
+  set.add(prefix + ".invalidations_sent", coherence_.invalidations_sent);
+  set.add(prefix + ".interventions", coherence_.interventions);
+  set.add(prefix + ".writebacks", coherence_.writebacks);
+  set.add(prefix + ".directory_lookups", coherence_.directory_lookups);
+  set.add(prefix + ".directory_lines",
+          static_cast<std::uint64_t>(directory_.size()));
+  for (std::uint32_t core = 0; core < params_.core_count; ++core) {
+    const std::string core_prefix =
+        prefix + ".core" + std::to_string(core);
+    const CacheArrayStats& d = l1d_[core].stats();
+    const CacheArrayStats& i = l1i_[core].stats();
+    set.add(core_prefix + ".l1d_hits", d.hits);
+    set.add(core_prefix + ".l1d_misses", d.misses);
+    set.add(core_prefix + ".l1d_evictions", d.evictions);
+    set.add(core_prefix + ".l1i_hits", i.hits);
+    set.add(core_prefix + ".l1i_misses", i.misses);
+  }
+}
+
 }  // namespace respin::mem

@@ -11,12 +11,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "mem/backside.hpp"
 #include "mem/cache_array.hpp"
 #include "mem/cache_types.hpp"
+#include "obs/counters.hpp"
 
 namespace respin::mem {
 
@@ -74,6 +76,12 @@ class PrivateL1System {
   /// Total L1 accesses (reads+writes) for energy accounting.
   std::uint64_t l1_reads() const { return l1_reads_; }
   std::uint64_t l1_writes() const { return l1_writes_; }
+
+  /// Exports coherence counters and per-core L1 hit/miss statistics into
+  /// `set` under `prefix` ("<prefix>.upgrades", "<prefix>.core3.l1d_hits",
+  /// ...). Part of the respin::obs counter-registry taxonomy.
+  void collect_counters(obs::CounterSet& set,
+                        const std::string& prefix) const;
 
  private:
   struct DirEntry {

@@ -1,0 +1,39 @@
+#include "obs/counters.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace respin::obs {
+
+void CounterSet::add(std::string name, double value) {
+  items_.push_back(Counter{std::move(name), value});
+}
+
+const double* CounterSet::find(std::string_view name) const {
+  for (const Counter& c : items_) {
+    if (c.name == name) return &c.value;
+  }
+  return nullptr;
+}
+
+std::string format_value(double value) {
+  // 2^53: the largest magnitude below which every integer is exact.
+  constexpr double kExactIntegerLimit = 9007199254740992.0;
+  if (std::isfinite(value) && std::nearbyint(value) == value &&
+      std::fabs(value) < kExactIntegerLimit) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+double parse_value(const std::string& text) {
+  return std::strtod(text.c_str(), nullptr);
+}
+
+}  // namespace respin::obs

@@ -1,0 +1,58 @@
+// Named counter registries for metrics export.
+//
+// A CounterSet is an ordered list of (name, value) pairs — the canonical
+// flat form of everything a simulation can report. Components export into
+// one through collect_counters()-style hooks under a dotted-prefix
+// taxonomy ("dl1.reads_serviced", "core3.busy_cycles"); the golden-stats
+// harness then compares whole sets by name.
+//
+// Values are doubles. Every integer counter in the simulator fits double's
+// 53-bit exact-integer range (cycle counts are capped at 4e8; event counts
+// follow), and format_value() prints integers without a fractional part
+// and everything else with round-trip precision, so text form is lossless.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace respin::obs {
+
+struct Counter {
+  std::string name;
+  double value = 0.0;
+};
+
+class CounterSet {
+ public:
+  /// Appends a counter. Names should be unique within a set; find()
+  /// returns the first match.
+  void add(std::string name, double value);
+  void add(std::string name, std::uint64_t value) {
+    add(std::move(name), static_cast<double>(value));
+  }
+  void add(std::string name, std::int64_t value) {
+    add(std::move(name), static_cast<double>(value));
+  }
+
+  const std::vector<Counter>& items() const { return items_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// Pointer to the value of `name`, or nullptr when absent.
+  const double* find(std::string_view name) const;
+
+ private:
+  std::vector<Counter> items_;
+};
+
+/// Round-trip-exact text form: values that are exactly representable
+/// integers print without a fractional part; everything else prints with
+/// %.17g (shortest form that parses back bit-identically).
+std::string format_value(double value);
+
+/// Inverse of format_value (plain strtod; both forms parse exactly).
+double parse_value(const std::string& text);
+
+}  // namespace respin::obs

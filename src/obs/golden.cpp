@@ -1,0 +1,111 @@
+#include "obs/golden.hpp"
+
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace respin::obs {
+
+void write_metrics_csv(std::ostream& os, const std::vector<MetricsRow>& rows,
+                       const std::string& preamble) {
+  if (!preamble.empty()) {
+    std::istringstream lines(preamble);
+    std::string line;
+    while (std::getline(lines, line)) os << "# " << line << '\n';
+  }
+  os << "run,counter,value\n";
+  for (const MetricsRow& row : rows) {
+    for (const Counter& c : row.counters.items()) {
+      os << row.run << ',' << c.name << ',' << format_value(c.value) << '\n';
+    }
+  }
+}
+
+std::vector<MetricsRow> read_metrics_csv(std::istream& is) {
+  std::vector<MetricsRow> rows;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t first = line.find(',');
+    const std::size_t second =
+        first == std::string::npos ? std::string::npos
+                                   : line.find(',', first + 1);
+    if (second == std::string::npos) continue;
+    const std::string run = line.substr(0, first);
+    if (run == "run") continue;  // Header.
+    std::string counter = line.substr(first + 1, second - first - 1);
+    const double value = parse_value(line.substr(second + 1));
+    if (rows.empty() || rows.back().run != run) {
+      bool found = false;
+      for (MetricsRow& existing : rows) {
+        if (existing.run == run) {
+          existing.counters.add(std::move(counter), value);
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      rows.push_back(MetricsRow{run, {}});
+    }
+    rows.back().counters.add(std::move(counter), value);
+  }
+  return rows;
+}
+
+std::string GoldenDiff::report() const {
+  std::string out;
+  for (const std::string& drift : drifts) {
+    out += drift;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+GoldenDiff diff_metrics(const std::vector<MetricsRow>& golden,
+                        const std::vector<MetricsRow>& live) {
+  GoldenDiff diff;
+  std::map<std::string, const MetricsRow*> live_by_run;
+  for (const MetricsRow& row : live) live_by_run[row.run] = &row;
+
+  for (const MetricsRow& gold : golden) {
+    const auto it = live_by_run.find(gold.run);
+    if (it == live_by_run.end()) {
+      diff.drifts.push_back(gold.run + ": run missing from live results");
+      continue;
+    }
+    const MetricsRow& now = *it->second;
+    live_by_run.erase(it);
+    for (const Counter& c : gold.counters.items()) {
+      const double* value = now.counters.find(c.name);
+      if (value == nullptr) {
+        diff.drifts.push_back(gold.run + ": counter " + c.name +
+                              " missing from live results (golden " +
+                              format_value(c.value) + ")");
+        continue;
+      }
+      // Text-form comparison: exact for every representable value, and
+      // NaN-safe (both sides print "nan").
+      const std::string want = format_value(c.value);
+      const std::string got = format_value(*value);
+      if (want != got) {
+        diff.drifts.push_back(gold.run + ": counter " + c.name +
+                              " drifted: golden " + want + ", live " + got);
+      }
+    }
+    for (const Counter& c : now.counters.items()) {
+      if (gold.counters.find(c.name) == nullptr) {
+        diff.drifts.push_back(gold.run + ": counter " + c.name +
+                              " is new (live " + format_value(c.value) +
+                              "); regenerate goldens");
+      }
+    }
+  }
+  for (const auto& [run, row] : live_by_run) {
+    (void)row;
+    diff.drifts.push_back(run + ": run not pinned by goldens; regenerate");
+  }
+  return diff;
+}
+
+}  // namespace respin::obs

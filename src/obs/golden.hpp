@@ -1,0 +1,54 @@
+// Golden-stats tables: a serializable (run, counter) -> value matrix plus
+// a differ that reports drift by name.
+//
+// The on-disk form is CSV — `run,counter,value` — with `#` comment lines
+// for provenance (generator command, grid description). `run` is an
+// opaque row key; the simulator uses "CONFIG/benchmark". Values use
+// obs::format_value, so the file round-trips bit-exactly and a golden
+// regenerated from unchanged code is byte-stable under git.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/counters.hpp"
+
+namespace respin::obs {
+
+/// One run's worth of counters, keyed by an opaque run id.
+struct MetricsRow {
+  std::string run;
+  CounterSet counters;
+};
+
+/// Writes `# <comment line>` preamble lines (split on '\n'), a header,
+/// and one CSV row per counter.
+void write_metrics_csv(std::ostream& os, const std::vector<MetricsRow>& rows,
+                       const std::string& preamble = "");
+
+/// Parses write_metrics_csv output (comments and header are skipped).
+/// Rows regroup by run id in first-appearance order.
+std::vector<MetricsRow> read_metrics_csv(std::istream& is);
+
+/// Result of comparing a live metrics table against a golden one. Each
+/// drift line names the run, the counter, and both values — the
+/// human-readable report a failing regression test prints.
+struct GoldenDiff {
+  std::vector<std::string> drifts;
+
+  bool ok() const { return drifts.empty(); }
+  std::size_t count() const { return drifts.size(); }
+
+  /// Multi-line report; "" when ok().
+  std::string report() const;
+};
+
+/// Compares `live` against `golden` by (run, counter) name. Values must
+/// match exactly in format_value() text form — the simulator is
+/// deterministic, so any inequality is a real behaviour change. Missing
+/// or extra runs/counters are drifts too.
+GoldenDiff diff_metrics(const std::vector<MetricsRow>& golden,
+                        const std::vector<MetricsRow>& live);
+
+}  // namespace respin::obs

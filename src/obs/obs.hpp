@@ -1,0 +1,140 @@
+// Structured tracing for the simulator: typed events, pluggable sinks, a
+// JSONL serializer and RAII wall-clock probes.
+//
+// Design rule: observability must never perturb a simulation. Emitters
+// only *read* simulator state, and every emission site is guarded by a
+// sink pointer that defaults to null, so the disabled path is one
+// predictable branch. For the truly paranoid, configuring with
+// -DRESPIN_OBS=OFF compiles the probes out entirely (ScopedProbe becomes
+// an empty type — see kCompiledIn and the static checks in obs_test).
+//
+// The JSONL schema is documented in docs/observability.md; every line is
+// one self-contained JSON object, so concurrently running simulations may
+// interleave lines but never corrupt them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace respin::obs {
+
+/// False when the build compiled the probes out (-DRESPIN_OBS=OFF).
+inline constexpr bool kCompiledIn =
+#ifdef RESPIN_OBS_DISABLE
+    false;
+#else
+    true;
+#endif
+
+/// One structured trace record: a kind plus ordered typed fields.
+class Event {
+ public:
+  struct Field {
+    enum class Type : std::uint8_t { kStr, kInt, kFloat };
+    std::string key;
+    Type type = Type::kInt;
+    std::string str_value;
+    std::int64_t int_value = 0;
+    double float_value = 0.0;
+  };
+
+  explicit Event(std::string kind) : kind_(std::move(kind)) {}
+
+  Event& str(std::string_view key, std::string_view value);
+  Event& i64(std::string_view key, std::int64_t value);
+  Event& f64(std::string_view key, double value);
+
+  const std::string& kind() const { return kind_; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+ private:
+  std::string kind_;
+  std::vector<Field> fields_;
+};
+
+/// Serializes an event as a single-line JSON object:
+/// {"event":"<kind>","k1":v1,...}. Non-finite floats render as null
+/// (JSON has no inf/nan); strings are escaped per RFC 8259.
+std::string to_json(const Event& event);
+
+/// Destination for trace events. Implementations must be safe to call
+/// from multiple threads (simulations fan out over the exec pool).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(const Event& event) = 0;
+};
+
+/// Counts events and discards their content. Used by tests and by the
+/// bench_throughput tracing-overhead guard.
+class CountingSink : public TraceSink {
+ public:
+  void record(const Event&) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// Writes one JSON object per line to a stream, under a mutex so whole
+/// lines never interleave.
+class JsonlWriter : public TraceSink {
+ public:
+  explicit JsonlWriter(std::ostream& os) : os_(os) {}
+  void record(const Event& event) override;
+
+ private:
+  std::mutex mu_;
+  std::ostream& os_;
+};
+
+/// Process-wide sink for emitters that have no configuration channel of
+/// their own (the exec thread pool's timing probes). Null by default:
+/// with no sink installed every probe is a relaxed load and a branch.
+TraceSink* global_sink();
+void set_global_sink(TraceSink* sink);
+
+/// RAII wall-clock probe: on destruction emits
+/// {"event":"probe","name":<name>,"wall_us":<elapsed>, ...extras}
+/// to the global sink. The clock is only read when a sink is installed
+/// at construction time. BasicScopedProbe<false> is the compiled-out
+/// variant: an empty type whose every member is a constexpr no-op.
+template <bool Enabled>
+class BasicScopedProbe;
+
+template <>
+class BasicScopedProbe<false> {
+ public:
+  explicit constexpr BasicScopedProbe(const char*) {}
+  constexpr void add(const char*, std::int64_t) {}
+};
+
+template <>
+class BasicScopedProbe<true> {
+ public:
+  explicit BasicScopedProbe(const char* name);
+  ~BasicScopedProbe();
+
+  BasicScopedProbe(const BasicScopedProbe&) = delete;
+  BasicScopedProbe& operator=(const BasicScopedProbe&) = delete;
+
+  /// Attaches an extra integer field to the emitted probe event.
+  void add(const char* key, std::int64_t value);
+
+ private:
+  const char* name_;
+  TraceSink* sink_;  ///< Captured once; null disables the probe.
+  std::int64_t start_ns_ = 0;
+  std::vector<Event::Field> extras_;
+};
+
+using ScopedProbe = BasicScopedProbe<kCompiledIn>;
+
+}  // namespace respin::obs

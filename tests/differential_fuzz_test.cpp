@@ -1,0 +1,149 @@
+// Randomized differential test for the event-driven clock: fuzzes
+// (configuration, cluster shape, workload shape, seed) with the
+// deterministic RNG and asserts that the event-skip ClusterSim and the
+// cycle-by-cycle reference produce bit-identical SimResults AND identical
+// full counter registries. The fixed-grid determinism tests pin the paper
+// configurations; this one walks the parameter space around them.
+//
+// Streams are seeded by ("fuzz.differential", iteration), so a failure
+// reproduces exactly from its iteration number.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cluster_sim.hpp"
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "obs/golden.hpp"
+#include "sim_result_eq.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace respin::core {
+namespace {
+
+template <typename T>
+T pick(util::Rng& rng, const std::vector<T>& options) {
+  return options[rng.uniform_u64(options.size())];
+}
+
+void expect_skip_equivalent(const SimResult& skip, const SimResult& no_skip,
+                            const std::string& what) {
+  SCOPED_TRACE(what);
+  expect_same_result(skip, no_skip);
+  const obs::GoldenDiff diff =
+      obs::diff_metrics({metrics_row(no_skip)}, {metrics_row(skip)});
+  EXPECT_TRUE(diff.ok()) << diff.report();
+}
+
+// --- Random draws over the real experiment surface ------------------------
+
+TEST(DifferentialFuzz, RandomConfigurationsSkipEqualsNoSkip) {
+  const std::vector<ConfigId> configs = all_config_ids();
+  const std::vector<std::uint32_t> cluster_sizes = {4, 8, 16, 32};
+  const std::vector<CacheSize> sizes = {CacheSize::kSmall, CacheSize::kMedium,
+                                        CacheSize::kLarge};
+  const std::vector<std::string> benches = workload::benchmark_names();
+
+  for (std::uint64_t iteration = 0; iteration < 8; ++iteration) {
+    util::Rng rng("fuzz.differential", iteration);
+    RunOptions options;
+    options.cluster_cores = pick(rng, cluster_sizes);
+    options.size = pick(rng, sizes);
+    options.workload_scale = rng.uniform(0.01, 0.06);
+    options.seed = 1 + rng.uniform_u64(1000);
+    const ConfigId config = pick(rng, configs);
+    const std::string bench = pick(rng, benches);
+
+    RunOptions no_skip = options;
+    no_skip.cycle_skip = false;
+    const SimResult a = run_experiment(config, bench, options);
+    const SimResult b = run_experiment(config, bench, no_skip);
+    expect_skip_equivalent(
+        a, b,
+        "iteration " + std::to_string(iteration) + ": " + to_string(config) +
+            "/" + bench + " cores=" + std::to_string(options.cluster_cores) +
+            " seed=" + std::to_string(options.seed));
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+// --- Random synthetic workload shapes through ClusterSim directly ---------
+
+workload::WorkloadSpec random_spec(util::Rng& rng) {
+  workload::WorkloadSpec spec;
+  spec.name = "fuzz";
+  spec.code_kb = 8 + static_cast<std::uint32_t>(rng.uniform_u64(64));
+  spec.repeat = 1 + static_cast<std::uint32_t>(rng.uniform_u64(2));
+  const std::size_t phase_count = 1 + rng.uniform_u64(3);
+  for (std::size_t i = 0; i < phase_count; ++i) {
+    workload::Phase phase;
+    phase.instructions = 2'000 + rng.uniform_u64(20'000);
+    phase.ipc = rng.uniform(0.4, 2.0);
+    phase.mem_fraction = rng.uniform(0.05, 0.6);
+    phase.store_fraction = rng.uniform(0.05, 0.6);
+    phase.shared_fraction = rng.uniform(0.0, 0.6);
+    phase.hot_kb = 4 + static_cast<std::uint32_t>(rng.uniform_u64(24));
+    phase.cold_kb = 64 + static_cast<std::uint32_t>(rng.uniform_u64(512));
+    phase.hot_fraction = rng.uniform(0.5, 1.0);
+    phase.shared_kb = 64 + static_cast<std::uint32_t>(rng.uniform_u64(512));
+    phase.shared_hot_fraction = rng.uniform(0.5, 1.0);
+    phase.shared_hot_kb = 8 + static_cast<std::uint32_t>(rng.uniform_u64(48));
+    phase.parallel_fraction = rng.uniform(0.3, 1.0);
+    phase.barriers = static_cast<std::uint32_t>(rng.uniform_u64(4));
+    spec.phases.push_back(phase);
+  }
+  return spec;
+}
+
+TEST(DifferentialFuzz, RandomWorkloadShapesSkipEqualsNoSkip) {
+  // Oracle configurations are excluded: bare ClusterSim::run does not
+  // drive the oracle's external epoch loop.
+  const std::vector<ConfigId> configs = {
+      ConfigId::kPrSramNt, ConfigId::kHpSramCmp, ConfigId::kShSramNom,
+      ConfigId::kShStt,    ConfigId::kShSttCc,   ConfigId::kPrSttCc,
+      ConfigId::kShSttCcOs};
+  const std::vector<std::uint32_t> cluster_sizes = {4, 8, 16, 32};
+
+  for (std::uint64_t iteration = 0; iteration < 6; ++iteration) {
+    util::Rng rng("fuzz.workload", iteration);
+    const workload::WorkloadSpec spec = random_spec(rng);
+    const ClusterConfig config = make_cluster_config(
+        pick(rng, configs), CacheSize::kMedium, pick(rng, cluster_sizes),
+        1 + rng.uniform_u64(1000));
+    SimParams params;
+    params.workload_scale = 1.0;
+    params.seed = 1 + rng.uniform_u64(1000);
+
+    SimParams no_skip = params;
+    params.cycle_skip = true;
+    no_skip.cycle_skip = false;
+
+    ClusterSim skip_sim(config, spec, params);
+    ClusterSim ref_sim(config, spec, no_skip);
+    skip_sim.run();
+    ref_sim.run();
+
+    const std::string what =
+        "iteration " + std::to_string(iteration) + ": " + config.name +
+        " cores=" + std::to_string(config.cluster_cores) +
+        " phases=" + std::to_string(spec.phases.size());
+    expect_skip_equivalent(skip_sim.result(), ref_sim.result(), what);
+
+    // The fine-grained registries (per-core, controller, backside) must
+    // agree too, not just the SimResult summary.
+    obs::MetricsRow skip_row{"sim", {}};
+    obs::MetricsRow ref_row{"sim", {}};
+    skip_sim.collect_counters(skip_row.counters);
+    ref_sim.collect_counters(ref_row.counters);
+    const obs::GoldenDiff diff = obs::diff_metrics({ref_row}, {skip_row});
+    EXPECT_TRUE(diff.ok()) << what << "\n" << diff.report();
+    if (::testing::Test::HasFailure()) break;
+  }
+}
+
+}  // namespace
+}  // namespace respin::core

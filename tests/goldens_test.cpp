@@ -1,0 +1,77 @@
+// Golden-stats regression test: reruns the pinned golden grid (every
+// Table IV configuration x {ocean, radix, lu, fft} at the golden workload
+// scale) and diffs the full counter registries against the checked-in
+// snapshot tests/goldens/metrics.csv.
+//
+// The simulator is deterministic, so ANY drift is a real behaviour change:
+// the failure message names every drifted counter with both values. After
+// an intentional change, regenerate with scripts/update_goldens.sh and
+// review the diff.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "obs/golden.hpp"
+
+#ifndef RESPIN_GOLDENS_FILE
+#error "RESPIN_GOLDENS_FILE must point at tests/goldens/metrics.csv"
+#endif
+
+namespace respin {
+namespace {
+
+std::vector<obs::MetricsRow> load_goldens() {
+  std::ifstream in(RESPIN_GOLDENS_FILE);
+  EXPECT_TRUE(in.good()) << "cannot open " << RESPIN_GOLDENS_FILE
+                         << " — run scripts/update_goldens.sh";
+  return obs::read_metrics_csv(in);
+}
+
+TEST(Goldens, GridShapeIsPinned) {
+  const std::vector<obs::MetricsRow> golden = load_goldens();
+  EXPECT_EQ(golden.size(), core::all_config_ids().size() *
+                               core::golden_benchmarks().size());
+  for (const obs::MetricsRow& row : golden) {
+    EXPECT_FALSE(row.counters.empty()) << row.run;
+    EXPECT_NE(row.counters.find("sim.cycles"), nullptr) << row.run;
+    EXPECT_NE(row.counters.find("energy.total_pj"), nullptr) << row.run;
+  }
+}
+
+TEST(Goldens, LiveRunsMatchCheckedInSnapshot) {
+  const std::vector<obs::MetricsRow> golden = load_goldens();
+  ASSERT_FALSE(golden.empty());
+  const std::vector<obs::MetricsRow> live = core::golden_snapshot();
+  const obs::GoldenDiff diff = obs::diff_metrics(golden, live);
+  EXPECT_TRUE(diff.ok())
+      << "golden drift (" << diff.count() << " counters) — if intentional, "
+      << "regenerate with scripts/update_goldens.sh:\n"
+      << diff.report();
+}
+
+// The harness itself must fail loudly: a perturbed counter produces a
+// drift line naming the run and counter.
+TEST(Goldens, PerturbedCounterFailsWithItsName) {
+  std::vector<obs::MetricsRow> golden = load_goldens();
+  ASSERT_FALSE(golden.empty());
+  std::vector<obs::MetricsRow> live = golden;
+
+  obs::CounterSet perturbed;
+  for (const obs::Counter& c : live[0].counters.items()) {
+    perturbed.add(c.name, c.name == "sim.cycles" ? c.value + 1.0 : c.value);
+  }
+  live[0].counters = perturbed;
+
+  const obs::GoldenDiff diff = obs::diff_metrics(golden, live);
+  ASSERT_EQ(diff.count(), 1u) << diff.report();
+  EXPECT_NE(diff.report().find(live[0].run), std::string::npos)
+      << diff.report();
+  EXPECT_NE(diff.report().find("sim.cycles"), std::string::npos)
+      << diff.report();
+}
+
+}  // namespace
+}  // namespace respin

@@ -10,72 +10,12 @@
 #include "core/chip.hpp"
 #include "core/experiment.hpp"
 #include "exec/thread_pool.hpp"
+#include "sim_result_eq.hpp"
 #include "util/stats.hpp"
 #include "workload/workload.hpp"
 
 namespace respin::core {
 namespace {
-
-void expect_same_histogram(const util::Histogram& a, const util::Histogram& b,
-                           const std::string& what) {
-  ASSERT_EQ(a.bucket_count(), b.bucket_count()) << what;
-  EXPECT_EQ(a.total(), b.total()) << what;
-  for (std::size_t i = 0; i < a.bucket_count(); ++i) {
-    EXPECT_EQ(a.bucket(i), b.bucket(i)) << what << " bucket " << i;
-  }
-}
-
-void expect_same_result(const SimResult& a, const SimResult& b) {
-  SCOPED_TRACE(a.config_name + "/" + a.benchmark);
-  EXPECT_EQ(a.config_name, b.config_name);
-  EXPECT_EQ(a.benchmark, b.benchmark);
-  EXPECT_EQ(a.cycles, b.cycles);
-  EXPECT_EQ(a.seconds, b.seconds);  // Bit-identical, not approximately.
-  EXPECT_EQ(a.instructions, b.instructions);
-  EXPECT_EQ(a.hit_cycle_limit, b.hit_cycle_limit);
-
-  EXPECT_EQ(a.counts.instructions, b.counts.instructions);
-  EXPECT_EQ(a.counts.core_busy_cycles, b.counts.core_busy_cycles);
-  EXPECT_EQ(a.counts.core_idle_cycles, b.counts.core_idle_cycles);
-  EXPECT_EQ(a.counts.l1_reads, b.counts.l1_reads);
-  EXPECT_EQ(a.counts.l1_writes, b.counts.l1_writes);
-  EXPECT_EQ(a.counts.l2_reads, b.counts.l2_reads);
-  EXPECT_EQ(a.counts.l2_writes, b.counts.l2_writes);
-  EXPECT_EQ(a.counts.l3_reads, b.counts.l3_reads);
-  EXPECT_EQ(a.counts.l3_writes, b.counts.l3_writes);
-  EXPECT_EQ(a.counts.dram_accesses, b.counts.dram_accesses);
-  EXPECT_EQ(a.counts.coherence_messages, b.counts.coherence_messages);
-  EXPECT_EQ(a.counts.level_shifter_crossings,
-            b.counts.level_shifter_crossings);
-  EXPECT_EQ(a.counts.core_on_ps, b.counts.core_on_ps);
-
-  EXPECT_EQ(a.energy.core_dynamic, b.energy.core_dynamic);
-  EXPECT_EQ(a.energy.core_leakage, b.energy.core_leakage);
-  EXPECT_EQ(a.energy.cache_dynamic, b.energy.cache_dynamic);
-  EXPECT_EQ(a.energy.cache_leakage, b.energy.cache_leakage);
-  EXPECT_EQ(a.energy.dram, b.energy.dram);
-  EXPECT_EQ(a.energy.network, b.energy.network);
-
-  expect_same_histogram(a.read_hit_latency, b.read_hit_latency,
-                        "read_hit_latency");
-  EXPECT_EQ(a.dl1_read_hits, b.dl1_read_hits);
-  EXPECT_EQ(a.dl1_read_misses, b.dl1_read_misses);
-  EXPECT_EQ(a.dl1_half_misses, b.dl1_half_misses);
-  EXPECT_EQ(a.dl1_store_rejections, b.dl1_store_rejections);
-  expect_same_histogram(a.dl1_arrivals, b.dl1_arrivals, "dl1_arrivals");
-  EXPECT_EQ(a.dl1_cycles, b.dl1_cycles);
-
-  ASSERT_EQ(a.trace.size(), b.trace.size());
-  for (std::size_t i = 0; i < a.trace.size(); ++i) {
-    EXPECT_EQ(a.trace[i].cycle, b.trace[i].cycle) << "trace sample " << i;
-    EXPECT_EQ(a.trace[i].active_cores, b.trace[i].active_cores)
-        << "trace sample " << i;
-    EXPECT_EQ(a.trace[i].epi_pj, b.trace[i].epi_pj) << "trace sample " << i;
-  }
-  EXPECT_EQ(a.avg_active_cores, b.avg_active_cores);
-  EXPECT_EQ(a.min_active_cores, b.min_active_cores);
-  EXPECT_EQ(a.max_active_cores, b.max_active_cores);
-}
 
 RunOptions tiny_options() {
   RunOptions options;

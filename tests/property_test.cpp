@@ -1,0 +1,363 @@
+// Property tests driven by the deterministic RNG.
+//
+// CacheArray is checked against an executable reference model (per-set MRU
+// lists) over random access streams: hit/miss outcomes, true-LRU victim
+// selection, dirty-eviction reporting and set/way invariants must all
+// match. SharedCacheController's event-driven interface is checked by
+// replaying identical random request schedules through a cycle-by-cycle
+// copy and a next_activity_cycle/note_skipped_cycles-jumping copy: the
+// serviced-read streams and statistics must be identical, and every
+// predicted activity cycle must be strictly in the future and stable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/shared_cache_controller.hpp"
+#include "mem/cache_array.hpp"
+#include "mem/cache_types.hpp"
+#include "util/rng.hpp"
+
+namespace respin {
+namespace {
+
+// ---- CacheArray vs a reference model -------------------------------------
+
+// Reference model: one MRU-ordered list of (line, state) per set.
+class RefCache {
+ public:
+  RefCache(std::uint32_t set_count, std::uint32_t ways)
+      : set_count_(set_count), ways_(ways), sets_(set_count) {}
+
+  struct Entry {
+    mem::LineAddr line;
+    mem::Mesi state;
+  };
+
+  Entry* find(mem::LineAddr line) {
+    auto& set = sets_[line % set_count_];
+    for (Entry& e : set) {
+      if (e.line == line) return &e;
+    }
+    return nullptr;
+  }
+
+  // Mirrors CacheArray::access: hit promotes to MRU.
+  std::optional<mem::Mesi> access(mem::LineAddr line) {
+    auto& set = sets_[line % set_count_];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (it->line == line) {
+        const Entry e = *it;
+        set.erase(it);
+        set.push_front(e);
+        return e.state;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Mirrors CacheArray::insert: evicts the LRU entry of a full set.
+  std::optional<mem::Eviction> insert(mem::LineAddr line, mem::Mesi state) {
+    auto& set = sets_[line % set_count_];
+    std::optional<mem::Eviction> evicted;
+    if (set.size() == ways_) {
+      const Entry victim = set.back();
+      set.pop_back();
+      evicted = mem::Eviction{victim.line, victim.state == mem::Mesi::kModified};
+    }
+    set.push_front({line, state});
+    return evicted;
+  }
+
+  bool invalidate(mem::LineAddr line, bool* was_dirty) {
+    auto& set = sets_[line % set_count_];
+    for (auto it = set.begin(); it != set.end(); ++it) {
+      if (it->line == line) {
+        if (was_dirty != nullptr) *was_dirty = it->state == mem::Mesi::kModified;
+        set.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::uint64_t resident() const {
+    std::uint64_t n = 0;
+    for (const auto& set : sets_) n += set.size();
+    return n;
+  }
+
+  std::size_t set_occupancy(std::uint32_t set) const {
+    return sets_[set].size();
+  }
+
+ private:
+  std::uint32_t set_count_;
+  std::uint32_t ways_;
+  std::vector<std::deque<Entry>> sets_;  // Front = MRU, back = LRU.
+};
+
+TEST(CacheArrayProperty, MatchesReferenceModelOnRandomStreams) {
+  const struct {
+    std::uint64_t capacity;
+    std::uint32_t line;
+    std::uint32_t ways;
+  } shapes[] = {
+      {1024, 32, 4},   // 8 sets: heavy conflict pressure.
+      {2048, 64, 2},   // 16 sets, direct-mapped-ish.
+      {4096, 32, 8},   // High associativity.
+  };
+  const mem::Mesi states[] = {mem::Mesi::kShared, mem::Mesi::kExclusive,
+                              mem::Mesi::kModified};
+
+  for (const auto& shape : shapes) {
+    mem::CacheArray cache(shape.capacity, shape.line, shape.ways);
+    RefCache ref(cache.set_count(), cache.ways());
+    util::Rng rng("property.cache_array", shape.capacity + shape.ways);
+    SCOPED_TRACE("ways=" + std::to_string(shape.ways) +
+                 " sets=" + std::to_string(cache.set_count()));
+
+    // Footprint ~4x capacity so evictions are constant.
+    const std::uint64_t line_space = 4 * cache.set_count() * cache.ways();
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    for (int op = 0; op < 20'000; ++op) {
+      const mem::LineAddr line = rng.uniform_u64(line_space);
+      const std::uint64_t action = rng.uniform_u64(100);
+      if (action < 80) {
+        // Lookup, inserting on miss — the simulator's common path.
+        const auto got = cache.access(line);
+        const auto want = ref.access(line);
+        ASSERT_EQ(got.has_value(), want.has_value()) << "op " << op;
+        if (got.has_value()) {
+          ASSERT_EQ(*got, *want) << "op " << op;
+          ++hits;
+        } else {
+          ++misses;
+          const mem::Mesi state = states[rng.uniform_u64(3)];
+          const auto evicted = cache.insert(line, state);
+          const auto ref_evicted = ref.insert(line, state);
+          ASSERT_EQ(evicted.has_value(), ref_evicted.has_value())
+              << "op " << op;
+          if (evicted.has_value()) {
+            EXPECT_EQ(evicted->line, ref_evicted->line)
+                << "op " << op << ": LRU victim mismatch";
+            EXPECT_EQ(evicted->dirty, ref_evicted->dirty) << "op " << op;
+          }
+        }
+      } else if (action < 90) {
+        // Upgrade a (possibly absent) line to Modified.
+        const bool got = cache.set_state(line, mem::Mesi::kModified);
+        RefCache::Entry* entry = ref.find(line);
+        EXPECT_EQ(got, entry != nullptr) << "op " << op;
+        if (entry != nullptr) entry->state = mem::Mesi::kModified;
+      } else {
+        bool got_dirty = false;
+        bool want_dirty = false;
+        const bool got = cache.invalidate(line, &got_dirty);
+        const bool want = ref.invalidate(line, &want_dirty);
+        ASSERT_EQ(got, want) << "op " << op;
+        EXPECT_EQ(got_dirty, want_dirty) << "op " << op;
+      }
+
+      if (op % 1000 == 0) {
+        // Structural invariants: occupancy bounds and probe agreement.
+        EXPECT_EQ(cache.resident_lines(), ref.resident());
+        EXPECT_LE(cache.resident_lines(),
+                  std::uint64_t{cache.set_count()} * cache.ways());
+        for (int s = 0; s < 4; ++s) {
+          const mem::LineAddr probe_line = rng.uniform_u64(line_space);
+          EXPECT_EQ(cache.probe(probe_line).has_value(),
+                    ref.find(probe_line) != nullptr);
+        }
+      }
+    }
+
+    EXPECT_EQ(cache.stats().hits, hits);
+    EXPECT_EQ(cache.stats().misses, misses);
+    EXPECT_GT(misses, 0u);
+    EXPECT_GT(hits, 0u);
+  }
+}
+
+// ---- SharedCacheController: event-driven clock vs reference --------------
+
+struct ScheduledRead {
+  std::int64_t cycle;
+  std::uint32_t core;
+  std::uint32_t multiplier;
+};
+struct ScheduledWrite {
+  std::int64_t cycle;
+  bool fill;           // Otherwise a store.
+  bool accepted;       // Store-queue admission recorded from the reference.
+};
+
+struct Schedule {
+  std::vector<ScheduledRead> reads;
+  std::vector<ScheduledWrite> writes;
+  std::vector<core::ServicedRead> serviced;
+  core::ControllerStats stats;
+};
+
+// Drives the reference (cycle-by-cycle) controller with a random request
+// stream, recording the exact schedule so it can be replayed.
+Schedule run_reference(const core::ControllerParams& params,
+                       std::uint64_t seed, std::int64_t horizon) {
+  core::SharedCacheController ctrl(params, seed);
+  util::Rng rng("property.controller", seed);
+  Schedule schedule;
+  std::vector<bool> outstanding(params.core_count, false);
+  std::vector<core::ServicedRead> out;
+
+  for (std::int64_t now = 0; now < horizon; ++now) {
+    if (rng.bernoulli(0.25)) {
+      const std::uint32_t core =
+          static_cast<std::uint32_t>(rng.uniform_u64(params.core_count));
+      if (!outstanding[core]) {
+        // Core periods must exceed the request wire delay (asserted by
+        // the controller).
+        const std::uint32_t multiplier =
+            params.request_delay_cycles + 1 +
+            static_cast<std::uint32_t>(rng.uniform_u64(4));
+        ctrl.submit_read(core, multiplier, now);
+        outstanding[core] = true;
+        schedule.reads.push_back({now, core, multiplier});
+      }
+    }
+    if (rng.bernoulli(0.10)) {
+      const bool fill = rng.bernoulli(0.3);
+      bool accepted = true;
+      if (fill) {
+        ctrl.submit_fill(now);
+      } else {
+        accepted = ctrl.submit_store(now);
+      }
+      schedule.writes.push_back({now, fill, accepted});
+    }
+    out.clear();
+    ctrl.step(now, out);
+    for (const core::ServicedRead& r : out) {
+      outstanding[r.core] = false;
+      schedule.serviced.push_back(r);
+    }
+  }
+  schedule.stats = ctrl.stats();
+  return schedule;
+}
+
+void expect_same_stats(const core::ControllerStats& a,
+                       const core::ControllerStats& b) {
+  EXPECT_EQ(a.reads_serviced, b.reads_serviced);
+  EXPECT_EQ(a.half_misses, b.half_misses);
+  EXPECT_EQ(a.stores_accepted, b.stores_accepted);
+  EXPECT_EQ(a.store_queue_rejections, b.store_queue_rejections);
+  EXPECT_EQ(a.fills, b.fills);
+  EXPECT_EQ(a.busy_cycles, b.busy_cycles);
+  EXPECT_EQ(a.total_cycles, b.total_cycles);
+  ASSERT_EQ(a.arrivals_per_cycle.bucket_count(),
+            b.arrivals_per_cycle.bucket_count());
+  EXPECT_EQ(a.arrivals_per_cycle.total(), b.arrivals_per_cycle.total());
+  for (std::size_t i = 0; i < a.arrivals_per_cycle.bucket_count(); ++i) {
+    EXPECT_EQ(a.arrivals_per_cycle.bucket(i), b.arrivals_per_cycle.bucket(i))
+        << "bucket " << i;
+  }
+}
+
+TEST(ControllerProperty, EventDrivenClockMatchesCycleByCycle) {
+  const core::ControllerParams shapes[] = {
+      {},  // Paper defaults: 16 cores, STT write occupancy.
+      {.core_count = 4, .read_occupancy = 2, .write_occupancy = 2,
+       .store_queue_depth = 4},
+      {.core_count = 32, .arbitration = core::ArbitrationPolicy::kRoundRobin,
+       .store_queue_depth = 8},
+  };
+  const std::int64_t horizon = 3000;
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    for (const core::ControllerParams& params : shapes) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " cores=" + std::to_string(params.core_count));
+      const Schedule schedule = run_reference(params, seed, horizon);
+      ASSERT_GT(schedule.serviced.size(), 0u);
+
+      // Replay on a copy that jumps with next_activity_cycle.
+      core::SharedCacheController ctrl(params, seed);
+      std::vector<core::ServicedRead> serviced;
+      std::vector<core::ServicedRead> out;
+      std::size_t next_read = 0;
+      std::size_t next_write = 0;
+      std::int64_t now = 0;
+      while (now < horizon) {
+        while (next_read < schedule.reads.size() &&
+               schedule.reads[next_read].cycle == now) {
+          const ScheduledRead& r = schedule.reads[next_read++];
+          ctrl.submit_read(r.core, r.multiplier, now);
+        }
+        while (next_write < schedule.writes.size() &&
+               schedule.writes[next_write].cycle == now) {
+          const ScheduledWrite& w = schedule.writes[next_write++];
+          if (w.fill) {
+            ctrl.submit_fill(now);
+          } else {
+            EXPECT_EQ(ctrl.submit_store(now), w.accepted)
+                << "store admission diverged at cycle " << now;
+          }
+        }
+        out.clear();
+        ctrl.step(now, out);
+        serviced.insert(serviced.end(), out.begin(), out.end());
+
+        // Predicted activity must be strictly in the future and stable
+        // across repeated queries (const purity).
+        const std::int64_t na = ctrl.next_activity_cycle(now);
+        EXPECT_GT(na, now);
+        EXPECT_EQ(ctrl.next_activity_cycle(now), na);
+
+        std::int64_t next = std::min(na, horizon);
+        if (next_read < schedule.reads.size()) {
+          next = std::min(next, schedule.reads[next_read].cycle);
+        }
+        if (next_write < schedule.writes.size()) {
+          next = std::min(next, schedule.writes[next_write].cycle);
+        }
+        ASSERT_GT(next, now) << "the jumping clock must advance";
+        if (next > now + 1) ctrl.note_skipped_cycles(next - now - 1);
+        now = next;
+      }
+
+      // Identical serviced-read streams, field by field.
+      ASSERT_EQ(serviced.size(), schedule.serviced.size());
+      for (std::size_t i = 0; i < serviced.size(); ++i) {
+        EXPECT_EQ(serviced[i].core, schedule.serviced[i].core) << i;
+        EXPECT_EQ(serviced[i].issued_at, schedule.serviced[i].issued_at) << i;
+        EXPECT_EQ(serviced[i].serviced_at, schedule.serviced[i].serviced_at)
+            << i;
+        EXPECT_EQ(serviced[i].half_misses, schedule.serviced[i].half_misses)
+            << i;
+      }
+      expect_same_stats(ctrl.stats(), schedule.stats);
+    }
+  }
+}
+
+TEST(ControllerProperty, IdleControllerReportsNoActivity) {
+  core::SharedCacheController ctrl({}, 1);
+  std::vector<core::ServicedRead> out;
+  ctrl.step(0, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(ctrl.has_pending_work());
+  EXPECT_EQ(ctrl.next_activity_cycle(0),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(ctrl.next_activity_cycle(1'000'000),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+}  // namespace
+}  // namespace respin

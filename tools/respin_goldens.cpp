@@ -1,0 +1,86 @@
+// respin_goldens — golden-stats snapshot generator and checker.
+//
+// Runs the pinned golden grid (every Table IV configuration x the
+// golden benchmarks at the reduced golden workload scale — see
+// core::golden_options) and either writes the canonical metrics table or
+// diffs a live run against a checked-in one.
+//
+//   respin_goldens --out tests/goldens/metrics.csv     # (re)generate
+//   respin_goldens --check tests/goldens/metrics.csv   # exit 1 on drift
+//
+// Regeneration is scripted by scripts/update_goldens.sh; the tier-1
+// goldens_test performs the same check in-process.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/metrics.hpp"
+#include "obs/golden.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: respin_goldens --out <file> | --check <file>\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace respin;
+
+  std::string out_path;
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else {
+      usage();
+    }
+  }
+  if ((out_path.empty()) == (check_path.empty())) usage();
+
+  std::printf("running the golden grid (%zu configs x %zu benchmarks)...\n",
+              core::all_config_ids().size(),
+              core::golden_benchmarks().size());
+  const std::vector<obs::MetricsRow> live = core::golden_snapshot();
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "respin_goldens: cannot open %s\n",
+                   out_path.c_str());
+      return 2;
+    }
+    obs::write_metrics_csv(
+        out, live,
+        "Golden metric snapshots for the Respin simulator.\n"
+        "Grid: all Table IV configurations x {ocean, radix, lu, fft} at\n"
+        "the golden workload scale (core::golden_options).\n"
+        "Regenerate with scripts/update_goldens.sh after an intentional\n"
+        "behaviour change; goldens_test diffs live runs against this file.");
+    std::printf("wrote %zu runs to %s\n", live.size(), out_path.c_str());
+    return 0;
+  }
+
+  std::ifstream in(check_path);
+  if (!in) {
+    std::fprintf(stderr, "respin_goldens: cannot open %s\n",
+                 check_path.c_str());
+    return 2;
+  }
+  const std::vector<obs::MetricsRow> golden = obs::read_metrics_csv(in);
+  const obs::GoldenDiff diff = obs::diff_metrics(golden, live);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "golden drift (%zu counters):\n%s", diff.count(),
+                 diff.report().c_str());
+    return 1;
+  }
+  std::printf("goldens clean: %zu runs match %s\n", live.size(),
+              check_path.c_str());
+  return 0;
+}

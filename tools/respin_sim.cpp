@@ -6,7 +6,8 @@
 //
 //   respin_sim --config SH-STT-CC --benchmark radix
 //   respin_sim --config SH-STT --all --csv results.csv
-//   respin_sim --config SH-STT-CC --benchmark lu --trace trace.csv
+//   respin_sim --config SH-STT-CC --benchmark lu --consolidation trace.csv
+//   respin_sim --config SH-STT-CC --benchmark lu --metrics out.csv --trace out.jsonl
 //   respin_sim --config SH-STT --benchmark ocean --chip
 //   respin_sim --config SH-STT --all --time --threads 8
 //
@@ -23,20 +24,28 @@
 //   --time               report wall-clock per run and aggregate sims/sec
 //   --no-skip            disable the event-driven clock (reference path)
 //   --csv <file>         write result rows as CSV
-//   --trace <file>       write the consolidation trace as CSV
+//   --metrics <file>     write the full counter registry as CSV
+//                        (run,counter,value — see docs/observability.md)
+//   --trace <file>       write the structured event trace as JSONL
+//                        (epoch/consolidation/run_complete/probe events)
+//   --consolidation <f>  write the consolidation trace as CSV
 //   --list               list configurations and benchmarks, then exit
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/chip.hpp"
 #include "core/experiment.hpp"
+#include "core/metrics.hpp"
 #include "core/report.hpp"
 #include "exec/parallel.hpp"
+#include "obs/golden.hpp"
+#include "obs/obs.hpp"
 #include "workload/workload.hpp"
 
 namespace {
@@ -63,7 +72,9 @@ int main(int argc, char** argv) {
   bool chip = false;
   bool report_time = false;
   std::string csv_path;
-  std::string trace_path;
+  std::string metrics_path;
+  std::string jsonl_path;
+  std::string consolidation_path;
   core::RunOptions options;
 
   for (int i = 1; i < argc; ++i) {
@@ -99,8 +110,12 @@ int main(int argc, char** argv) {
       options.cycle_skip = false;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv_path = need_value("--csv");
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_path = need_value("--metrics");
     } else if (std::strcmp(argv[i], "--trace") == 0) {
-      trace_path = need_value("--trace");
+      jsonl_path = need_value("--trace");
+    } else if (std::strcmp(argv[i], "--consolidation") == 0) {
+      consolidation_path = need_value("--consolidation");
     } else if (std::strcmp(argv[i], "--list") == 0) {
       std::printf("configurations:\n");
       for (core::ConfigId id : core::all_config_ids()) {
@@ -117,6 +132,18 @@ int main(int argc, char** argv) {
   }
 
   const core::ConfigId config = core::parse_config_id(config_name);
+
+  // Structured trace: one JSONL sink shared by the simulations (epoch and
+  // run records) and the exec pool's timing probes.
+  std::ofstream jsonl_os;
+  std::optional<obs::JsonlWriter> jsonl_writer;
+  if (!jsonl_path.empty()) {
+    jsonl_os.open(jsonl_path);
+    if (!jsonl_os) usage_error("cannot open --trace output file");
+    jsonl_writer.emplace(jsonl_os);
+    options.trace = &*jsonl_writer;
+    obs::set_global_sink(&*jsonl_writer);
+  }
 
   if (chip) {
     const auto wall_start = std::chrono::steady_clock::now();
@@ -139,6 +166,23 @@ int main(int argc, char** argv) {
           wall, result.clusters.size(), exec::thread_count(),
           static_cast<double>(result.clusters.size()) / wall);
     }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (!out) usage_error("cannot open --metrics output file");
+      // Chip aggregate first, then one row per cluster.
+      std::vector<obs::MetricsRow> rows;
+      rows.push_back(obs::MetricsRow{result.config_name + "/" + benchmark +
+                                         "/chip",
+                                     core::metrics_of(result)});
+      for (std::size_t c = 0; c < result.clusters.size(); ++c) {
+        obs::MetricsRow row = core::metrics_row(result.clusters[c]);
+        row.run += "/cluster" + std::to_string(c);
+        rows.push_back(std::move(row));
+      }
+      obs::write_metrics_csv(out, rows);
+      std::printf("wrote %s\n", metrics_path.c_str());
+    }
+    obs::set_global_sink(nullptr);
     return 0;
   }
 
@@ -187,11 +231,18 @@ int main(int argc, char** argv) {
     core::write_results_csv(out, results);
     std::printf("wrote %s\n", csv_path.c_str());
   }
-  if (!trace_path.empty()) {
-    std::ofstream out(trace_path);
-    if (!out) usage_error("cannot open --trace output file");
-    core::write_trace_csv(out, results.front());
-    std::printf("wrote %s\n", trace_path.c_str());
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) usage_error("cannot open --metrics output file");
+    core::write_metrics_csv(out, results);
+    std::printf("wrote %s\n", metrics_path.c_str());
   }
+  if (!consolidation_path.empty()) {
+    std::ofstream out(consolidation_path);
+    if (!out) usage_error("cannot open --consolidation output file");
+    core::write_trace_csv(out, results.front());
+    std::printf("wrote %s\n", consolidation_path.c_str());
+  }
+  obs::set_global_sink(nullptr);
   return 0;
 }
