@@ -1,8 +1,7 @@
 #include "obs/counters.hpp"
 
+#include <charconv>
 #include <cmath>
-#include <cstdio>
-#include <cstdlib>
 
 namespace respin::obs {
 
@@ -17,23 +16,27 @@ const double* CounterSet::find(std::string_view name) const {
   return nullptr;
 }
 
+// std::to_chars/std::from_chars throughout: locale-independent (snprintf %g
+// and strtod honor the C locale's decimal separator, so a library calling
+// setlocale would corrupt golden files) and shortest-round-trip.
 std::string format_value(double value) {
   // 2^53: the largest magnitude below which every integer is exact.
   constexpr double kExactIntegerLimit = 9007199254740992.0;
+  char buf[40];
   if (std::isfinite(value) && std::nearbyint(value) == value &&
       std::fabs(value) < kExactIntegerLimit) {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%lld",
-                  static_cast<long long>(value));
-    return buf;
+    const auto [end, ec] =
+        std::to_chars(buf, buf + sizeof buf, static_cast<long long>(value));
+    return std::string(buf, end);
   }
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  return buf;
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  return std::string(buf, end);
 }
 
 double parse_value(const std::string& text) {
-  return std::strtod(text.c_str(), nullptr);
+  double value = 0.0;
+  std::from_chars(text.data(), text.data() + text.size(), value);
+  return value;
 }
 
 }  // namespace respin::obs

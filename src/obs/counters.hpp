@@ -48,11 +48,13 @@ class CounterSet {
 };
 
 /// Round-trip-exact text form: values that are exactly representable
-/// integers print without a fractional part; everything else prints with
-/// %.17g (shortest form that parses back bit-identically).
+/// integers print without a fractional part; everything else prints the
+/// std::to_chars shortest form that parses back bit-identically. Locale
+/// independent by construction.
 std::string format_value(double value);
 
-/// Inverse of format_value (plain strtod; both forms parse exactly).
+/// Inverse of format_value (std::from_chars; both forms parse exactly,
+/// including "inf"/"nan"). Malformed text parses as 0.
 double parse_value(const std::string& text);
 
 }  // namespace respin::obs

@@ -1,5 +1,6 @@
 #include "obs/obs.hpp"
 
+#include <charconv>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -31,14 +32,16 @@ void append_escaped(std::string& out, std::string_view text) {
   out.push_back('"');
 }
 
+// std::to_chars, not snprintf %g: the output must be valid JSON even if a
+// linked library switches the C locale to a comma-decimal one.
 void append_double(std::string& out, double value) {
   if (!std::isfinite(value)) {
     out += "null";
     return;
   }
   char buf[32];
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  out += buf;
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  out.append(buf, end);
 }
 
 std::atomic<TraceSink*> g_sink{nullptr};
