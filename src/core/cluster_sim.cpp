@@ -18,9 +18,17 @@ constexpr std::uint32_t kPrivateStoreBufferDepth = 8;
 ClusterSim::ClusterSim(ClusterConfig config,
                        const workload::WorkloadSpec& spec,
                        const SimParams& params)
+    : ClusterSim(std::move(config), spec.name,
+                 workload::synthetic_factory(spec, params.workload_scale,
+                                             params.seed),
+                 params) {}
+
+ClusterSim::ClusterSim(ClusterConfig config, std::string benchmark_name,
+                       const workload::OpSourceFactory& sources,
+                       const SimParams& params)
     : cfg_(std::move(config)),
       params_(params),
-      benchmark_name_(spec.name),
+      benchmark_name_(std::move(benchmark_name)),
       backside_(cfg_.backside) {
   RESPIN_REQUIRE(cfg_.multipliers.size() == cfg_.cluster_cores,
                  "config must carry one multiplier per core");
@@ -30,8 +38,9 @@ ClusterSim::ClusterSim(ClusterConfig config,
   cores_.resize(cfg_.cluster_cores);
   host_of_.resize(cfg_.cluster_cores);
   for (std::uint32_t c = 0; c < cfg_.cluster_cores; ++c) {
-    vcores_.emplace_back(workload::ThreadWorkload(
-        spec, c, cfg_.cluster_cores, params.workload_scale, params.seed));
+    vcores_.emplace_back(sources(c, cfg_.cluster_cores));
+    RESPIN_REQUIRE(static_cast<bool>(vcores_.back().work),
+                   "op-source factory returned an empty stream");
     vcores_.back().until_fetch = cfg_.core_timing.instructions_per_fetch;
     cores_[c].multiplier = cfg_.multipliers[c];
     cores_[c].powered_on = true;

@@ -99,6 +99,14 @@ class ClusterSim {
   ClusterSim(ClusterConfig config, const workload::WorkloadSpec& spec,
              const SimParams& params);
 
+  /// Workload-frontend constructor: drives the cluster from any op-source
+  /// factory (synthetic generator, recorded trace, ...). `sources` is
+  /// called once per virtual core with (thread_id, cluster_cores) and must
+  /// return a non-empty stream. `benchmark_name` labels SimResult rows.
+  ClusterSim(ClusterConfig config, std::string benchmark_name,
+             const workload::OpSourceFactory& sources,
+             const SimParams& params);
+
   /// Runs to completion, driving the configured governor internally
   /// (greedy/OS). Oracle configurations are driven externally via
   /// run_one_epoch — see oracle.hpp.

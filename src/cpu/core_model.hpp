@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "util/units.hpp"
+#include "workload/op_source.hpp"
 #include "workload/workload.hpp"
 
 namespace respin::cpu {
@@ -54,12 +55,14 @@ enum class WaitState : std::uint8_t {
   kFinished,      ///< Workload exhausted.
 };
 
-/// One OS-visible virtual core executing one application thread.
+/// One OS-visible virtual core executing one application thread. The op
+/// stream is polymorphic (synthetic generator, recorded trace, ...); its
+/// copy deep-clones, keeping VirtualCore a plain value type.
 struct VirtualCore {
-  explicit VirtualCore(workload::ThreadWorkload work_in)
+  explicit VirtualCore(workload::OpStream work_in)
       : work(std::move(work_in)) {}
 
-  workload::ThreadWorkload work;
+  workload::OpStream work;
 
   WaitState state = WaitState::kRunnable;
   /// Absolute simulation time (cache cycles) when a kMemory wait resolves.

@@ -1,0 +1,237 @@
+#include "trace/reader.hpp"
+
+namespace respin::trace {
+
+namespace {
+
+/// Reads exactly `n` bytes or throws kTruncated (kIo on a stream error
+/// that is not EOF).
+std::vector<std::uint8_t> read_exact(std::ifstream& is, std::size_t n,
+                                     const char* what) {
+  std::vector<std::uint8_t> bytes(n);
+  is.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is.gcount()) != n) {
+    if (is.bad()) {
+      throw TraceError(TraceErrorKind::kIo, std::string("read failed in ") +
+                                                what);
+    }
+    throw TraceError(TraceErrorKind::kTruncated,
+                     std::string("EOF inside ") + what);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+std::uint64_t TraceData::total_ops() const {
+  std::uint64_t n = 0;
+  for (const ThreadTrace& t : threads) n += t.ops.size();
+  return n;
+}
+
+std::uint64_t TraceData::total_ifetches() const {
+  std::uint64_t n = 0;
+  for (const ThreadTrace& t : threads) n += t.ifetch.size();
+  return n;
+}
+
+std::uint64_t TraceData::total_instructions() const {
+  std::uint64_t n = 0;
+  for (const ThreadTrace& t : threads) n += t.instructions;
+  return n;
+}
+
+TraceReader::TraceReader(const std::string& path)
+    : is_(path, std::ios::binary), path_(path) {
+  if (!is_) {
+    throw TraceError(TraceErrorKind::kIo, "cannot open " + path);
+  }
+
+  // Fixed-size prefix: magic..scale (4+2+2+4+8+8) + name_len (2).
+  std::vector<std::uint8_t> prefix = read_exact(is_, 30, "header");
+  ByteReader br(prefix);
+  if (br.u32() != kMagic) {
+    throw TraceError(TraceErrorKind::kBadMagic, path + " is not a respin trace");
+  }
+  const std::uint16_t version = br.u16();
+  if (version != kVersion) {
+    throw TraceError(TraceErrorKind::kBadVersion,
+                     "version " + std::to_string(version) + ", expected " +
+                         std::to_string(kVersion));
+  }
+  br.u16();  // Reserved.
+  header_.thread_count = br.u32();
+  if (header_.thread_count == 0 || header_.thread_count > kMaxThreads) {
+    throw TraceError(TraceErrorKind::kBadHeader,
+                     "thread count " + std::to_string(header_.thread_count) +
+                         " outside [1, " + std::to_string(kMaxThreads) + "]");
+  }
+  header_.seed = br.u64();
+  header_.scale = br.f64();
+  if (!(header_.scale > 0.0)) {
+    throw TraceError(TraceErrorKind::kBadHeader, "non-positive scale");
+  }
+  const std::uint16_t name_len = br.u16();
+  if (name_len > kMaxNameLen) {
+    throw TraceError(TraceErrorKind::kBadHeader, "benchmark name too long");
+  }
+
+  const std::vector<std::uint8_t> name_bytes =
+      name_len > 0 ? read_exact(is_, name_len, "header name")
+                   : std::vector<std::uint8_t>{};
+  header_.benchmark.assign(name_bytes.begin(), name_bytes.end());
+
+  const std::vector<std::uint8_t> crc_bytes = read_exact(is_, 4, "header CRC");
+  std::vector<std::uint8_t> covered = prefix;
+  covered.insert(covered.end(), name_bytes.begin(), name_bytes.end());
+  const std::uint32_t stored = ByteReader(crc_bytes).u32();
+  if (stored != crc32(covered)) {
+    throw TraceError(TraceErrorKind::kCrcMismatch, "header checksum failed");
+  }
+}
+
+bool TraceReader::next_chunk(Chunk& out) {
+  if (at_end_) return false;
+
+  const std::vector<std::uint8_t> thread_bytes =
+      read_exact(is_, 4, "chunk header");
+  const std::uint32_t thread = ByteReader(thread_bytes).u32();
+  if (thread == kEndMarker) {
+    at_end_ = true;
+    // Anything after the end marker is not ours; reject it loudly rather
+    // than silently ignoring appended garbage.
+    char extra = 0;
+    if (is_.read(&extra, 1).gcount() == 1) {
+      throw TraceError(TraceErrorKind::kBadRecord,
+                       "trailing bytes after end marker");
+    }
+    return false;
+  }
+  if (thread >= header_.thread_count) {
+    throw TraceError(TraceErrorKind::kBadRecord,
+                     "chunk thread " + std::to_string(thread) +
+                         " >= thread count " +
+                         std::to_string(header_.thread_count));
+  }
+
+  const std::vector<std::uint8_t> rest = read_exact(is_, 9, "chunk header");
+  ByteReader br(rest);
+  const std::uint8_t kind = br.u8();
+  if (kind > static_cast<std::uint8_t>(StreamKind::kIfetch)) {
+    throw TraceError(TraceErrorKind::kBadRecord,
+                     "unknown stream kind " + std::to_string(kind));
+  }
+  const std::uint32_t record_count = br.u32();
+  const std::uint32_t payload_len = br.u32();
+  if (payload_len == 0 || payload_len > kMaxChunkPayload) {
+    throw TraceError(TraceErrorKind::kBadRecord,
+                     "chunk payload length " + std::to_string(payload_len) +
+                         " outside [1, " + std::to_string(kMaxChunkPayload) +
+                         "]");
+  }
+
+  out.thread = thread;
+  out.kind = static_cast<StreamKind>(kind);
+  out.record_count = record_count;
+  out.payload = read_exact(is_, payload_len, "chunk payload");
+
+  const std::vector<std::uint8_t> crc_bytes = read_exact(is_, 4, "chunk CRC");
+  if (ByteReader(crc_bytes).u32() != crc32(out.payload)) {
+    throw TraceError(TraceErrorKind::kCrcMismatch,
+                     "chunk checksum failed (thread " +
+                         std::to_string(thread) + ")");
+  }
+  return true;
+}
+
+void decode_chunk(const Chunk& chunk, DecodeState& state, ThreadTrace& out) {
+  ByteReader br(chunk.payload);
+  std::uint32_t records = 0;
+
+  if (chunk.kind == StreamKind::kIfetch) {
+    while (!br.done()) {
+      state.last_ifetch_addr = static_cast<mem::Addr>(
+          static_cast<std::int64_t>(state.last_ifetch_addr) + br.svarint());
+      out.ifetch.push_back(state.last_ifetch_addr);
+      ++records;
+    }
+  } else {
+    while (!br.done()) {
+      const std::uint8_t tag = br.u8();
+      workload::Op op;
+      switch (static_cast<RecordTag>(tag)) {
+        case RecordTag::kSetIpc:
+          state.current_ipc = br.f64();
+          state.ipc_known = true;
+          ++records;
+          continue;
+        case RecordTag::kCompute: {
+          const std::uint64_t count = br.varint();
+          if (count == 0 || count > std::numeric_limits<std::uint32_t>::max()) {
+            throw TraceError(TraceErrorKind::kBadRecord,
+                             "compute count " + std::to_string(count) +
+                                 " out of range");
+          }
+          if (!state.ipc_known) {
+            throw TraceError(TraceErrorKind::kBadRecord,
+                             "compute record before any kSetIpc");
+          }
+          op.kind = workload::OpKind::kCompute;
+          op.count = static_cast<std::uint32_t>(count);
+          op.addr = 0;
+          op.ipc = state.current_ipc;
+          out.instructions += count;
+          break;
+        }
+        case RecordTag::kLoad:
+        case RecordTag::kStore: {
+          state.last_data_addr = static_cast<mem::Addr>(
+              static_cast<std::int64_t>(state.last_data_addr) + br.svarint());
+          op.kind = static_cast<RecordTag>(tag) == RecordTag::kLoad
+                        ? workload::OpKind::kLoad
+                        : workload::OpKind::kStore;
+          op.count = 1;
+          op.addr = state.last_data_addr;
+          out.instructions += 1;
+          break;
+        }
+        case RecordTag::kBarrier: {
+          const std::uint64_t id = static_cast<std::uint64_t>(
+              static_cast<std::int64_t>(state.expected_barrier_id) +
+              br.svarint());
+          state.expected_barrier_id = id + 1;
+          op.kind = workload::OpKind::kBarrier;
+          op.count = 0;
+          op.addr = id;
+          break;
+        }
+        default:
+          throw TraceError(TraceErrorKind::kBadRecord,
+                           "unknown record tag " + std::to_string(tag));
+      }
+      out.ops.push_back(op);
+      ++records;
+    }
+  }
+
+  if (records != chunk.record_count) {
+    throw TraceError(TraceErrorKind::kBadRecord,
+                     "chunk declared " + std::to_string(chunk.record_count) +
+                         " records but decoded " + std::to_string(records));
+  }
+}
+
+TraceData load_trace(const std::string& path) {
+  TraceReader reader(path);
+  TraceData data;
+  data.header = reader.header();
+  data.threads.resize(data.header.thread_count);
+  std::vector<DecodeState> states(data.header.thread_count);
+  for (const Chunk& chunk : reader) {
+    decode_chunk(chunk, states[chunk.thread], data.threads[chunk.thread]);
+  }
+  return data;
+}
+
+}  // namespace respin::trace

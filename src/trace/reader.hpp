@@ -1,0 +1,122 @@
+// Streaming binary trace reader.
+//
+// TraceReader validates the header on open and then yields CRC-verified
+// chunks one at a time (constant memory in the file size apart from one
+// chunk payload); decode_chunk turns a chunk into workload::Op /
+// ifetch-address records, carrying per-thread delta state; load_trace
+// composes the two into the fully decoded in-memory TraceData that the
+// replay frontend executes. All failure paths throw TraceError — see
+// format.hpp for the taxonomy.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "trace/format.hpp"
+#include "workload/workload.hpp"
+
+namespace respin::trace {
+
+/// One CRC-verified chunk, still encoded.
+struct Chunk {
+  std::uint32_t thread = 0;
+  StreamKind kind = StreamKind::kOps;
+  std::uint32_t record_count = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// One thread's decoded streams.
+struct ThreadTrace {
+  std::vector<workload::Op> ops;      ///< Without the trailing kFinished.
+  std::vector<mem::Addr> ifetch;
+  std::uint64_t instructions = 0;     ///< Sum of op instruction counts.
+};
+
+/// A fully decoded trace: what the replay frontend executes.
+struct TraceData {
+  TraceHeader header;
+  std::vector<ThreadTrace> threads;
+
+  std::uint64_t total_ops() const;
+  std::uint64_t total_ifetches() const;
+  std::uint64_t total_instructions() const;
+};
+
+/// Per-thread decode state mirroring TraceWriter's delta encoder; persists
+/// across chunks of the same thread.
+struct DecodeState {
+  mem::Addr last_data_addr = 0;
+  std::uint64_t expected_barrier_id = 0;
+  mem::Addr last_ifetch_addr = 0;
+  double current_ipc = 0.0;
+  bool ipc_known = false;
+};
+
+/// Decodes one chunk into `out`, updating `state`. Throws
+/// TraceError(kBadRecord) on unknown tags, varint overruns, a compute
+/// record before any kSetIpc, or a record-count mismatch.
+void decode_chunk(const Chunk& chunk, DecodeState& state, ThreadTrace& out);
+
+class TraceReader {
+ public:
+  /// Opens `path` and validates magic, version, bounds and header CRC.
+  explicit TraceReader(const std::string& path);
+
+  const TraceHeader& header() const { return header_; }
+
+  /// Reads the next chunk; returns false at the end marker. Throws
+  /// TraceError on truncation, CRC mismatch or malformed chunk framing.
+  bool next_chunk(Chunk& out);
+
+  /// Input-iterator view over the remaining chunks, so callers can write
+  /// `for (const Chunk& c : reader) ...`.
+  class iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Chunk;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Chunk*;
+    using reference = const Chunk&;
+
+    iterator() = default;
+    explicit iterator(TraceReader* reader) : reader_(reader) { ++(*this); }
+
+    reference operator*() const { return chunk_; }
+    pointer operator->() const { return &chunk_; }
+    iterator& operator++() {
+      if (reader_ != nullptr && !reader_->next_chunk(chunk_)) {
+        reader_ = nullptr;
+      }
+      return *this;
+    }
+    void operator++(int) { ++(*this); }
+
+    friend bool operator==(const iterator& a, const iterator& b) {
+      return a.reader_ == b.reader_;
+    }
+    friend bool operator!=(const iterator& a, const iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    TraceReader* reader_ = nullptr;
+    Chunk chunk_;
+  };
+
+  iterator begin() { return iterator(this); }
+  iterator end() { return iterator(); }
+
+ private:
+  std::ifstream is_;
+  std::string path_;
+  TraceHeader header_;
+  bool at_end_ = false;
+};
+
+/// Reads and decodes a whole trace file.
+TraceData load_trace(const std::string& path);
+
+}  // namespace respin::trace

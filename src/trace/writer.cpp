@@ -1,0 +1,137 @@
+#include "trace/writer.hpp"
+
+namespace respin::trace {
+
+namespace {
+/// Flush a per-thread buffer once it reaches this many payload bytes.
+constexpr std::size_t kChunkTarget = 64 * 1024;
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path, const TraceHeader& header)
+    : os_(path, std::ios::binary | std::ios::trunc),
+      path_(path),
+      header_(header),
+      threads_(header.thread_count) {
+  const std::vector<std::uint8_t> bytes = encode_header(header_);
+  if (!os_) {
+    throw TraceError(TraceErrorKind::kIo, "cannot open " + path);
+  }
+  os_.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    finish();
+  } catch (const TraceError&) {
+    // Destructor close is best effort; finish() surfaces failures.
+  }
+}
+
+TraceWriter::ThreadState& TraceWriter::state_for(std::uint32_t thread) {
+  if (thread >= threads_.size()) {
+    throw TraceError(TraceErrorKind::kBadRecord,
+                     "thread " + std::to_string(thread) + " out of range");
+  }
+  if (finished_) {
+    throw TraceError(TraceErrorKind::kIo, "writer already finished");
+  }
+  return threads_[thread];
+}
+
+void TraceWriter::add_op(std::uint32_t thread, const workload::Op& op) {
+  ThreadState& t = state_for(thread);
+  switch (op.kind) {
+    case workload::OpKind::kCompute:
+      if (!t.ipc_known || t.current_ipc != op.ipc) {
+        put_u8(t.ops, static_cast<std::uint8_t>(RecordTag::kSetIpc));
+        put_f64(t.ops, op.ipc);
+        t.current_ipc = op.ipc;
+        t.ipc_known = true;
+        ++t.op_records;
+      }
+      put_u8(t.ops, static_cast<std::uint8_t>(RecordTag::kCompute));
+      put_varint(t.ops, op.count);
+      break;
+    case workload::OpKind::kLoad:
+    case workload::OpKind::kStore:
+      put_u8(t.ops, static_cast<std::uint8_t>(
+                        op.kind == workload::OpKind::kLoad ? RecordTag::kLoad
+                                                           : RecordTag::kStore));
+      put_svarint(t.ops, static_cast<std::int64_t>(op.addr) -
+                             static_cast<std::int64_t>(t.last_data_addr));
+      t.last_data_addr = op.addr;
+      break;
+    case workload::OpKind::kBarrier:
+      put_u8(t.ops, static_cast<std::uint8_t>(RecordTag::kBarrier));
+      put_svarint(t.ops, static_cast<std::int64_t>(op.addr) -
+                             static_cast<std::int64_t>(t.expected_barrier_id));
+      t.expected_barrier_id = op.addr + 1;
+      break;
+    case workload::OpKind::kFinished:
+      return;  // Implicit: end of the ops stream.
+  }
+  ++t.op_records;
+  ++ops_recorded_;
+  maybe_flush(thread, StreamKind::kOps);
+}
+
+void TraceWriter::add_ifetch(std::uint32_t thread, mem::Addr addr) {
+  ThreadState& t = state_for(thread);
+  put_svarint(t.ifetch, static_cast<std::int64_t>(addr) -
+                            static_cast<std::int64_t>(t.last_ifetch_addr));
+  t.last_ifetch_addr = addr;
+  ++t.ifetch_records;
+  ++ifetches_recorded_;
+  maybe_flush(thread, StreamKind::kIfetch);
+}
+
+void TraceWriter::maybe_flush(std::uint32_t thread, StreamKind kind) {
+  const ThreadState& t = threads_[thread];
+  const std::size_t size =
+      kind == StreamKind::kOps ? t.ops.size() : t.ifetch.size();
+  if (size >= kChunkTarget) flush_chunk(thread, kind);
+}
+
+void TraceWriter::flush_chunk(std::uint32_t thread, StreamKind kind) {
+  ThreadState& t = threads_[thread];
+  std::vector<std::uint8_t>& payload =
+      kind == StreamKind::kOps ? t.ops : t.ifetch;
+  std::uint32_t& records =
+      kind == StreamKind::kOps ? t.op_records : t.ifetch_records;
+  if (payload.empty()) return;
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + 17);
+  put_u32(frame, thread);
+  put_u8(frame, static_cast<std::uint8_t>(kind));
+  put_u32(frame, records);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  put_u32(frame, crc32(payload));
+  os_.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+
+  payload.clear();
+  records = 0;
+}
+
+void TraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (std::uint32_t thread = 0; thread < threads_.size(); ++thread) {
+    flush_chunk(thread, StreamKind::kOps);
+    flush_chunk(thread, StreamKind::kIfetch);
+  }
+  std::vector<std::uint8_t> marker;
+  put_u32(marker, kEndMarker);
+  os_.write(reinterpret_cast<const char*>(marker.data()),
+            static_cast<std::streamsize>(marker.size()));
+  os_.flush();
+  if (!os_) {
+    throw TraceError(TraceErrorKind::kIo, "write failed for " + path_);
+  }
+  os_.close();
+}
+
+}  // namespace respin::trace

@@ -1,0 +1,75 @@
+// Buffered binary trace writer.
+//
+// Ops and ifetch addresses accumulate in per-thread delta/varint buffers
+// and flush as CRC-protected chunks once they pass the chunk target size
+// (or at finish()). Delta state (previous data address, expected barrier
+// id, current IPC, previous ifetch address) is carried per thread across
+// chunks, so chunk boundaries are invisible to the decoder.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/format.hpp"
+#include "workload/workload.hpp"
+
+namespace respin::trace {
+
+class TraceWriter {
+ public:
+  /// Opens `path` and writes the header. Throws TraceError(kIo) on open
+  /// failure, kBadHeader on out-of-range header fields.
+  TraceWriter(const std::string& path, const TraceHeader& header);
+
+  /// Flushes buffered chunks and closes the file (best effort, no throw);
+  /// call finish() first when you need the failure surfaced.
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Appends one operation to `thread`'s ops stream. kFinished ops are
+  /// ignored (end-of-stream is implicit in the format).
+  void add_op(std::uint32_t thread, const workload::Op& op);
+
+  /// Appends one instruction-fetch address to `thread`'s ifetch stream.
+  void add_ifetch(std::uint32_t thread, mem::Addr addr);
+
+  /// Flushes every buffer, writes the end marker and closes. Throws
+  /// TraceError(kIo) if anything failed to reach the stream. Idempotent.
+  void finish();
+
+  const TraceHeader& header() const { return header_; }
+  std::uint64_t ops_recorded() const { return ops_recorded_; }
+  std::uint64_t ifetches_recorded() const { return ifetches_recorded_; }
+
+ private:
+  struct ThreadState {
+    std::vector<std::uint8_t> ops;
+    std::uint32_t op_records = 0;
+    std::vector<std::uint8_t> ifetch;
+    std::uint32_t ifetch_records = 0;
+    // Delta-encoding state.
+    mem::Addr last_data_addr = 0;
+    std::uint64_t expected_barrier_id = 0;
+    mem::Addr last_ifetch_addr = 0;
+    double current_ipc = 0.0;
+    bool ipc_known = false;
+  };
+
+  ThreadState& state_for(std::uint32_t thread);
+  void maybe_flush(std::uint32_t thread, StreamKind kind);
+  void flush_chunk(std::uint32_t thread, StreamKind kind);
+
+  std::ofstream os_;
+  std::string path_;
+  TraceHeader header_;
+  std::vector<ThreadState> threads_;
+  std::uint64_t ops_recorded_ = 0;
+  std::uint64_t ifetches_recorded_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace respin::trace

@@ -1,0 +1,14 @@
+#include "workload/op_source.hpp"
+
+namespace respin::workload {
+
+OpSourceFactory synthetic_factory(const WorkloadSpec& spec, double scale,
+                                  std::uint64_t seed) {
+  return [&spec, scale, seed](std::uint32_t thread_id,
+                              std::uint32_t thread_count) {
+    return OpStream(std::make_unique<SyntheticOpSource>(
+        ThreadWorkload(spec, thread_id, thread_count, scale, seed)));
+  };
+}
+
+}  // namespace respin::workload

@@ -1,0 +1,109 @@
+// Op-source abstraction: the interface the core model consumes.
+//
+// cpu::VirtualCore historically held a concrete workload::ThreadWorkload;
+// lifting that dependency to this small interface decouples the simulator
+// from the synthetic generator family, so the same ClusterSim can execute
+// a synthetic benchmark, a recorded binary trace (respin::trace), or any
+// future externally produced access stream.
+//
+// Two contracts matter:
+//  - Determinism: a source must produce the same op/ifetch sequences every
+//    time it is constructed from the same inputs. The simulator's
+//    bit-identical-results guarantees (skip/no-skip, serial/parallel,
+//    record/replay) all rest on this.
+//  - Value semantics: OpStream deep-copies its source on copy. ClusterSim
+//    is a plain value type — the oracle consolidation driver snapshots the
+//    whole simulator, trial-runs an epoch, and rolls back — so a copied
+//    stream must replay from the copied position without disturbing the
+//    original.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "workload/workload.hpp"
+
+namespace respin::workload {
+
+/// Abstract per-thread operation stream (one application thread's ops plus
+/// its instruction-fetch address stream).
+class OpSource {
+ public:
+  virtual ~OpSource() = default;
+
+  /// Produces the next operation. After kFinished, returns kFinished
+  /// forever.
+  virtual Op next() = 0;
+
+  /// Next instruction-fetch target (called by the core model once per
+  /// fetch group).
+  virtual mem::Addr next_ifetch_addr() = 0;
+
+  /// Deep copy, including the current stream position.
+  virtual std::unique_ptr<OpSource> clone() const = 0;
+};
+
+/// Value-semantic handle around an OpSource: copying an OpStream clones
+/// the source, so cpu::VirtualCore (and transitively ClusterSim) stays a
+/// plain copyable value type.
+class OpStream {
+ public:
+  OpStream() = default;
+  explicit OpStream(std::unique_ptr<OpSource> source)
+      : source_(std::move(source)) {}
+
+  OpStream(const OpStream& other)
+      : source_(other.source_ ? other.source_->clone() : nullptr) {}
+  OpStream& operator=(const OpStream& other) {
+    if (this != &other) {
+      source_ = other.source_ ? other.source_->clone() : nullptr;
+    }
+    return *this;
+  }
+  OpStream(OpStream&&) noexcept = default;
+  OpStream& operator=(OpStream&&) noexcept = default;
+
+  Op next() { return source_->next(); }
+  mem::Addr next_ifetch_addr() { return source_->next_ifetch_addr(); }
+
+  explicit operator bool() const { return source_ != nullptr; }
+  OpSource* source() { return source_.get(); }
+  const OpSource* source() const { return source_.get(); }
+
+ private:
+  std::unique_ptr<OpSource> source_;
+};
+
+/// The synthetic generator behind the interface (the historical default).
+class SyntheticOpSource final : public OpSource {
+ public:
+  explicit SyntheticOpSource(ThreadWorkload work) : work_(std::move(work)) {}
+
+  Op next() override { return work_.next(); }
+  mem::Addr next_ifetch_addr() override { return work_.next_ifetch_addr(); }
+  std::unique_ptr<OpSource> clone() const override {
+    return std::make_unique<SyntheticOpSource>(*this);
+  }
+
+  const ThreadWorkload& workload() const { return work_; }
+
+ private:
+  ThreadWorkload work_;
+};
+
+/// Builds one thread's stream. ClusterSim calls the factory once per
+/// virtual core at construction with (thread_id, thread_count).
+using OpSourceFactory =
+    std::function<OpStream(std::uint32_t thread_id,
+                           std::uint32_t thread_count)>;
+
+/// Factory over the synthetic generator. `spec` is captured by reference
+/// and must outlive every simulator built from the factory (ThreadWorkload
+/// keeps a pointer into it) — the same lifetime rule the concrete
+/// ClusterSim(spec) constructor has always had.
+OpSourceFactory synthetic_factory(const WorkloadSpec& spec, double scale,
+                                  std::uint64_t seed);
+
+}  // namespace respin::workload

@@ -21,6 +21,7 @@
 #include "core/shared_cache_controller.hpp"
 #include "mem/cache_array.hpp"
 #include "mem/cache_types.hpp"
+#include "trace/format.hpp"
 #include "util/rng.hpp"
 
 namespace respin {
@@ -343,6 +344,98 @@ TEST(ControllerProperty, EventDrivenClockMatchesCycleByCycle) {
             << i;
       }
       expect_same_stats(ctrl.stats(), schedule.stats);
+    }
+  }
+}
+
+// ---- Trace varint encoding vs its decoder --------------------------------
+
+// LEB128 varints and zigzag signed deltas are the substrate of the trace
+// format; random values of every magnitude (plus the boundary cases) must
+// survive an encode/decode round trip exactly, and the reader must land on
+// a byte boundary after each value.
+TEST(TraceVarintProperty, UnsignedRoundTripsAllMagnitudes) {
+  util::Rng rng("property.varint", 1);
+  std::vector<std::uint64_t> values = {
+      0, 1, 127, 128, 16383, 16384, (1ull << 32) - 1, 1ull << 32,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (int i = 0; i < 20'000; ++i) {
+    // Shift by a random amount so every encoded length 1..10 is exercised.
+    values.push_back(rng.next_u64() >> rng.uniform_u64(64));
+  }
+
+  std::vector<std::uint8_t> buf;
+  for (const std::uint64_t v : values) trace::put_varint(buf, v);
+  EXPECT_LE(buf.size(), values.size() * 10);  // 10-byte cap per value.
+
+  trace::ByteReader reader(buf);
+  for (const std::uint64_t v : values) {
+    ASSERT_EQ(reader.varint(), v);
+  }
+  EXPECT_TRUE(reader.done());
+}
+
+TEST(TraceVarintProperty, SignedZigzagRoundTrips) {
+  util::Rng rng("property.svarint", 2);
+  std::vector<std::int64_t> values = {
+      0, 1, -1, 63, -64, 64, -65, std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min()};
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t raw = rng.next_u64() >> rng.uniform_u64(64);
+    values.push_back(static_cast<std::int64_t>(raw) *
+                     (rng.uniform_u64(2) == 0 ? 1 : -1));
+  }
+
+  std::vector<std::uint8_t> buf;
+  for (const std::int64_t v : values) trace::put_svarint(buf, v);
+  trace::ByteReader reader(buf);
+  for (const std::int64_t v : values) {
+    // Zigzag keeps small magnitudes small: |v| < 64 must fit in one byte.
+    ASSERT_EQ(reader.svarint(), v);
+  }
+  EXPECT_TRUE(reader.done());
+
+  // The small-magnitude guarantee, explicitly.
+  for (std::int64_t v = -64; v <= 63; ++v) {
+    std::vector<std::uint8_t> one;
+    trace::put_svarint(one, v);
+    EXPECT_EQ(one.size(), 1u) << v;
+  }
+}
+
+TEST(TraceVarintProperty, DecoderRejectsOverlongAndTruncatedInput) {
+  // Truncated: a continuation bit with no following byte.
+  {
+    const std::vector<std::uint8_t> buf = {0x80};
+    trace::ByteReader reader(buf);
+    try {
+      reader.varint();
+      FAIL() << "expected TraceError";
+    } catch (const trace::TraceError& e) {
+      EXPECT_EQ(e.kind(), trace::TraceErrorKind::kTruncated);
+    }
+  }
+  // Overlong: 11 continuation bytes can never encode a u64.
+  {
+    const std::vector<std::uint8_t> buf(11, 0x80);
+    trace::ByteReader reader(buf);
+    try {
+      reader.varint();
+      FAIL() << "expected TraceError";
+    } catch (const trace::TraceError& e) {
+      EXPECT_EQ(e.kind(), trace::TraceErrorKind::kBadRecord);
+    }
+  }
+  // 10th byte carrying bits beyond 2^64.
+  {
+    std::vector<std::uint8_t> buf(9, 0x80);
+    buf.push_back(0x02);
+    trace::ByteReader reader(buf);
+    try {
+      reader.varint();
+      FAIL() << "expected TraceError";
+    } catch (const trace::TraceError& e) {
+      EXPECT_EQ(e.kind(), trace::TraceErrorKind::kBadRecord);
     }
   }
 }

@@ -30,6 +30,8 @@
 //                        (epoch/consolidation/run_complete/probe events)
 //   --consolidation <f>  write the consolidation trace as CSV
 //   --list               list configurations and benchmarks, then exit
+//   --list-configs       bare configuration names only (for scripting)
+//   --list-workloads     bare benchmark names only (for scripting)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -124,6 +126,17 @@ int main(int argc, char** argv) {
       std::printf("benchmarks:\n");
       for (const std::string& name : workload::benchmark_names()) {
         std::printf("  %s\n", name.c_str());
+      }
+      return 0;
+    } else if (std::strcmp(argv[i], "--list-configs") == 0) {
+      // Bare names, one per line — greppable / shell-loop friendly.
+      for (core::ConfigId id : core::all_config_ids()) {
+        std::printf("%s\n", core::to_string(id));
+      }
+      return 0;
+    } else if (std::strcmp(argv[i], "--list-workloads") == 0) {
+      for (const std::string& name : workload::benchmark_names()) {
+        std::printf("%s\n", name.c_str());
       }
       return 0;
     } else {

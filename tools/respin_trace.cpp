@@ -1,0 +1,214 @@
+// respin_trace — capture, inspect, replay and verify binary traces.
+//
+//   respin_trace record --benchmark radix --out radix.rspt
+//   respin_trace record --all --out traces/
+//   respin_trace info radix.rspt
+//   respin_trace replay radix.rspt --config SH-STT-CC
+//   respin_trace verify radix.rspt                  # all 8 configurations
+//   respin_trace verify radix.rspt --config SH-STT
+//
+// Subcommands:
+//   record   Drain the synthetic generator for one benchmark (--benchmark,
+//            or every catalog benchmark with --all) into compact binary
+//            traces. --threads/--scale/--seed select the generator
+//            instance (defaults 16/1.0/1).
+//   info     Print the header plus per-thread op/ifetch/instruction
+//            statistics of a trace file.
+//   replay   Run a trace through a Table IV configuration (--config,
+//            --size, --no-skip) and print the usual result summary.
+//   verify   Replay and ALSO rerun the live synthetic workload, then
+//            compare the two SimResults bit for bit. Exits 1 with a
+//            field-by-field diff on any mismatch. Without --config,
+//            verifies across all eight Table IV configurations.
+//
+// Exit codes: 0 success, 1 verification failure or malformed trace,
+// 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/report.hpp"
+#include "trace/capture.hpp"
+#include "trace/replay.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+[[noreturn]] void usage_error(const char* message) {
+  std::fprintf(stderr,
+               "respin_trace: %s\n"
+               "usage: respin_trace record|info|replay|verify ...\n",
+               message);
+  std::exit(2);
+}
+
+struct Args {
+  std::string command;
+  std::string file;
+  std::string benchmark;
+  bool all = false;
+  std::string out;
+  std::uint32_t threads = 16;
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+  std::string config;
+  respin::trace::ReplayOptions replay;
+};
+
+Args parse(int argc, char** argv) {
+  if (argc < 2) usage_error("missing subcommand");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        usage_error((std::string(flag) + " needs a value").c_str());
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--benchmark") == 0) {
+      args.benchmark = need_value("--benchmark");
+    } else if (std::strcmp(argv[i], "--all") == 0) {
+      args.all = true;
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      args.out = need_value("--out");
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const int threads = std::atoi(need_value("--threads"));
+      if (threads < 1) usage_error("--threads needs a positive count");
+      args.threads = static_cast<std::uint32_t>(threads);
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      args.scale = std::atof(need_value("--scale"));
+      if (!(args.scale > 0.0)) usage_error("--scale must be positive");
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      args.seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--config") == 0) {
+      args.config = need_value("--config");
+    } else if (std::strcmp(argv[i], "--size") == 0) {
+      args.replay.size = respin::core::parse_cache_size(need_value("--size"));
+    } else if (std::strcmp(argv[i], "--no-skip") == 0) {
+      args.replay.cycle_skip = false;
+    } else if (argv[i][0] != '-' && args.file.empty()) {
+      args.file = argv[i];
+    } else {
+      usage_error((std::string("unknown option ") + argv[i]).c_str());
+    }
+  }
+  return args;
+}
+
+int cmd_record(const Args& args) {
+  using namespace respin;
+  if (args.out.empty()) usage_error("record needs --out <file or dir>");
+  std::vector<std::string> names;
+  if (args.all) {
+    names = workload::benchmark_names();
+  } else if (!args.benchmark.empty()) {
+    names = {args.benchmark};
+  } else {
+    usage_error("record needs --benchmark <name> or --all");
+  }
+
+  for (const std::string& name : names) {
+    const workload::WorkloadSpec& spec = workload::benchmark(name);
+    const std::string path =
+        args.all ? args.out + "/" + name + ".rspt" : args.out;
+    const trace::RecordStats stats = trace::record_benchmark(
+        spec, args.threads, args.scale, args.seed, path);
+    std::printf(
+        "%s: %llu ops, %llu ifetches, %llu instructions x %u threads -> %s\n",
+        name.c_str(), static_cast<unsigned long long>(stats.ops),
+        static_cast<unsigned long long>(stats.ifetches),
+        static_cast<unsigned long long>(stats.instructions), args.threads,
+        path.c_str());
+  }
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  using namespace respin;
+  if (args.file.empty()) usage_error("info needs a trace file");
+  const trace::TraceData data = trace::load_trace(args.file);
+  std::printf("%s: benchmark %s, %u threads, scale %g, seed %llu\n",
+              args.file.c_str(), data.header.benchmark.c_str(),
+              data.header.thread_count, data.header.scale,
+              static_cast<unsigned long long>(data.header.seed));
+  std::printf("  total: %llu ops, %llu ifetches, %llu instructions\n",
+              static_cast<unsigned long long>(data.total_ops()),
+              static_cast<unsigned long long>(data.total_ifetches()),
+              static_cast<unsigned long long>(data.total_instructions()));
+  for (std::size_t t = 0; t < data.threads.size(); ++t) {
+    const trace::ThreadTrace& thread = data.threads[t];
+    std::uint64_t loads = 0, stores = 0, barriers = 0;
+    for (const workload::Op& op : thread.ops) {
+      if (op.kind == workload::OpKind::kLoad) ++loads;
+      if (op.kind == workload::OpKind::kStore) ++stores;
+      if (op.kind == workload::OpKind::kBarrier) ++barriers;
+    }
+    std::printf(
+        "  thread %2zu: %8zu ops (%llu loads, %llu stores, %llu barriers), "
+        "%8zu ifetches, %9llu instructions\n",
+        t, thread.ops.size(), static_cast<unsigned long long>(loads),
+        static_cast<unsigned long long>(stores),
+        static_cast<unsigned long long>(barriers), thread.ifetch.size(),
+        static_cast<unsigned long long>(thread.instructions));
+  }
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  using namespace respin;
+  if (args.file.empty()) usage_error("replay needs a trace file");
+  const std::string config = args.config.empty() ? "SH-STT" : args.config;
+  const core::ConfigId id = core::parse_config_id(config);
+  const trace::TraceData data = trace::load_trace(args.file);
+  const core::SimResult result = trace::replay_trace(id, data, args.replay);
+  std::printf("%s\n", core::summarize(result).c_str());
+  return 0;
+}
+
+int cmd_verify(const Args& args) {
+  using namespace respin;
+  if (args.file.empty()) usage_error("verify needs a trace file");
+  const trace::TraceData data = trace::load_trace(args.file);
+  const std::vector<core::ConfigId> ids =
+      args.config.empty()
+          ? core::all_config_ids()
+          : std::vector<core::ConfigId>{core::parse_config_id(args.config)};
+
+  int failures = 0;
+  for (core::ConfigId id : ids) {
+    const core::SimResult live = trace::live_run_for(id, data, args.replay);
+    const core::SimResult replay = trace::replay_trace(id, data, args.replay);
+    const std::string diff = trace::diff_results(live, replay);
+    if (diff.empty()) {
+      std::printf("OK   %-16s %s: replay is bit-identical to live\n",
+                  core::to_string(id), data.header.benchmark.c_str());
+    } else {
+      ++failures;
+      std::printf("FAIL %-16s %s:\n%s", core::to_string(id),
+                  data.header.benchmark.c_str(), diff.c_str());
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "record") return cmd_record(args);
+    if (args.command == "info") return cmd_info(args);
+    if (args.command == "replay") return cmd_replay(args);
+    if (args.command == "verify") return cmd_verify(args);
+  } catch (const respin::trace::TraceError& e) {
+    std::fprintf(stderr, "respin_trace: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "respin_trace: %s\n", e.what());
+    return 2;
+  }
+  usage_error((std::string("unknown subcommand ") + args.command).c_str());
+}
