@@ -1,0 +1,76 @@
+// Extension study: SRAM voltage scaling vs reliability (fault injection).
+//
+// The paper's Table IV keeps SRAM L1s at a 0.65 V "safe" rail precisely
+// because SRAM bit cells stop working as Vdd approaches their Vccmin,
+// while STT-RAM cells do not care. This extension makes that cliff
+// quantitative with the respin::fault models: the PR-SRAM-NT baseline's
+// L1s are evaluated at a sweep of rails (via the fault model's Vdd
+// override), reporting the analytic bit-failure probability, the
+// effective (post-disable) L1 capacity, the SECDED correction traffic,
+// and the run outcome — next to an STT-RAM run at the same rail, whose
+// arrays are immune by construction. See docs/faults.md for the models.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "fault/fault.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  respin::bench::init_obs(argc, argv);
+  using namespace respin;
+  const core::RunOptions base = bench::default_options();
+  bench::print_banner(
+      "Extension — SRAM Vccmin cliff vs STT-RAM (fault injection)",
+      "SRAM caches cannot follow Vdd down; STT-RAM keeps full capacity",
+      base);
+
+  util::TextTable table("PR-SRAM-NT L1s under a lowered rail (fft)");
+  table.set_header({"rail (V)", "p(bit fail)", "usable L1", "correctable",
+                    "ecc fixes", "time (ms)"});
+
+  const fault::SramFaultParams sram_defaults;
+  for (const double vdd : {0.65, 0.55, 0.50, 0.47, 0.45, 0.43, 0.41}) {
+    core::RunOptions options = base;
+    options.faults.enabled = true;
+    options.faults.sram.vdd_override = vdd;
+    const double p_bit =
+        fault::sram_bit_fail_probability(sram_defaults, vdd, 0.30, 0.30);
+    const core::SimResult r =
+        core::run_experiment(core::ConfigId::kPrSramNt, "fft", options);
+    bench::export_metrics(r);
+    const double usable =
+        r.fault_l1_total_bytes > 0
+            ? static_cast<double>(r.fault_l1_usable_bytes) /
+                  static_cast<double>(r.fault_l1_total_bytes)
+            : 1.0;
+    table.add_row({util::fixed(vdd, 2), util::scientific(p_bit, 1),
+                   util::percent(usable),
+                   std::to_string(r.fault_l1_correctable_ways) + " ways",
+                   std::to_string(r.faults.ecc_corrections),
+                   util::fixed(r.seconds * 1e3, 3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // The same sweep is meaningless for STT-RAM: the cell map is voltage
+  // independent, so show one run with the stochastic write model instead.
+  core::RunOptions stt = base;
+  stt.faults.enabled = true;
+  stt.faults.stt.write_fail_prob = 1e-3;
+  const core::SimResult r =
+      core::run_experiment(core::ConfigId::kShStt, "fft", stt);
+  bench::export_metrics(r);
+  std::printf(
+      "SH-STT at any rail: full L1 capacity; with p(write fail)=1e-3 the\n"
+      "retry machinery absorbed %llu faulty writes (%llu retries, %llu\n"
+      "lines retired) for %.3f ms runtime.\n",
+      static_cast<unsigned long long>(r.faults.stt_write_faults),
+      static_cast<unsigned long long>(r.faults.stt_write_retries),
+      static_cast<unsigned long long>(r.faults.stt_lines_disabled),
+      r.seconds * 1e3);
+  std::printf(
+      "Below ~0.45 V the SRAM arrays lose whole ways faster than SECDED\n"
+      "can paper over — the effective-capacity cliff that pins the paper's\n"
+      "SRAM rail at 0.65 V while the cores scale to 0.4 V.\n");
+  return 0;
+}

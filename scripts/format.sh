@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Reformats every tracked C++ source in place with the repo .clang-format.
+# CI runs the same file set with --dry-run -Werror (the `format` job), so
+# a clean run here means a green style gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+git ls-files '*.cpp' '*.hpp' | xargs clang-format -i "$@"

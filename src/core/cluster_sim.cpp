@@ -63,6 +63,40 @@ ClusterSim::ClusterSim(ClusterConfig config, std::string benchmark_name,
     private_l1_.emplace(cfg_.private_l1);
   }
 
+  if (params_.faults.enabled) {
+    injector_.emplace(params_.faults, cfg_.vth_mean);
+    // The technology picks the active model: SRAM arrays get static
+    // voltage-dependent cell maps, STT-RAM arrays get stochastic write
+    // retries. See docs/faults.md.
+    stt_write_faults_ = cfg_.cache_tech == nvsim::MemTech::kSttRam &&
+                        params_.faults.stt.write_fail_prob > 0.0;
+    if (cfg_.cache_tech == nvsim::MemTech::kSram) {
+      std::vector<double> vths(cfg_.cluster_cores, cfg_.vth_mean);
+      for (std::size_t c = 0; c < vths.size() && c < cfg_.core_vth.size();
+           ++c) {
+        vths[c] = cfg_.core_vth[c];
+      }
+      if (cfg_.shared_l1) {
+        // The shared arrays sit in one physical bank; the slowest
+        // (highest-Vth) region they span governs their margin.
+        const double worst = *std::max_element(vths.begin(), vths.end());
+        l1i_->apply_fault_map(injector_->sram_line_map(
+            "l1i", l1i_->set_count(), l1i_->ways(), cfg_.l1_line_bytes,
+            cfg_.cache_vdd, worst));
+        l1d_->apply_fault_map(injector_->sram_line_map(
+            "l1d", l1d_->set_count(), l1d_->ways(), cfg_.l1_line_bytes,
+            cfg_.cache_vdd, worst));
+      } else {
+        private_l1_->apply_sram_fault_maps(*injector_, cfg_.cache_vdd, vths);
+      }
+    }
+    if (private_l1_) {
+      private_l1_->configure_faults(params_.faults.ecc.correction_cycles,
+                                    stt_write_faults_,
+                                    params_.faults.stt.retry_cycles);
+    }
+  }
+
   if (cfg_.governor != GovernorKind::kNone) {
     governor_.emplace(cfg_.governor_params, cfg_.cluster_cores);
   }
@@ -457,8 +491,8 @@ void ClusterSim::issue_load(std::uint32_t pid, std::uint32_t vid) {
     return;
   }
 
-  const mem::PrivateAccessResult res =
-      private_l1_->access(pid, addr, mem::AccessType::kLoad, backside_);
+  const mem::PrivateAccessResult res = private_l1_->access(
+      pid, addr, mem::AccessType::kLoad, backside_, fault_injector());
   if (cfg_.l1_crosses_domains) ++counts_.level_shifter_crossings;
   if (res.l1_hit && res.extra_cycles == 0) {
     // One-core-cycle hit: commit immediately.
@@ -484,13 +518,41 @@ bool ClusterSim::issue_store(std::uint32_t pid, std::uint32_t vid) {
     // Write-allocate: a store miss pulls the line in off the critical path
     // (the store buffer hides the fill latency).
     const mem::LineAddr line = mem::line_of(addr, cfg_.l1_line_bytes);
-    if (auto state = l1d_->access(line)) {
+    bool corrected = false;
+    if (auto state = l1d_->access(line, &corrected)) {
       (void)state;
       l1d_->set_state(line, mem::Mesi::kModified);
+      if (corrected && injector_) {
+        // Read-modify-write of a SECDED-corrected word; the store buffer
+        // hides the latency but the extra array read costs energy.
+        injector_->note_correction();
+        ++counts_.l1_reads;
+      }
+      if (stt_write_faults_) {
+        bool exhausted = false;
+        const std::uint32_t retries = injector_->draw_write_retries(&exhausted);
+        counts_.l1_writes += retries;
+        if (exhausted) {
+          // Repeated write failure on a resident cell: retire the way and
+          // write the store's data through to the backside instead.
+          l1d_->disable_line(line);
+          injector_->note_line_disabled();
+          backside_.writeback(addr);
+        }
+      }
     } else {
       const mem::FillResult fill = backside_.fill(addr);
-      fill_events_.push(
-          FillEvent{now_ + fill.latency_cycles, addr, false});
+      std::int64_t latency = fill.latency_cycles;
+      std::uint32_t retries = 0;
+      bool exhausted = false;
+      if (stt_write_faults_) {
+        retries = injector_->draw_write_retries(&exhausted);
+        latency += static_cast<std::int64_t>(retries) *
+                   params_.faults.stt.retry_cycles;
+      }
+      fill_events_.push(FillEvent{now_ + latency, addr, /*instruction=*/false,
+                                  retries, /*drop=*/exhausted,
+                                  /*store=*/true});
     }
     v.state = cpu::WaitState::kRunnable;
     v.has_op = false;
@@ -507,8 +569,8 @@ bool ClusterSim::issue_store(std::uint32_t pid, std::uint32_t vid) {
   const std::int64_t window = kPrivateStoreBufferDepth * store_cost;
   if (p.store_drain_free_at - now_ > window) return false;
 
-  const mem::PrivateAccessResult res =
-      private_l1_->access(pid, addr, mem::AccessType::kStore, backside_);
+  const mem::PrivateAccessResult res = private_l1_->access(
+      pid, addr, mem::AccessType::kStore, backside_, fault_injector());
   if (cfg_.l1_crosses_domains) ++counts_.level_shifter_crossings;
   p.store_drain_free_at = std::max(p.store_drain_free_at, now_) + store_cost +
                           res.extra_cycles;
@@ -577,21 +639,45 @@ void ClusterSim::do_ifetch(std::uint32_t pid, std::uint32_t vid) {
     ++counts_.l1_reads;
     if (cfg_.l1_crosses_domains) ++counts_.level_shifter_crossings;
     const mem::LineAddr line = mem::line_of(addr, cfg_.l1_line_bytes);
-    if (l1i_->access(line).has_value()) return;  // Overlapped fetch.
+    bool corrected = false;
+    if (l1i_->access(line, &corrected).has_value()) {
+      if (corrected && injector_) {
+        // The fetched word round-trips SECDED before issue resumes.
+        injector_->note_correction();
+        ++counts_.l1_reads;
+        v.state = cpu::WaitState::kMemory;
+        v.mem_ready_cycle = next_boundary_after(
+            pid, now_ + params_.faults.ecc.correction_cycles);
+        v.mem_commit_pending = false;
+      }
+      return;  // Overlapped fetch.
+    }
     const mem::FillResult fill = backside_.fill(addr);
-    ++counts_.l1_writes;
-    l1i_->insert(line, mem::Mesi::kExclusive);
+    std::int64_t extra = 0;
+    if (l1i_->can_insert(line)) {
+      ++counts_.l1_writes;
+      bool exhausted = false;
+      if (stt_write_faults_) {
+        const std::uint32_t retries = injector_->draw_write_retries(&exhausted);
+        counts_.l1_writes += retries;
+        extra = static_cast<std::int64_t>(retries) *
+                params_.faults.stt.retry_cycles;
+      }
+      // An exhausted fill write is dropped; the fetch itself still
+      // completes from the L2 copy.
+      if (!exhausted) l1i_->insert(line, mem::Mesi::kExclusive);
+    }
     v.state = cpu::WaitState::kMemory;
     v.mem_ready_cycle =
-        next_boundary_after(pid, now_ + fill.latency_cycles + 2);
+        next_boundary_after(pid, now_ + fill.latency_cycles + extra + 2);
     v.mem_commit_pending = false;
     return;
   }
 
-  const mem::PrivateAccessResult res =
-      private_l1_->access(pid, addr, mem::AccessType::kIfetch, backside_);
+  const mem::PrivateAccessResult res = private_l1_->access(
+      pid, addr, mem::AccessType::kIfetch, backside_, fault_injector());
   if (cfg_.l1_crosses_domains) ++counts_.level_shifter_crossings;
-  if (!res.l1_hit) {
+  if (!res.l1_hit || res.extra_cycles > 0) {
     v.state = cpu::WaitState::kMemory;
     v.mem_ready_cycle = next_boundary_after(pid, now_ + res.extra_cycles);
     v.mem_commit_pending = false;
@@ -606,10 +692,18 @@ void ClusterSim::handle_serviced_read(const ServicedRead& serviced) {
 
   ++counts_.l1_reads;
   const mem::LineAddr line = mem::line_of(pending.addr, cfg_.l1_line_bytes);
-  const bool hit = l1d_->access(line).has_value();
+  bool corrected = false;
+  const bool hit = l1d_->access(line, &corrected).has_value();
   if (hit) {
-    const std::int64_t latency_cycles =
+    std::int64_t latency_cycles =
         serviced.serviced_at + 1 - serviced.issued_at;
+    if (corrected && injector_) {
+      // SECDED round trip before the data is usable: the hit gets slower
+      // and the array is read again after the fix.
+      injector_->note_correction();
+      ++counts_.l1_reads;
+      latency_cycles += params_.faults.ecc.correction_cycles;
+    }
     const auto core_cycles =
         static_cast<std::uint64_t>((latency_cycles + m - 1) / m);
     read_hit_latency_.add(core_cycles);
@@ -619,8 +713,20 @@ void ClusterSim::handle_serviced_read(const ServicedRead& serviced) {
   } else {
     ++dl1_read_misses_;
     const mem::FillResult fill = backside_.fill(pending.addr);
-    const std::int64_t response = serviced.serviced_at + fill.latency_cycles;
-    fill_events_.push(FillEvent{response, pending.addr, false});
+    std::int64_t fill_latency = fill.latency_cycles;
+    std::uint32_t retries = 0;
+    bool exhausted = false;
+    if (stt_write_faults_) {
+      // The fill's write retries are drawn here (a deterministic event
+      // point) and their latency folds into the response cycle.
+      retries = injector_->draw_write_retries(&exhausted);
+      fill_latency += static_cast<std::int64_t>(retries) *
+                      params_.faults.stt.retry_cycles;
+    }
+    const std::int64_t response = serviced.serviced_at + fill_latency;
+    fill_events_.push(FillEvent{response, pending.addr, /*instruction=*/false,
+                                retries, /*drop=*/exhausted,
+                                /*store=*/false});
     const std::int64_t latency = response + 1 - serviced.issued_at;
     v.mem_ready_cycle = serviced.issued_at + ((latency + m - 1) / m) * m;
   }
@@ -630,9 +736,23 @@ void ClusterSim::handle_serviced_read(const ServicedRead& serviced) {
 void ClusterSim::apply_fill(const FillEvent& event) {
   // The fill occupies the write port and writes the data array.
   dl1_ctrl_->submit_fill(event.cycle);
-  ++counts_.l1_writes;
   mem::CacheArray& array = event.instruction ? *l1i_ : *l1d_;
   const mem::LineAddr line = mem::line_of(event.addr, cfg_.l1_line_bytes);
+  if (!array.can_insert(line)) {
+    // Every way of the target set is disabled: the line bypasses the
+    // cache. A store-allocate fill carries store data, which writes
+    // through instead.
+    if (event.store) backside_.writeback(event.addr);
+    return;
+  }
+  ++counts_.l1_writes;
+  counts_.l1_writes += event.retries;  // Each retry pulses the array again.
+  if (event.drop) {
+    // Write retries exhausted at draw time: the fill is dropped. A clean
+    // copy still lives below; store data writes through.
+    if (event.store) backside_.writeback(event.addr);
+    return;
+  }
   if (array.probe(line).has_value()) return;  // Raced with another fill.
   if (auto evicted = array.insert(line, mem::Mesi::kExclusive)) {
     if (evicted->dirty) {
@@ -799,6 +919,22 @@ void ClusterSim::collect_counters(obs::CounterSet& set) const {
   }
   if (dl1_ctrl_) dl1_ctrl_->collect_counters(set, "dl1");
   if (private_l1_) private_l1_->collect_counters(set, "pl1");
+  if (injector_) {
+    const fault::FaultStats& f = injector_->stats();
+    set.add("fault.sram_lines_mapped", f.sram_lines_mapped);
+    set.add("fault.sram_lines_correctable", f.sram_lines_correctable);
+    set.add("fault.sram_lines_disabled", f.sram_lines_disabled);
+    set.add("fault.ecc_corrections", f.ecc_corrections);
+    set.add("fault.stt_write_faults", f.stt_write_faults);
+    set.add("fault.stt_write_retries", f.stt_write_retries);
+    set.add("fault.stt_lines_disabled", f.stt_lines_disabled);
+    std::uint64_t disabled = 0, correctable = 0, usable = 0, total = 0;
+    fault_capacity(&disabled, &correctable, &usable, &total);
+    set.add("fault.l1_disabled_ways", disabled);
+    set.add("fault.l1_correctable_ways", correctable);
+    set.add("fault.l1_usable_bytes", usable);
+    set.add("fault.l1_total_bytes", total);
+  }
   const mem::BacksideStats& b = backside_.stats();
   set.add("backside.l2_reads", b.l2_reads);
   set.add("backside.l2_writes", b.l2_writes);
@@ -806,6 +942,27 @@ void ClusterSim::collect_counters(obs::CounterSet& set) const {
   set.add("backside.l3_writes", b.l3_writes);
   set.add("backside.memory_reads", b.memory_reads);
   set.add("backside.memory_writes", b.memory_writes);
+}
+
+void ClusterSim::fault_capacity(std::uint64_t* disabled,
+                                std::uint64_t* correctable,
+                                std::uint64_t* usable,
+                                std::uint64_t* total) const {
+  *disabled = *correctable = *usable = *total = 0;
+  const auto account = [&](const mem::CacheArray& array) {
+    *disabled += array.disabled_ways();
+    *correctable += array.correctable_ways();
+    *usable += array.usable_capacity_bytes();
+    *total += array.capacity_bytes();
+  };
+  if (l1i_) account(*l1i_);
+  if (l1d_) account(*l1d_);
+  if (private_l1_) {
+    for (std::uint32_t c = 0; c < cfg_.cluster_cores; ++c) {
+      account(private_l1_->l1i(c));
+      account(private_l1_->l1d(c));
+    }
+  }
 }
 
 void ClusterSim::sync_power_integral() {
@@ -862,6 +1019,13 @@ SimResult ClusterSim::result() {
     r.dl1_store_rejections = dl1_ctrl_->stats().store_queue_rejections;
     r.dl1_arrivals = dl1_ctrl_->stats().arrivals_per_cycle;
     r.dl1_cycles = dl1_ctrl_->stats().total_cycles;
+  }
+
+  if (injector_) {
+    r.faults_enabled = true;
+    r.faults = injector_->stats();
+    fault_capacity(&r.fault_l1_disabled_ways, &r.fault_l1_correctable_ways,
+                   &r.fault_l1_usable_bytes, &r.fault_l1_total_bytes);
   }
 
   r.trace = trace_;

@@ -23,6 +23,7 @@
 #include "core/consolidation.hpp"
 #include "core/shared_cache_controller.hpp"
 #include "cpu/core_model.hpp"
+#include "fault/fault.hpp"
 #include "mem/backside.hpp"
 #include "mem/cache_array.hpp"
 #include "mem/private_l1.hpp"
@@ -49,6 +50,10 @@ struct SimParams {
   /// tracing; emission only reads simulator state, so results are
   /// bit-identical with tracing on or off.
   obs::TraceSink* trace = nullptr;
+  /// Fault-injection plan (see docs/faults.md). Disabled by default; a
+  /// disabled plan never seeds a fault stream, keeping results
+  /// bit-identical to the fault-free golden grid.
+  fault::FaultPlan faults;
 };
 
 /// One point of the consolidation trace (paper Figs. 12/13).
@@ -85,6 +90,14 @@ struct SimResult {
   double avg_active_cores = 0.0;
   std::uint32_t min_active_cores = 0;
   std::uint32_t max_active_cores = 0;
+
+  // Fault injection (respin::fault); all zero when faults were disabled.
+  bool faults_enabled = false;
+  fault::FaultStats faults;
+  std::uint64_t fault_l1_disabled_ways = 0;
+  std::uint64_t fault_l1_correctable_ways = 0;
+  std::uint64_t fault_l1_usable_bytes = 0;  ///< Effective L1 capacity.
+  std::uint64_t fault_l1_total_bytes = 0;
 
   double epi_pj() const {
     return power::energy_per_instruction(energy, instructions);
@@ -156,6 +169,15 @@ class ClusterSim {
     std::int64_t cycle = 0;
     mem::Addr addr = 0;
     bool instruction = false;
+    /// STT write retries drawn when the fill was created (the draw happens
+    /// at a deterministic event point; the latency is already folded into
+    /// `cycle`, the energy is charged when the fill applies).
+    std::uint32_t retries = 0;
+    /// Retry budget exhausted: the fill is dropped (line stays uncached).
+    bool drop = false;
+    /// Store-allocate fill: carries store data, which writes through to
+    /// the backside when the fill drops or its set is disabled.
+    bool store = false;
     bool operator>(const FillEvent& o) const { return cycle > o.cycle; }
   };
   struct BarrierState {
@@ -193,6 +215,10 @@ class ClusterSim {
   power::ActivityCounts current_counts();
   std::int64_t next_boundary_after(std::uint32_t pid,
                                    std::int64_t ready) const;
+  /// Sums disabled/correctable ways and usable/total bytes over every L1
+  /// array (shared or private) for the fault-capacity report.
+  void fault_capacity(std::uint64_t* disabled, std::uint64_t* correctable,
+                      std::uint64_t* usable, std::uint64_t* total) const;
 
   ClusterConfig cfg_;
   SimParams params_;
@@ -226,6 +252,15 @@ class ClusterSim {
 
   // Private-L1 machinery (engaged otherwise).
   std::optional<mem::PrivateL1System> private_l1_;
+
+  // Fault injection (respin::fault); disengaged unless the plan enables
+  // it, in which case the constructor builds the cell maps and arms the
+  // dynamic draw points.
+  std::optional<fault::FaultInjector> injector_;
+  bool stt_write_faults_ = false;
+  fault::FaultInjector* fault_injector() {
+    return injector_ ? &*injector_ : nullptr;
+  }
 
   mem::Backside backside_;
   BarrierState barrier_;

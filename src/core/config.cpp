@@ -161,6 +161,8 @@ ClusterConfig make_cluster_config(ConfigId id, CacheSize size,
                            /*core_grid=*/8);
   cfg.multipliers = varius::cluster_multipliers(
       map, cfg.clocking, cfg.core_vdd, first_core, cluster_cores);
+  cfg.core_vth = varius::cluster_vths(map, first_core, cluster_cores);
+  cfg.vth_mean = tp.vth_mean;
 
   const auto cache_period = static_cast<double>(cfg.clocking.cache_period);
 

@@ -68,6 +68,11 @@ struct ClusterConfig {
 
   /// Per-core clock multipliers (core period / cache period), from VARIUS.
   std::vector<int> multipliers;
+  /// Per-core worst-case Vth (volts) from the same VARIUS die instance;
+  /// the fault model shifts each region's SRAM Vccmin by its Vth offset.
+  std::vector<double> core_vth;
+  /// Die-mean Vth the offsets are relative to.
+  double vth_mean = 0.30;
   tech::ClusterClocking clocking;
 
   // Shared-L1 organization (when shared_l1).

@@ -38,6 +38,7 @@ SimResult run_experiment(ConfigId id, const std::string& benchmark,
   params.seed = options.seed;
   params.cycle_skip = options.cycle_skip;
   params.trace = options.trace;
+  params.faults = options.faults;
   ClusterSim sim(config, workload::benchmark(benchmark), params);
   SimResult result;
   if (config.governor == GovernorKind::kOracle) {

@@ -28,6 +28,10 @@ struct RunOptions {
   /// disables tracing; results are bit-identical either way. The sink
   /// must be thread-safe: suites fan runs out over the exec pool.
   obs::TraceSink* trace = nullptr;
+  /// Fault-injection plan, forwarded to every ClusterSim. Each run owns
+  /// its injector, so fault runs stay deterministic in (seed, plan,
+  /// config) no matter how the suite fans out over threads.
+  fault::FaultPlan faults;
 };
 
 /// Runs `benchmark` on configuration `id` and returns the cluster-level

@@ -67,6 +67,22 @@ obs::CounterSet metrics_of(const SimResult& result) {
           static_cast<std::uint64_t>(result.min_active_cores));
   set.add("consolidation.max_active_cores",
           static_cast<std::uint64_t>(result.max_active_cores));
+  // Fault counters appear only when injection ran: the fault-free metric
+  // set (and hence the golden grid) is unchanged by the subsystem.
+  if (result.faults_enabled) {
+    set.add("fault.sram_lines_mapped", result.faults.sram_lines_mapped);
+    set.add("fault.sram_lines_correctable",
+            result.faults.sram_lines_correctable);
+    set.add("fault.sram_lines_disabled", result.faults.sram_lines_disabled);
+    set.add("fault.ecc_corrections", result.faults.ecc_corrections);
+    set.add("fault.stt_write_faults", result.faults.stt_write_faults);
+    set.add("fault.stt_write_retries", result.faults.stt_write_retries);
+    set.add("fault.stt_lines_disabled", result.faults.stt_lines_disabled);
+    set.add("fault.l1_disabled_ways", result.fault_l1_disabled_ways);
+    set.add("fault.l1_correctable_ways", result.fault_l1_correctable_ways);
+    set.add("fault.l1_usable_bytes", result.fault_l1_usable_bytes);
+    set.add("fault.l1_total_bytes", result.fault_l1_total_bytes);
+  }
   return set;
 }
 

@@ -1,0 +1,131 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nvsim/array_model.hpp"
+#include "util/require.hpp"
+
+namespace respin::fault {
+
+namespace {
+
+double clamp01(double p) { return std::clamp(p, 0.0, 1.0); }
+
+/// Standard normal CDF via erfc (numerically stable in both tails).
+double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+void validate(const FaultPlan& plan) {
+  RESPIN_REQUIRE(plan.sram.vccmin_mean > 0.0 && plan.sram.vccmin_mean < 2.0,
+                 "SRAM Vccmin mean must be a plausible voltage");
+  RESPIN_REQUIRE(plan.sram.vccmin_sigma > 0.0,
+                 "SRAM Vccmin sigma must be positive");
+  RESPIN_REQUIRE(plan.sram.vth_coupling >= 0.0,
+                 "Vth coupling must be non-negative");
+  RESPIN_REQUIRE(plan.sram.vdd_override >= 0.0,
+                 "fault-model Vdd override cannot be negative");
+  RESPIN_REQUIRE(
+      plan.stt.write_fail_prob >= 0.0 && plan.stt.write_fail_prob < 1.0,
+      "STT write-failure probability must be in [0, 1)");
+  RESPIN_REQUIRE(plan.ecc.word_bits > 0,
+                 "ECC word must protect at least one bit");
+}
+
+double sram_bit_fail_probability(const SramFaultParams& params, double vdd,
+                                 double vth_local, double vth_mean) {
+  const double rail = params.vdd_override > 0.0 ? params.vdd_override : vdd;
+  const double vccmin_eff =
+      params.vccmin_mean + params.vth_coupling * (vth_local - vth_mean);
+  return clamp01(phi((vccmin_eff - rail) / params.vccmin_sigma));
+}
+
+LineOutcomeProbs sram_line_outcome_probs(const SramFaultParams& params,
+                                         const EccParams& ecc, double vdd,
+                                         double vth_local, double vth_mean,
+                                         std::uint32_t line_bytes) {
+  const std::uint64_t line_bits = std::uint64_t{line_bytes} * 8;
+  RESPIN_REQUIRE(line_bits % ecc.word_bits == 0,
+                 "line must hold a whole number of ECC words");
+  const std::uint64_t words = line_bits / ecc.word_bits;
+  // Check bits are SRAM cells too: a fault there consumes the same SECDED
+  // correction capability as a data-bit fault.
+  const double cells_per_word = static_cast<double>(
+      ecc.word_bits + nvsim::secded_check_bits(ecc.word_bits));
+
+  const double p = sram_bit_fail_probability(params, vdd, vth_local, vth_mean);
+  LineOutcomeProbs out;
+  if (p <= 0.0) return out;
+  if (p >= 1.0) {
+    out.p_clean = 0.0;
+    out.p_disabled = 1.0;
+    return out;
+  }
+  const double p_word_clean = std::pow(1.0 - p, cells_per_word);
+  const double p_word_one =
+      cells_per_word * p * std::pow(1.0 - p, cells_per_word - 1.0);
+  const double p_word_ok = clamp01(p_word_clean + p_word_one);
+  const double p_usable = std::pow(p_word_ok, static_cast<double>(words));
+  out.p_clean = std::pow(p_word_clean, static_cast<double>(words));
+  out.p_correctable = clamp01(p_usable - out.p_clean);
+  out.p_disabled = clamp01(1.0 - p_usable);
+  return out;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, double vth_mean)
+    : plan_(plan),
+      vth_mean_(vth_mean),
+      write_rng_("fault.stt.write", plan.seed) {
+  validate(plan_);
+}
+
+std::vector<std::uint8_t> FaultInjector::sram_line_map(
+    std::string_view array_name, std::uint32_t set_count, std::uint32_t ways,
+    std::uint32_t line_bytes, double vdd, double vth_local) {
+  const LineOutcomeProbs probs = sram_line_outcome_probs(
+      plan_.sram, plan_.ecc, vdd, vth_local, vth_mean_, line_bytes);
+
+  // One independent stream per array: maps do not depend on the order the
+  // owner builds them in.
+  util::Rng rng(std::string("fault.sram.") + std::string(array_name),
+                plan_.seed);
+  std::vector<std::uint8_t> map(static_cast<std::size_t>(set_count) * ways,
+                                static_cast<std::uint8_t>(LineFault::kNone));
+  for (auto& cell : map) {
+    const double u = rng.uniform();
+    if (u < probs.p_disabled) {
+      cell = static_cast<std::uint8_t>(LineFault::kDisabled);
+      ++stats_.sram_lines_disabled;
+    } else if (u < probs.p_disabled + probs.p_correctable) {
+      cell = static_cast<std::uint8_t>(LineFault::kCorrectable);
+      ++stats_.sram_lines_correctable;
+    }
+    ++stats_.sram_lines_mapped;
+  }
+  return map;
+}
+
+std::uint32_t FaultInjector::draw_write_retries(bool* exhausted) {
+  *exhausted = false;
+  const double p_fail = plan_.stt.write_fail_prob;
+  if (!plan_.enabled || p_fail <= 0.0) return 0;
+
+  // Failed attempts before the first success, capped one past the retry
+  // budget so the cap value itself is unambiguous exhaustion.
+  const std::uint64_t budget = plan_.stt.max_write_retries;
+  const std::uint64_t failures =
+      write_rng_.geometric(1.0 - p_fail, budget + 1);
+  std::uint32_t retries;
+  if (failures > budget) {
+    *exhausted = true;
+    retries = static_cast<std::uint32_t>(budget);
+  } else {
+    retries = static_cast<std::uint32_t>(failures);
+  }
+  if (retries > 0 || *exhausted) ++stats_.stt_write_faults;
+  stats_.stt_write_retries += retries;
+  return retries;
+}
+
+}  // namespace respin::fault

@@ -1,0 +1,186 @@
+// Deterministic fault-injection models for near-threshold caches.
+//
+// Respin's central reliability argument (paper §I-II) is that SRAM bit
+// cells stop working as Vdd approaches their Vccmin while STT-RAM keeps
+// its cells magnetic — so the cache rail cannot follow the core rail down
+// unless the arrays are non-volatile. This module makes that argument
+// simulable instead of asserted, with two first-order models:
+//
+//  * SRAM voltage-dependent cell failure. Each bit cell has a Vccmin
+//    drawn from a Gaussian whose mean shifts with the local VARIUS Vth
+//    (high-Vth cells lose static noise margin first); a cell whose Vccmin
+//    exceeds the array rail is stuck. Lines are protected by SECDED ECC
+//    per word: one faulty bit per protected word is correctable (at a
+//    latency/energy cost per access), two or more disable the line/way —
+//    the graceful-degradation path that shrinks effective capacity as the
+//    rail drops.
+//
+//  * STT-RAM stochastic write failure. MTJ switching is thermally
+//    activated, so each write attempt fails with a small probability; the
+//    controller retries up to a budget (charging the write pulse again
+//    each time) and disables the line when the budget is exhausted.
+//
+// Everything is seed-driven: the per-array cell maps and the per-write
+// retry draws come from named util::Rng streams keyed on (plan seed,
+// array name), so a run is reproducible from (seed, config) alone and is
+// independent of host threading. With `enabled == false` (the default) no
+// stream is ever created and the simulator is bit-identical to the
+// fault-free golden grid. The determinism contract and the model
+// equations are documented in docs/faults.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace respin::fault {
+
+/// Fault class of one cache line (way) after applying the SRAM cell map.
+/// Values are the wire format of CacheArray::apply_fault_map().
+enum class LineFault : std::uint8_t {
+  kNone = 0,         ///< No faulty cell; accesses are clean.
+  kCorrectable = 1,  ///< Every protected word has <= 1 faulty bit: SECDED
+                     ///< corrects each access at a latency/energy cost.
+  kDisabled = 2,     ///< Some word has >= 2 faulty bits: beyond SECDED,
+                     ///< the way is disabled (capacity degradation).
+};
+
+/// Voltage-dependent SRAM cell-failure model (paper's Vccmin argument).
+struct SramFaultParams {
+  /// Mean bit-cell Vccmin in volts at the technology's mean Vth. The
+  /// default puts the 0.65 V "safe SRAM rail" of the paper at a 6-sigma
+  /// margin: cell failures are ~1e-9 there and catastrophic at the 0.4 V
+  /// core rail — exactly the cliff that motivates Respin.
+  double vccmin_mean = 0.35;
+  /// Per-cell Vccmin spread (sigma, volts) from random variation.
+  double vccmin_sigma = 0.05;
+  /// dVccmin/dVth coupling: a core region whose VARIUS Vth sits `dV`
+  /// above the die mean sees its cell Vccmin distribution shifted up by
+  /// `vth_coupling * dV` (slow transistors lose noise margin first).
+  double vth_coupling = 1.0;
+  /// Optional rail override, volts: when > 0 the SRAM fault model is
+  /// evaluated at this voltage instead of the array's configured rail.
+  /// This isolates the reliability model for "follow Vdd down" sweeps
+  /// without re-deriving latency/energy at the lowered rail.
+  double vdd_override = 0.0;
+};
+
+/// Stochastic STT-RAM write-failure model with a bounded retry budget.
+struct SttFaultParams {
+  /// Probability one write attempt fails to switch the MTJ.
+  double write_fail_prob = 1e-4;
+  /// Retries after the first failed attempt before giving up. Exhaustion
+  /// disables the line (stores write through to the backside instead).
+  std::uint32_t max_write_retries = 3;
+  /// Extra cache cycles charged per retry (another write pulse).
+  std::uint32_t retry_cycles = 13;
+};
+
+/// SECDED ECC correction model shared by both technologies.
+struct EccParams {
+  /// Data bits per protected word (check bits are derived, see
+  /// nvsim::secded_check_bits; faults in check bits count too).
+  std::uint32_t word_bits = 64;
+  /// Extra cache cycles per corrected access (syndrome decode + fix).
+  std::uint32_t correction_cycles = 2;
+};
+
+/// Complete, validated description of one fault-injection run. Threaded
+/// through SimParams; (seed, plan, config) fully determines every
+/// injected fault.
+struct FaultPlan {
+  bool enabled = false;
+  /// Seed of every fault stream (cell maps and write draws). Independent
+  /// of the workload/die seed so fault scenarios can be varied against a
+  /// fixed architecture instance.
+  std::uint64_t seed = 1;
+  SramFaultParams sram;
+  SttFaultParams stt;
+  EccParams ecc;
+};
+
+/// Throws std::logic_error (via RESPIN_REQUIRE) when the plan is
+/// malformed: probabilities outside [0, 1), non-positive sigma, a zero
+/// ECC word, or a negative voltage. Called by ClusterSim before any
+/// stream is seeded; exercised by the ASan+UBSan CI job.
+void validate(const FaultPlan& plan);
+
+/// P(one SRAM bit cell is stuck) at rail `vdd` for a cell population
+/// whose local Vth sits `vth_local - vth_mean` above the die mean.
+/// Gaussian tail: Phi((vccmin_eff - vdd) / sigma).
+double sram_bit_fail_probability(const SramFaultParams& params, double vdd,
+                                 double vth_local, double vth_mean);
+
+/// Analytic per-line outcome probabilities for the SRAM model — the
+/// closed form the seeded cell maps sample from, exposed for tests and
+/// the voltage-vs-capacity experiment.
+struct LineOutcomeProbs {
+  double p_clean = 1.0;        ///< No faulty cell in the line.
+  double p_correctable = 0.0;  ///< Usable, but some word needs SECDED.
+  double p_disabled = 0.0;     ///< Some word exceeds SECDED.
+};
+LineOutcomeProbs sram_line_outcome_probs(const SramFaultParams& params,
+                                         const EccParams& ecc, double vdd,
+                                         double vth_local, double vth_mean,
+                                         std::uint32_t line_bytes);
+
+/// Everything the injector counts, surfaced through respin::obs as
+/// "fault.*" counters and carried in SimResult.
+struct FaultStats {
+  // Static SRAM cell-map census (filled when maps are built).
+  std::uint64_t sram_lines_mapped = 0;       ///< Lines classified.
+  std::uint64_t sram_lines_correctable = 0;  ///< Injected, ECC-covered.
+  std::uint64_t sram_lines_disabled = 0;     ///< Injected, beyond ECC.
+  // Dynamic events.
+  std::uint64_t ecc_corrections = 0;     ///< Accesses corrected by SECDED.
+  std::uint64_t stt_write_faults = 0;    ///< Writes needing >= 1 retry.
+  std::uint64_t stt_write_retries = 0;   ///< Total retry attempts.
+  std::uint64_t stt_lines_disabled = 0;  ///< Retry budget exhausted.
+};
+
+/// Seeded fault source for one simulation. A plain value type: copying a
+/// ClusterSim (the oracle's snapshot/replay machinery) copies the injector
+/// mid-stream and both copies replay identically.
+class FaultInjector {
+ public:
+  /// `vth_mean` is the die-mean threshold voltage the Vth coupling is
+  /// relative to (tech::TechnologyParams::vth_mean). Validates the plan.
+  FaultInjector(const FaultPlan& plan, double vth_mean);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Builds the static cell map for one SRAM array: one LineFault class
+  /// per (set, way) in way-major set order, drawn from the stream named
+  /// `array_name` so every array gets an independent, reproducible map.
+  /// `vth_local` is the worst Vth over the cores the array serves.
+  /// Accumulates the map census into stats().
+  std::vector<std::uint8_t> sram_line_map(std::string_view array_name,
+                                          std::uint32_t set_count,
+                                          std::uint32_t ways,
+                                          std::uint32_t line_bytes,
+                                          double vdd, double vth_local);
+
+  /// Draws the retry count for one STT-RAM write: 0 means the first
+  /// attempt succeeded. At most plan().stt.max_write_retries; when even
+  /// the last retry fails, `*exhausted` is set and the caller disables
+  /// the line. Counts faults/retries into stats().
+  std::uint32_t draw_write_retries(bool* exhausted);
+
+  /// Records one SECDED correction performed by the owner.
+  void note_correction() { ++stats_.ecc_corrections; }
+  /// Records one line disabled after write-retry exhaustion.
+  void note_line_disabled() { ++stats_.stt_lines_disabled; }
+
+  const FaultStats& stats() const { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  double vth_mean_ = 0.0;
+  util::Rng write_rng_;
+  FaultStats stats_;
+};
+
+}  // namespace respin::fault

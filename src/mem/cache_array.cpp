@@ -46,10 +46,18 @@ void CacheArray::touch(std::uint32_t set, Way& way) {
   way.lru = ++lru_tick_[set];
 }
 
-std::optional<Mesi> CacheArray::access(LineAddr line) {
+std::optional<Mesi> CacheArray::access(LineAddr line, bool* corrected) {
+  if (corrected != nullptr) *corrected = false;
   if (Way* way = find(line)) {
     touch(set_index(line), *way);
     ++stats_.hits;
+    if (!fault_.empty()) {
+      const auto idx = static_cast<std::size_t>(way - ways_storage_.data());
+      if (fault_[idx] == static_cast<std::uint8_t>(fault::LineFault::kCorrectable)) {
+        ++stats_.ecc_corrections;
+        if (corrected != nullptr) *corrected = true;
+      }
+    }
     return way->state;
   }
   ++stats_.misses;
@@ -75,16 +83,23 @@ std::optional<Eviction> CacheArray::insert(LineAddr line, Mesi state) {
   RESPIN_REQUIRE(state != Mesi::kInvalid, "cannot insert an invalid line");
   RESPIN_REQUIRE(find(line) == nullptr, "line already present");
   const std::uint32_t set = set_index(line);
-  Way* base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
+  const std::size_t set_base = static_cast<std::size_t>(set) * ways_;
+  Way* base = &ways_storage_[set_base];
 
   Way* victim = nullptr;
   for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (way_disabled(set_base + w)) continue;
     if (base[w].state == Mesi::kInvalid) {
       victim = &base[w];
       break;
     }
     if (victim == nullptr || base[w].lru < victim->lru) victim = &base[w];
   }
+  // Every way of the set is disabled: the line cannot be cached. The
+  // caller sees "no eviction" and simply misses again next time —
+  // accesses bypass the dead set (callers that must know consult
+  // can_insert() first).
+  if (victim == nullptr) return std::nullopt;
 
   std::optional<Eviction> evicted;
   if (victim->state != Mesi::kInvalid) {
@@ -121,6 +136,56 @@ std::uint64_t CacheArray::resident_lines() const {
   std::uint64_t count = 0;
   for (const Way& way : ways_storage_) {
     if (way.state != Mesi::kInvalid) ++count;
+  }
+  return count;
+}
+
+void CacheArray::apply_fault_map(const std::vector<std::uint8_t>& map) {
+  RESPIN_REQUIRE(map.size() == ways_storage_.size(),
+                 "fault map must cover every way of the array");
+  fault_ = map;
+  for (std::size_t i = 0; i < fault_.size(); ++i) {
+    if (way_disabled(i)) ways_storage_[i].state = Mesi::kInvalid;
+  }
+}
+
+bool CacheArray::can_insert(LineAddr line) const {
+  if (fault_.empty()) return true;
+  const std::size_t set_base =
+      static_cast<std::size_t>(set_index(line)) * ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (!way_disabled(set_base + w)) return true;
+  }
+  return false;
+}
+
+bool CacheArray::disable_line(LineAddr line) {
+  Way* way = find(line);
+  if (way == nullptr) return false;
+  if (fault_.empty()) {
+    fault_.assign(ways_storage_.size(),
+                  static_cast<std::uint8_t>(fault::LineFault::kNone));
+  }
+  const auto idx = static_cast<std::size_t>(way - ways_storage_.data());
+  fault_[idx] = static_cast<std::uint8_t>(fault::LineFault::kDisabled);
+  way->state = Mesi::kInvalid;
+  return true;
+}
+
+std::uint64_t CacheArray::disabled_ways() const {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < fault_.size(); ++i) {
+    if (way_disabled(i)) ++count;
+  }
+  return count;
+}
+
+std::uint64_t CacheArray::correctable_ways() const {
+  std::uint64_t count = 0;
+  for (const std::uint8_t f : fault_) {
+    if (f == static_cast<std::uint8_t>(fault::LineFault::kCorrectable)) {
+      ++count;
+    }
   }
   return count;
 }

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "mem/cache_types.hpp"
 
 namespace respin::mem {
@@ -27,6 +28,7 @@ struct CacheArrayStats {
   std::uint64_t evictions = 0;
   std::uint64_t writebacks = 0;
   std::uint64_t invalidations = 0;
+  std::uint64_t ecc_corrections = 0;  ///< Hits on SECDED-corrected ways.
 };
 
 class CacheArray {
@@ -43,8 +45,11 @@ class CacheArray {
   }
 
   /// Looks up a line. On hit, promotes it to MRU and returns its state;
-  /// counts a hit. On miss, counts a miss and returns nullopt.
-  std::optional<Mesi> access(LineAddr line);
+  /// counts a hit. On miss, counts a miss and returns nullopt. When
+  /// `corrected` is non-null it reports whether the hit landed on a way
+  /// the fault map marked SECDED-correctable (the owner charges the
+  /// correction latency/energy); such hits also count ecc_corrections.
+  std::optional<Mesi> access(LineAddr line, bool* corrected = nullptr);
 
   /// Looks up without touching LRU or counters (for coherence probes).
   std::optional<Mesi> probe(LineAddr line) const;
@@ -68,6 +73,36 @@ class CacheArray {
   /// Number of valid lines currently resident (O(capacity); tests only).
   std::uint64_t resident_lines() const;
 
+  // ---- Fault injection (respin::fault) ----------------------------------
+  // The map assigns each (set, way) a fault::LineFault class. Disabled
+  // ways never hold a line again (insert skips them; a set whose ways are
+  // all disabled rejects inserts entirely, so its lines bypass the cache);
+  // correctable ways hit normally but report the correction. With no map
+  // applied every path below is inert and behaviour is bit-identical to
+  // the fault-free array.
+
+  /// Applies a static cell-fault map (one byte per way, set-major, values
+  /// from fault::LineFault). Must cover every way; resident lines on
+  /// disabled ways are dropped silently (maps are applied at reset).
+  void apply_fault_map(const std::vector<std::uint8_t>& map);
+
+  /// Whether `line`'s set has at least one usable (non-disabled) way.
+  bool can_insert(LineAddr line) const;
+
+  /// Permanently disables the way currently holding `line` (write-retry
+  /// exhaustion); the line is dropped. Returns false when absent.
+  bool disable_line(LineAddr line);
+
+  /// Ways disabled by the fault map or disable_line().
+  std::uint64_t disabled_ways() const;
+  /// Ways operating under per-access SECDED correction.
+  std::uint64_t correctable_ways() const;
+  /// Capacity excluding disabled ways — the "effective capacity" the
+  /// voltage sweep experiment reports.
+  std::uint64_t usable_capacity_bytes() const {
+    return capacity_bytes() - disabled_ways() * line_bytes_;
+  }
+
   const CacheArrayStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CacheArrayStats{}; }
 
@@ -82,12 +117,20 @@ class CacheArray {
   Way* find(LineAddr line);
   const Way* find(LineAddr line) const;
   void touch(std::uint32_t set, Way& way);
+  bool way_disabled(std::size_t way_index) const {
+    return !fault_.empty() &&
+           fault_[way_index] ==
+               static_cast<std::uint8_t>(fault::LineFault::kDisabled);
+  }
 
   std::uint32_t line_bytes_;
   std::uint32_t ways_;
   std::uint32_t set_count_;
   std::vector<Way> ways_storage_;       // set_count_ * ways_.
   std::vector<std::uint32_t> lru_tick_; // per-set monotonic counter.
+  /// Per-way fault::LineFault classes; empty (the default) means
+  /// fault-free and keeps every access on the original path.
+  std::vector<std::uint8_t> fault_;
   CacheArrayStats stats_;
 };
 

@@ -22,57 +22,124 @@ PrivateL1System::PrivateL1System(const PrivateL1Params& params)
 
 PrivateAccessResult PrivateL1System::access(std::uint32_t core, Addr addr,
                                             AccessType type,
-                                            Backside& backside) {
+                                            Backside& backside,
+                                            fault::FaultInjector* faults) {
   RESPIN_REQUIRE(core < params_.core_count, "core id out of range");
   switch (type) {
     case AccessType::kIfetch:
-      return access_ifetch(core, addr, backside);
+      return access_ifetch(core, addr, backside, faults);
     case AccessType::kLoad:
-      return access_data(core, addr, /*store=*/false, backside);
+      return access_data(core, addr, /*store=*/false, backside, faults);
     case AccessType::kStore:
-      return access_data(core, addr, /*store=*/true, backside);
+      return access_data(core, addr, /*store=*/true, backside, faults);
   }
   return {};
 }
 
-PrivateAccessResult PrivateL1System::access_ifetch(std::uint32_t core,
-                                                   Addr addr,
-                                                   Backside& backside) {
+void PrivateL1System::apply_sram_fault_maps(
+    fault::FaultInjector& injector, double vdd,
+    const std::vector<double>& core_vth) {
+  for (std::uint32_t c = 0; c < params_.core_count; ++c) {
+    // Each array gets its own named RNG stream so the map is independent
+    // of neighbouring arrays and of construction order.
+    const double vth = c < core_vth.size() ? core_vth[c] : 0.0;
+    const std::string tag = ".core" + std::to_string(c);
+    l1i_[c].apply_fault_map(
+        injector.sram_line_map("pl1i" + tag, l1i_[c].set_count(),
+                               l1i_[c].ways(), params_.line_bytes, vdd, vth));
+    l1d_[c].apply_fault_map(
+        injector.sram_line_map("pl1d" + tag, l1d_[c].set_count(),
+                               l1d_[c].ways(), params_.line_bytes, vdd, vth));
+  }
+}
+
+void PrivateL1System::configure_faults(std::uint32_t ecc_correction_cycles,
+                                       bool stt_write_faults,
+                                       std::uint32_t retry_cycles) {
+  ecc_correction_cycles_ = ecc_correction_cycles;
+  stt_write_faults_ = stt_write_faults;
+  stt_retry_cycles_ = retry_cycles;
+}
+
+std::uint32_t PrivateL1System::draw_write(fault::FaultInjector* faults,
+                                          bool* exhausted) {
+  *exhausted = false;
+  if (!stt_write_faults_ || faults == nullptr) return 0;
+  const std::uint32_t retries = faults->draw_write_retries(exhausted);
+  l1_writes_ += retries;  // Every retry pulses the data array again.
+  return retries * stt_retry_cycles_;
+}
+
+PrivateAccessResult PrivateL1System::access_ifetch(
+    std::uint32_t core, Addr addr, Backside& backside,
+    fault::FaultInjector* faults) {
   ++l1_reads_;
   const LineAddr line = line_of(addr, params_.line_bytes);
-  if (l1i_[core].access(line).has_value()) {
+  bool corrected = false;
+  if (l1i_[core].access(line, &corrected).has_value()) {
+    if (corrected && faults != nullptr) {
+      faults->note_correction();
+      ++l1_reads_;  // Re-read after the syndrome fix.
+      return {.l1_hit = true, .extra_cycles = ecc_correction_cycles_};
+    }
     return {.l1_hit = true, .extra_cycles = 0};
   }
   const FillResult fill = backside.fill(addr);
-  ++l1_writes_;  // Line fill writes the L1I data array.
-  if (auto evicted = l1i_[core].insert(line, Mesi::kShared)) {
-    (void)evicted;  // Instruction lines are never dirty.
+  std::uint32_t extra = 0;
+  if (l1i_[core].can_insert(line)) {
+    ++l1_writes_;  // Line fill writes the L1I data array.
+    bool exhausted = false;
+    extra = draw_write(faults, &exhausted);
+    // A fill whose write retries exhaust is dropped: the clean copy still
+    // lives in the L2, so the fetch just misses again next time.
+    if (!exhausted) {
+      if (auto evicted = l1i_[core].insert(line, Mesi::kShared)) {
+        (void)evicted;  // Instruction lines are never dirty.
+      }
+    }
   }
-  return {.l1_hit = false, .extra_cycles = fill.latency_cycles};
+  return {.l1_hit = false, .extra_cycles = fill.latency_cycles + extra};
 }
 
 PrivateAccessResult PrivateL1System::access_data(std::uint32_t core, Addr addr,
                                                  bool store,
-                                                 Backside& backside) {
+                                                 Backside& backside,
+                                                 fault::FaultInjector* faults) {
   store ? ++l1_writes_ : ++l1_reads_;
   const LineAddr line = line_of(addr, params_.line_bytes);
   CacheArray& cache = l1d_[core];
   const std::uint32_t my_bit = 1u << core;
 
-  if (auto state = cache.access(line)) {
-    if (!store) return {.l1_hit = true, .extra_cycles = 0};
+  bool corrected = false;
+  if (auto state = cache.access(line, &corrected)) {
+    std::uint32_t ecc_extra = 0;
+    if (corrected && faults != nullptr) {
+      faults->note_correction();
+      ++l1_reads_;  // Re-read after the syndrome fix.
+      ecc_extra = ecc_correction_cycles_;
+    }
+    if (!store) return {.l1_hit = true, .extra_cycles = ecc_extra};
     if (can_write(*state)) {
       cache.set_state(line, Mesi::kModified);
       auto it = directory_.find(line);
       if (it != directory_.end()) it->second.dirty = true;
-      return {.l1_hit = true, .extra_cycles = 0};
+      bool exhausted = false;
+      const std::uint32_t retry_extra = draw_write(faults, &exhausted);
+      if (exhausted) {
+        // Repeated write failure on a resident cell: retire the way and
+        // write the store's data through to the backside instead.
+        cache.disable_line(line);
+        faults->note_line_disabled();
+        evict_data_line(core, line, /*dirty=*/true, backside);
+      }
+      return {.l1_hit = true, .extra_cycles = ecc_extra + retry_extra};
     }
     // Write hit on a Shared copy: upgrade through the directory, killing
     // every peer copy. This round trip is the coherence cost the shared-L1
     // design eliminates.
     ++coherence_.upgrades;
     ++coherence_.directory_lookups;
-    std::uint32_t stall = params_.invalidation_cycles;
+    std::uint32_t stall = params_.invalidation_cycles + ecc_extra;
     auto it = directory_.find(line);
     RESPIN_REQUIRE(it != directory_.end(), "shared line missing from directory");
     std::uint32_t peers = it->second.sharers & ~my_bit;
@@ -85,6 +152,13 @@ PrivateAccessResult PrivateL1System::access_data(std::uint32_t core, Addr addr,
     it->second.sharers = my_bit;
     it->second.dirty = true;
     cache.set_state(line, Mesi::kModified);
+    bool exhausted = false;
+    stall += draw_write(faults, &exhausted);
+    if (exhausted) {
+      cache.disable_line(line);
+      faults->note_line_disabled();
+      evict_data_line(core, line, /*dirty=*/true, backside);
+    }
     return {.l1_hit = true, .extra_cycles = stall};
   }
 
@@ -155,7 +229,22 @@ PrivateAccessResult PrivateL1System::access_data(std::uint32_t core, Addr addr,
     entry.dirty = store;
   }
 
+  if (!cache.can_insert(line)) {
+    // Every way of the target set is disabled: the line bypasses the L1.
+    // Undo the directory membership recorded above (we hold no copy) and
+    // write a store's data straight through.
+    evict_data_line(core, line, /*dirty=*/store, backside);
+    return {.l1_hit = false, .extra_cycles = stall};
+  }
   ++l1_writes_;  // Line fill writes the L1D data array.
+  bool exhausted = false;
+  stall += draw_write(faults, &exhausted);
+  if (exhausted) {
+    // The allocate-fill's write retries exhausted: drop the fill. A store
+    // miss writes its data through; a clean load copy still lives in L2.
+    evict_data_line(core, line, /*dirty=*/store, backside);
+    return {.l1_hit = false, .extra_cycles = stall};
+  }
   const Mesi install = store ? Mesi::kModified
                        : ((directory_[line].sharers & ~my_bit) != 0)
                            ? Mesi::kShared

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "mem/backside.hpp"
 #include "mem/cache_array.hpp"
 #include "mem/cache_types.hpp"
@@ -61,8 +62,25 @@ class PrivateL1System {
 
   /// Performs one access by `core`. Drives MESI state transitions, the
   /// directory, and the backside; returns the stall beyond the L1 pipeline.
+  /// `faults` (optional, non-owning — passed per call for the same
+  /// copyability reason as the backside) supplies ECC-correction
+  /// accounting and, when STT write faults are armed, the per-write retry
+  /// draws; see docs/faults.md for the charging rules.
   PrivateAccessResult access(std::uint32_t core, Addr addr, AccessType type,
-                             Backside& backside);
+                             Backside& backside,
+                             fault::FaultInjector* faults = nullptr);
+
+  /// Applies per-array SRAM cell-fault maps from `injector` (stream names
+  /// "pl1i.core<i>" / "pl1d.core<i>"); `core_vth[i]` modulates core i's
+  /// region. Called once, before simulation starts.
+  void apply_sram_fault_maps(fault::FaultInjector& injector, double vdd,
+                             const std::vector<double>& core_vth);
+
+  /// Arms the dynamic fault paths: ECC correction latency on hits to
+  /// mapped-correctable lines, and (for STT arrays) per-write retry draws
+  /// with `retry_cycles` charged per failed pulse.
+  void configure_faults(std::uint32_t ecc_correction_cycles,
+                        bool stt_write_faults, std::uint32_t retry_cycles);
 
   /// Flushes a core's L1s (power gating during consolidation in the
   /// private-cache configuration — this is exactly the "cold cache" cost
@@ -90,11 +108,17 @@ class PrivateL1System {
   };
 
   PrivateAccessResult access_data(std::uint32_t core, Addr addr, bool store,
-                                  Backside& backside);
+                                  Backside& backside,
+                                  fault::FaultInjector* faults);
   PrivateAccessResult access_ifetch(std::uint32_t core, Addr addr,
-                                    Backside& backside);
+                                    Backside& backside,
+                                    fault::FaultInjector* faults);
   void evict_data_line(std::uint32_t core, LineAddr line, bool dirty,
                        Backside& backside);
+  /// Draws the retry count for one array write (no-op unless STT write
+  /// faults are armed). Returns the extra stall cycles; each retry is also
+  /// charged as another l1_write for energy.
+  std::uint32_t draw_write(fault::FaultInjector* faults, bool* exhausted);
 
   PrivateL1Params params_;
   std::vector<CacheArray> l1i_;
@@ -103,6 +127,10 @@ class PrivateL1System {
   CoherenceStats coherence_;
   std::uint64_t l1_reads_ = 0;
   std::uint64_t l1_writes_ = 0;
+  // Fault knobs (plain values so the system stays default-copyable).
+  std::uint32_t ecc_correction_cycles_ = 0;
+  bool stt_write_faults_ = false;
+  std::uint32_t stt_retry_cycles_ = 0;
 };
 
 }  // namespace respin::mem

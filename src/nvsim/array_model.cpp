@@ -121,4 +121,11 @@ std::string describe(const ArrayConfig& config) {
   return os.str();
 }
 
+std::uint32_t secded_check_bits(std::uint32_t data_bits) {
+  RESPIN_REQUIRE(data_bits > 0, "SECDED word must hold at least one bit");
+  std::uint32_t r = 0;
+  while ((1ull << r) < std::uint64_t{data_bits} + r + 1) ++r;
+  return r + 1;  // + overall parity for double-error detection.
+}
+
 }  // namespace respin::nvsim

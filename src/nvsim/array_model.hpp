@@ -91,4 +91,10 @@ ArrayFigures evaluate(const ArrayConfig& config,
 /// Convenience: a one-line summary of a configuration ("SRAM 256KB @1.00V").
 std::string describe(const ArrayConfig& config);
 
+/// SECDED (Hamming + overall parity) check bits protecting `data_bits`:
+/// the smallest r with 2^r >= data_bits + r + 1, plus one. 8 for a 64-bit
+/// word. The fault model counts these cells in its per-word failure math
+/// (a stuck check bit consumes correction capability like a data bit).
+std::uint32_t secded_check_bits(std::uint32_t data_bits);
+
 }  // namespace respin::nvsim

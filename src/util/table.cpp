@@ -67,6 +67,12 @@ std::string percent(double ratio, int places) {
   return buffer;
 }
 
+std::string scientific(double value, int places) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*e", places, value);
+  return buffer;
+}
+
 std::string ascii_bar(double value, double maximum, int width) {
   if (maximum <= 0.0 || value <= 0.0 || width <= 0) return "";
   const int n = static_cast<int>(

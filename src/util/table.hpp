@@ -37,6 +37,9 @@ std::string fixed(double value, int places);
 /// Formats a ratio as a signed percentage, e.g. -0.112 -> "-11.2%".
 std::string percent(double ratio, int places = 1);
 
+/// Formats "1.2e-07" scientific-notation values (tail probabilities).
+std::string scientific(double value, int places = 1);
+
 /// Renders a horizontal ASCII bar of length proportional to value/maximum.
 std::string ascii_bar(double value, double maximum, int width = 40);
 

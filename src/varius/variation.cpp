@@ -150,4 +150,17 @@ std::vector<int> cluster_multipliers(const VariationMap& map,
   return multipliers;
 }
 
+std::vector<double> cluster_vths(const VariationMap& map,
+                                 std::uint32_t first_core,
+                                 std::uint32_t count) {
+  RESPIN_REQUIRE(first_core + count <= map.core_count(),
+                 "cluster core range exceeds die");
+  std::vector<double> vths;
+  vths.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    vths.push_back(map.core_vth(first_core + i));
+  }
+  return vths;
+}
+
 }  // namespace respin::varius

@@ -71,4 +71,11 @@ std::vector<int> cluster_multipliers(const VariationMap& map,
                                      std::uint32_t first_core,
                                      std::uint32_t count);
 
+/// Per-core worst-case Vth for one cluster, in core-id order — the hook
+/// the fault model uses to modulate SRAM Vccmin by die position (a slow,
+/// high-Vth region loses static noise margin first).
+std::vector<double> cluster_vths(const VariationMap& map,
+                                 std::uint32_t first_core,
+                                 std::uint32_t count);
+
 }  // namespace respin::varius

@@ -258,8 +258,9 @@ TEST(ClusterSim, DescribeStateListsEveryCoreAndThread) {
   sim.run();
   const std::string state = sim.describe_state();
   for (int i = 0; i < 16; ++i) {
-    EXPECT_NE(state.find("v" + std::to_string(i) + " "), std::string::npos);
-    EXPECT_NE(state.find("p" + std::to_string(i) + " "), std::string::npos);
+    const std::string id = std::to_string(i) + " ";
+    EXPECT_NE(state.find("v" + id), std::string::npos);
+    EXPECT_NE(state.find("p" + id), std::string::npos);
   }
   EXPECT_NE(state.find("finished=16/16"), std::string::npos);
 }

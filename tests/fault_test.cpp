@@ -1,0 +1,422 @@
+// Tests for respin::fault: model math, plan validation, injection
+// mechanics in CacheArray/ClusterSim, and the determinism contract
+// (same (seed, plan, config) => same result, independent of host threads
+// and of the event-driven clock; fault-free stays bit-identical).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "exec/parallel.hpp"
+#include "fault/fault.hpp"
+#include "mem/cache_array.hpp"
+#include "nvsim/array_model.hpp"
+#include "sim_result_eq.hpp"
+
+namespace respin {
+namespace {
+
+using core::ConfigId;
+using core::RunOptions;
+using core::SimResult;
+
+fault::FaultPlan enabled_plan() {
+  fault::FaultPlan plan;
+  plan.enabled = true;
+  return plan;
+}
+
+RunOptions short_options() {
+  RunOptions options;
+  options.workload_scale = 0.05;
+  options.seed = 1;
+  return options;
+}
+
+// ---- FaultModel --------------------------------------------------------
+
+TEST(FaultModel, BitFailureRisesAsRailDrops) {
+  const fault::SramFaultParams params;  // Defaults: 0.35 V mean, 50 mV sigma.
+  const double safe = fault::sram_bit_fail_probability(params, 0.65, 0.3, 0.3);
+  const double low = fault::sram_bit_fail_probability(params, 0.40, 0.3, 0.3);
+  EXPECT_LT(safe, 1e-6);  // 6-sigma margin at the paper's safe SRAM rail.
+  EXPECT_GT(low, 0.1);    // Catastrophic at the 0.4 V core rail.
+  double previous = 1.0;
+  for (double vdd = 0.30; vdd <= 0.71; vdd += 0.05) {
+    const double p = fault::sram_bit_fail_probability(params, vdd, 0.3, 0.3);
+    EXPECT_LE(p, previous) << "not monotone at " << vdd;
+    previous = p;
+  }
+}
+
+TEST(FaultModel, HighVthCellsLoseMarginFirst) {
+  const fault::SramFaultParams params;
+  const double nominal =
+      fault::sram_bit_fail_probability(params, 0.5, 0.30, 0.30);
+  const double slow = fault::sram_bit_fail_probability(params, 0.5, 0.35, 0.30);
+  const double fast = fault::sram_bit_fail_probability(params, 0.5, 0.25, 0.30);
+  EXPECT_GT(slow, nominal);
+  EXPECT_LT(fast, nominal);
+}
+
+TEST(FaultModel, VddOverrideReplacesTheRail) {
+  fault::SramFaultParams params;
+  const double at_low =
+      fault::sram_bit_fail_probability(params, 0.42, 0.3, 0.3);
+  params.vdd_override = 0.42;
+  const double overridden =
+      fault::sram_bit_fail_probability(params, 1.0, 0.3, 0.3);
+  EXPECT_EQ(overridden, at_low);
+}
+
+TEST(FaultModel, LineOutcomeProbsFormADistribution) {
+  const fault::SramFaultParams params;
+  const fault::EccParams ecc;
+  double previous_clean = 0.0;
+  for (double vdd = 0.30; vdd <= 0.71; vdd += 0.01) {
+    const fault::LineOutcomeProbs probs =
+        fault::sram_line_outcome_probs(params, ecc, vdd, 0.3, 0.3, 32);
+    EXPECT_NEAR(probs.p_clean + probs.p_correctable + probs.p_disabled, 1.0,
+                1e-12);
+    EXPECT_GE(probs.p_clean, previous_clean) << "capacity not monotone";
+    previous_clean = probs.p_clean;
+  }
+  const fault::LineOutcomeProbs safe =
+      fault::sram_line_outcome_probs(params, ecc, 0.65, 0.3, 0.3, 32);
+  EXPECT_GT(safe.p_clean, 0.999);
+  const fault::LineOutcomeProbs dead =
+      fault::sram_line_outcome_probs(params, ecc, 0.40, 0.3, 0.3, 32);
+  EXPECT_GT(dead.p_disabled, 0.999);
+}
+
+TEST(FaultModel, SecdedCheckBitsMatchHammingBound) {
+  EXPECT_EQ(nvsim::secded_check_bits(1), 3u);
+  EXPECT_EQ(nvsim::secded_check_bits(8), 5u);
+  EXPECT_EQ(nvsim::secded_check_bits(16), 6u);
+  EXPECT_EQ(nvsim::secded_check_bits(32), 7u);
+  EXPECT_EQ(nvsim::secded_check_bits(64), 8u);
+}
+
+// ---- FaultPlanValidation ----------------------------------------------
+
+TEST(FaultPlanValidation, RejectsMalformedPlans) {
+  fault::FaultPlan plan = enabled_plan();
+  plan.sram.vccmin_sigma = 0.0;
+  EXPECT_THROW(fault::validate(plan), std::logic_error);
+
+  plan = enabled_plan();
+  plan.sram.vccmin_mean = -0.1;
+  EXPECT_THROW(fault::validate(plan), std::logic_error);
+
+  plan = enabled_plan();
+  plan.sram.vth_coupling = -1.0;
+  EXPECT_THROW(fault::validate(plan), std::logic_error);
+
+  plan = enabled_plan();
+  plan.sram.vdd_override = -0.4;
+  EXPECT_THROW(fault::validate(plan), std::logic_error);
+
+  plan = enabled_plan();
+  plan.stt.write_fail_prob = 1.0;
+  EXPECT_THROW(fault::validate(plan), std::logic_error);
+
+  plan = enabled_plan();
+  plan.ecc.word_bits = 0;
+  EXPECT_THROW(fault::validate(plan), std::logic_error);
+}
+
+TEST(FaultPlanValidation, InjectorConstructionValidates) {
+  fault::FaultPlan plan = enabled_plan();
+  plan.stt.write_fail_prob = -0.5;
+  EXPECT_THROW(fault::FaultInjector(plan, 0.3), std::logic_error);
+}
+
+TEST(FaultPlanValidation, LineMustHoldWholeEccWords) {
+  const fault::SramFaultParams params;
+  fault::EccParams ecc;
+  ecc.word_bits = 96;  // 32-byte line = 256 bits, not a multiple of 96.
+  EXPECT_THROW(
+      fault::sram_line_outcome_probs(params, ecc, 0.5, 0.3, 0.3, 32),
+      std::logic_error);
+}
+
+// ---- FaultInjection ----------------------------------------------------
+
+TEST(FaultInjection, SramMapCensusMatchesMapContents) {
+  fault::FaultPlan plan = enabled_plan();
+  // Put the rail ~3 sigma above Vccmin so all three classes appear.
+  plan.sram.vccmin_mean = 0.35;
+  fault::FaultInjector injector(plan, 0.30);
+  const std::vector<std::uint8_t> map =
+      injector.sram_line_map("census", 256, 4, 32, 0.50, 0.30);
+  ASSERT_EQ(map.size(), 256u * 4u);
+
+  std::uint64_t correctable = 0;
+  std::uint64_t disabled = 0;
+  for (std::uint8_t cell : map) {
+    if (cell == static_cast<std::uint8_t>(fault::LineFault::kCorrectable)) {
+      ++correctable;
+    } else if (cell == static_cast<std::uint8_t>(fault::LineFault::kDisabled)) {
+      ++disabled;
+    }
+  }
+  EXPECT_GT(correctable, 0u);
+  EXPECT_GT(disabled, 0u);
+  const fault::FaultStats& stats = injector.stats();
+  EXPECT_EQ(stats.sram_lines_mapped, map.size());
+  EXPECT_EQ(stats.sram_lines_correctable, correctable);
+  EXPECT_EQ(stats.sram_lines_disabled, disabled);
+}
+
+TEST(FaultInjection, MapsAreIndependentOfBuildOrder) {
+  const fault::FaultPlan plan = enabled_plan();
+  fault::FaultInjector first(plan, 0.30);
+  (void)first.sram_line_map("other", 64, 4, 32, 0.50, 0.30);
+  const auto map_after = first.sram_line_map("target", 64, 4, 32, 0.50, 0.30);
+
+  fault::FaultInjector second(plan, 0.30);
+  const auto map_alone = second.sram_line_map("target", 64, 4, 32, 0.50, 0.30);
+  EXPECT_EQ(map_after, map_alone);
+}
+
+TEST(FaultInjection, DisabledWaysRejectInserts) {
+  mem::CacheArray array(/*capacity_bytes=*/4 * 2 * 32, /*line_bytes=*/32,
+                        /*ways=*/2);
+  ASSERT_EQ(array.set_count(), 4u);
+  // Disable both ways of set 0; mark set 1's first way correctable.
+  std::vector<std::uint8_t> map(4 * 2, 0);
+  map[0] = map[1] = static_cast<std::uint8_t>(fault::LineFault::kDisabled);
+  map[2] = static_cast<std::uint8_t>(fault::LineFault::kCorrectable);
+  array.apply_fault_map(map);
+
+  EXPECT_FALSE(array.can_insert(/*line=*/0));  // Set 0 is dead.
+  EXPECT_FALSE(array.insert(0, mem::Mesi::kExclusive).has_value());
+  EXPECT_FALSE(array.probe(0).has_value());
+  EXPECT_TRUE(array.can_insert(/*line=*/1));
+
+  EXPECT_EQ(array.disabled_ways(), 2u);
+  EXPECT_EQ(array.correctable_ways(), 1u);
+  EXPECT_EQ(array.usable_capacity_bytes(), array.capacity_bytes() - 2 * 32);
+
+  // A hit on the correctable way reports the correction.
+  array.insert(1, mem::Mesi::kExclusive);
+  bool corrected = false;
+  EXPECT_TRUE(array.access(1, &corrected).has_value());
+  EXPECT_TRUE(corrected);
+  EXPECT_EQ(array.stats().ecc_corrections, 1u);
+}
+
+TEST(FaultInjection, DisableLineRetiresTheWay) {
+  mem::CacheArray array(4 * 2 * 32, 32, 2);
+  array.insert(0, mem::Mesi::kModified);
+  EXPECT_TRUE(array.disable_line(0));
+  EXPECT_FALSE(array.probe(0).has_value());
+  EXPECT_EQ(array.disabled_ways(), 1u);
+  // The set still has one live way.
+  EXPECT_TRUE(array.can_insert(0));
+  EXPECT_TRUE(array.insert(4, mem::Mesi::kExclusive) == std::nullopt);
+  EXPECT_TRUE(array.probe(4).has_value());
+  EXPECT_FALSE(array.disable_line(8));  // Absent line: nothing to disable.
+}
+
+TEST(FaultInjection, WriteRetriesRespectTheBudget) {
+  fault::FaultPlan plan = enabled_plan();
+  plan.stt.write_fail_prob = 0.5;
+  plan.stt.max_write_retries = 2;
+  fault::FaultInjector injector(plan, 0.30);
+
+  std::uint64_t total_retries = 0;
+  std::uint64_t faulted = 0;
+  std::uint64_t exhausted_count = 0;
+  for (int i = 0; i < 2000; ++i) {
+    bool exhausted = false;
+    const std::uint32_t retries = injector.draw_write_retries(&exhausted);
+    EXPECT_LE(retries, plan.stt.max_write_retries);
+    if (exhausted) {
+      ++exhausted_count;
+      EXPECT_EQ(retries, plan.stt.max_write_retries);
+    }
+    if (retries > 0 || exhausted) ++faulted;
+    total_retries += retries;
+  }
+  EXPECT_GT(exhausted_count, 0u);  // p=0.5^3 per write: ~250 expected.
+  const fault::FaultStats& stats = injector.stats();
+  EXPECT_EQ(stats.stt_write_faults, faulted);
+  EXPECT_EQ(stats.stt_write_retries, total_retries);
+  EXPECT_EQ(stats.stt_lines_disabled, 0u);  // Owner's notes, not the draw's.
+}
+
+TEST(FaultInjection, ZeroFailProbabilityNeverDraws) {
+  fault::FaultPlan plan = enabled_plan();
+  plan.stt.write_fail_prob = 0.0;
+  fault::FaultInjector injector(plan, 0.30);
+  for (int i = 0; i < 100; ++i) {
+    bool exhausted = true;
+    EXPECT_EQ(injector.draw_write_retries(&exhausted), 0u);
+    EXPECT_FALSE(exhausted);
+  }
+  EXPECT_EQ(injector.stats().stt_write_faults, 0u);
+}
+
+TEST(FaultInjection, SramVoltageSweepDegradesCapacity) {
+  RunOptions options = short_options();
+  options.faults = enabled_plan();
+  options.faults.sram.vdd_override = 0.42;
+  const SimResult low =
+      core::run_experiment(ConfigId::kPrSramNt, "fft", options);
+  ASSERT_TRUE(low.faults_enabled);
+  EXPECT_GT(low.faults.sram_lines_mapped, 0u);
+  EXPECT_GT(low.faults.sram_lines_disabled, 0u);
+  EXPECT_LT(low.fault_l1_usable_bytes, low.fault_l1_total_bytes);
+  EXPECT_GT(low.instructions, 0u);  // Degraded, but still completes.
+
+  // At the configuration's own 0.65 V rail the margin is 6 sigma: the map
+  // draws find nothing to inject.
+  options.faults.sram.vdd_override = 0.0;
+  const SimResult safe =
+      core::run_experiment(ConfigId::kPrSramNt, "fft", options);
+  ASSERT_TRUE(safe.faults_enabled);
+  EXPECT_GT(safe.faults.sram_lines_mapped, 0u);
+  EXPECT_EQ(safe.faults.sram_lines_disabled, 0u);
+  EXPECT_EQ(safe.fault_l1_usable_bytes, safe.fault_l1_total_bytes);
+}
+
+TEST(FaultInjection, SttWriteFaultsCostEnergyAndRetries) {
+  RunOptions options = short_options();
+  const SimResult clean =
+      core::run_experiment(ConfigId::kShStt, "radix", options);
+  options.faults = enabled_plan();
+  options.faults.stt.write_fail_prob = 0.01;
+  const SimResult faulty =
+      core::run_experiment(ConfigId::kShStt, "radix", options);
+  ASSERT_TRUE(faulty.faults_enabled);
+  EXPECT_GT(faulty.faults.stt_write_faults, 0u);
+  EXPECT_GT(faulty.faults.stt_write_retries, 0u);
+  // STT arrays get no static SRAM map.
+  EXPECT_EQ(faulty.faults.sram_lines_mapped, 0u);
+  // Retries pulse the array again: strictly more write energy.
+  EXPECT_GT(faulty.counts.l1_writes, clean.counts.l1_writes);
+}
+
+TEST(FaultInjection, PrivateSttPathDrawsWriteFaults) {
+  RunOptions options = short_options();
+  options.faults = enabled_plan();
+  options.faults.stt.write_fail_prob = 0.01;
+  const SimResult result =
+      core::run_experiment(ConfigId::kPrSttCc, "lu", options);
+  ASSERT_TRUE(result.faults_enabled);
+  EXPECT_GT(result.faults.stt_write_faults, 0u);
+  EXPECT_GT(result.instructions, 0u);
+}
+
+TEST(FaultInjection, MetricsAppearOnlyWhenFaultsRan) {
+  RunOptions options = short_options();
+  const SimResult clean =
+      core::run_experiment(ConfigId::kShStt, "fft", options);
+  const obs::CounterSet clean_metrics = core::metrics_of(clean);
+  EXPECT_EQ(clean_metrics.find("fault.sram_lines_mapped"), nullptr);
+  EXPECT_EQ(clean_metrics.find("fault.stt_write_faults"), nullptr);
+
+  options.faults = enabled_plan();
+  options.faults.stt.write_fail_prob = 0.01;
+  const SimResult faulty =
+      core::run_experiment(ConfigId::kShStt, "fft", options);
+  const obs::CounterSet metrics = core::metrics_of(faulty);
+  ASSERT_NE(metrics.find("fault.stt_write_faults"), nullptr);
+  EXPECT_EQ(*metrics.find("fault.stt_write_faults"),
+            static_cast<double>(faulty.faults.stt_write_faults));
+  ASSERT_NE(metrics.find("fault.l1_usable_bytes"), nullptr);
+}
+
+TEST(FaultInjection, DisabledPlanIsIdenticalToNoPlan) {
+  const RunOptions baseline = short_options();
+  RunOptions disarmed = short_options();
+  // Knobs set but enabled=false: no stream may be seeded, results must be
+  // bit-identical to a run that never heard of faults.
+  disarmed.faults.enabled = false;
+  disarmed.faults.stt.write_fail_prob = 0.5;
+  disarmed.faults.sram.vdd_override = 0.40;
+  const SimResult a = core::run_experiment(ConfigId::kShStt, "fft", baseline);
+  const SimResult b = core::run_experiment(ConfigId::kShStt, "fft", disarmed);
+  core::expect_same_result(a, b);
+  EXPECT_FALSE(b.faults_enabled);
+}
+
+// ---- FaultDeterminism --------------------------------------------------
+
+RunOptions stt_fault_options() {
+  RunOptions options = short_options();
+  options.faults = enabled_plan();
+  options.faults.stt.write_fail_prob = 0.01;
+  return options;
+}
+
+RunOptions sram_fault_options() {
+  RunOptions options = short_options();
+  options.faults = enabled_plan();
+  options.faults.sram.vdd_override = 0.45;
+  return options;
+}
+
+TEST(FaultDeterminism, SameSeedSamePlanSameResult) {
+  const RunOptions options = stt_fault_options();
+  const SimResult a = core::run_experiment(ConfigId::kShStt, "lu", options);
+  const SimResult b = core::run_experiment(ConfigId::kShStt, "lu", options);
+  core::expect_same_result(a, b);
+
+  const RunOptions sram = sram_fault_options();
+  const SimResult c = core::run_experiment(ConfigId::kPrSramNt, "lu", sram);
+  const SimResult d = core::run_experiment(ConfigId::kPrSramNt, "lu", sram);
+  core::expect_same_result(c, d);
+}
+
+TEST(FaultDeterminism, DifferentFaultSeedDiverges) {
+  RunOptions options = stt_fault_options();
+  const SimResult a = core::run_experiment(ConfigId::kShStt, "lu", options);
+  options.faults.seed = 99;
+  const SimResult b = core::run_experiment(ConfigId::kShStt, "lu", options);
+  // Same workload, different fault stream: the retry pattern must change.
+  EXPECT_NE(a.faults.stt_write_retries, b.faults.stt_write_retries);
+}
+
+TEST(FaultDeterminism, IndependentOfHostThreads) {
+  const RunOptions options = stt_fault_options();
+  const std::vector<ConfigId> configs = {ConfigId::kShStt,
+                                         ConfigId::kPrSramNt};
+  const std::vector<std::string> benchmarks = {"fft", "lu"};
+  exec::set_thread_count(1);
+  const auto serial = core::run_matrix(configs, benchmarks, options);
+  exec::set_thread_count(4);
+  const auto parallel = core::run_matrix(configs, benchmarks, options);
+  exec::set_thread_count(0);  // Back to auto for the rest of the binary.
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t c = 0; c < serial.size(); ++c) {
+    ASSERT_EQ(serial[c].size(), parallel[c].size());
+    for (std::size_t b = 0; b < serial[c].size(); ++b) {
+      core::expect_same_result(serial[c][b], parallel[c][b]);
+    }
+  }
+}
+
+TEST(FaultDeterminism, SkipEquivalenceHoldsUnderFaults) {
+  for (const ConfigId id : {ConfigId::kShStt, ConfigId::kPrSttCc}) {
+    RunOptions options = stt_fault_options();
+    const SimResult skip = core::run_experiment(id, "fft", options);
+    options.cycle_skip = false;
+    const SimResult step = core::run_experiment(id, "fft", options);
+    core::expect_same_result(skip, step);
+  }
+  RunOptions options = sram_fault_options();
+  const SimResult skip =
+      core::run_experiment(ConfigId::kPrSramNt, "fft", options);
+  options.cycle_skip = false;
+  const SimResult step =
+      core::run_experiment(ConfigId::kPrSramNt, "fft", options);
+  core::expect_same_result(skip, step);
+}
+
+}  // namespace
+}  // namespace respin

@@ -74,6 +74,19 @@ inline void expect_same_result(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.avg_active_cores, b.avg_active_cores);
   EXPECT_EQ(a.min_active_cores, b.min_active_cores);
   EXPECT_EQ(a.max_active_cores, b.max_active_cores);
+
+  EXPECT_EQ(a.faults_enabled, b.faults_enabled);
+  EXPECT_EQ(a.faults.sram_lines_mapped, b.faults.sram_lines_mapped);
+  EXPECT_EQ(a.faults.sram_lines_correctable, b.faults.sram_lines_correctable);
+  EXPECT_EQ(a.faults.sram_lines_disabled, b.faults.sram_lines_disabled);
+  EXPECT_EQ(a.faults.ecc_corrections, b.faults.ecc_corrections);
+  EXPECT_EQ(a.faults.stt_write_faults, b.faults.stt_write_faults);
+  EXPECT_EQ(a.faults.stt_write_retries, b.faults.stt_write_retries);
+  EXPECT_EQ(a.faults.stt_lines_disabled, b.faults.stt_lines_disabled);
+  EXPECT_EQ(a.fault_l1_disabled_ways, b.fault_l1_disabled_ways);
+  EXPECT_EQ(a.fault_l1_correctable_ways, b.fault_l1_correctable_ways);
+  EXPECT_EQ(a.fault_l1_usable_bytes, b.fault_l1_usable_bytes);
+  EXPECT_EQ(a.fault_l1_total_bytes, b.fault_l1_total_bytes);
 }
 
 }  // namespace respin::core

@@ -23,6 +23,14 @@
 //                        or RESPIN_THREADS); results do not depend on it
 //   --time               report wall-clock per run and aggregate sims/sec
 //   --no-skip            disable the event-driven clock (reference path)
+//   --faults             enable fault injection (see docs/faults.md)
+//   --fault-seed <n>     fault-stream seed (default: --seed value)
+//   --stt-wfail <p>      STT write-failure probability per attempt
+//   --stt-retries <n>    write-retry budget before a line is disabled
+//   --sram-vccmin <v>    mean SRAM bit-cell Vccmin, volts
+//   --sram-sigma <v>     per-cell Vccmin spread (sigma), volts
+//   --fault-vdd <v>      evaluate the SRAM model at this rail instead of
+//                        the configuration's cache Vdd (voltage sweeps)
 //   --csv <file>         write result rows as CSV
 //   --metrics <file>     write the full counter registry as CSV
 //                        (run,counter,value — see docs/observability.md)
@@ -78,6 +86,7 @@ int main(int argc, char** argv) {
   std::string jsonl_path;
   std::string consolidation_path;
   core::RunOptions options;
+  bool fault_seed_set = false;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -110,6 +119,23 @@ int main(int argc, char** argv) {
       report_time = true;
     } else if (std::strcmp(argv[i], "--no-skip") == 0) {
       options.cycle_skip = false;
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      options.faults.enabled = true;
+    } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
+      options.faults.seed = static_cast<std::uint64_t>(
+          std::strtoull(need_value("--fault-seed"), nullptr, 10));
+      fault_seed_set = true;
+    } else if (std::strcmp(argv[i], "--stt-wfail") == 0) {
+      options.faults.stt.write_fail_prob = std::atof(need_value("--stt-wfail"));
+    } else if (std::strcmp(argv[i], "--stt-retries") == 0) {
+      options.faults.stt.max_write_retries =
+          static_cast<std::uint32_t>(std::atoi(need_value("--stt-retries")));
+    } else if (std::strcmp(argv[i], "--sram-vccmin") == 0) {
+      options.faults.sram.vccmin_mean = std::atof(need_value("--sram-vccmin"));
+    } else if (std::strcmp(argv[i], "--sram-sigma") == 0) {
+      options.faults.sram.vccmin_sigma = std::atof(need_value("--sram-sigma"));
+    } else if (std::strcmp(argv[i], "--fault-vdd") == 0) {
+      options.faults.sram.vdd_override = std::atof(need_value("--fault-vdd"));
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv_path = need_value("--csv");
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -145,6 +171,11 @@ int main(int argc, char** argv) {
   }
 
   const core::ConfigId config = core::parse_config_id(config_name);
+  // The fault stream follows the die/workload seed unless pinned apart,
+  // so "--seed N --faults" varies both together by default.
+  if (options.faults.enabled && !fault_seed_set) {
+    options.faults.seed = options.seed;
+  }
 
   // Structured trace: one JSONL sink shared by the simulations (epoch and
   // run records) and the exec pool's timing probes.
@@ -228,6 +259,22 @@ int main(int argc, char** argv) {
                   core::summarize(run.result).c_str());
     } else {
       std::printf("%s\n", core::summarize(run.result).c_str());
+    }
+    if (run.result.faults_enabled) {
+      const auto& f = run.result.faults;
+      const auto u64 = [](std::uint64_t v) {
+        return static_cast<unsigned long long>(v);
+      };
+      std::printf(
+          "  faults: sram map %llu lines (%llu correctable, %llu disabled), "
+          "ecc corrections %llu\n"
+          "          stt write faults %llu (%llu retries, %llu lines "
+          "disabled), usable L1 %llu/%llu bytes\n",
+          u64(f.sram_lines_mapped), u64(f.sram_lines_correctable),
+          u64(f.sram_lines_disabled), u64(f.ecc_corrections),
+          u64(f.stt_write_faults), u64(f.stt_write_retries),
+          u64(f.stt_lines_disabled), u64(run.result.fault_l1_usable_bytes),
+          u64(run.result.fault_l1_total_bytes));
     }
     results.push_back(run.result);
   }
