@@ -26,6 +26,7 @@ struct ObsState {
   std::ofstream trace_os;
   std::unique_ptr<obs::JsonlWriter> trace;
   std::string metrics_path;
+  std::string json_path;
   std::vector<obs::MetricsRow> metric_rows;
   std::mutex mu;
 
@@ -82,8 +83,31 @@ ObsState& configured_obs_state() {
         state.metrics_path = path;
       }
     }
+    if (state.json_path.empty()) {
+      if (const char* path = std::getenv("RESPIN_BENCH_JSON");
+          path != nullptr && *path != '\0') {
+        state.json_path = path;
+      }
+    }
   });
   return obs_state();
+}
+
+// JSON string escaping for the few provenance strings we embed (compiler
+// version banners can contain quotes or backslashes on exotic toolchains).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -102,15 +126,61 @@ void init_obs(int argc, char** argv) {
       state.open_trace(need_value("--trace"));
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       state.metrics_path = need_value("--metrics");
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      state.json_path = need_value("--json");
     } else {
       std::fprintf(stderr,
                    "bench: unknown option %s (supported: --trace <file>, "
-                   "--metrics <file>)\n",
+                   "--metrics <file>, --json <file>)\n",
                    argv[i]);
       std::exit(2);
     }
   }
   configured_obs_state();
+}
+
+bool bench_json_enabled() { return !configured_obs_state().json_path.empty(); }
+
+void export_bench_json(const std::string& bench,
+                       const std::vector<JsonMetric>& metrics) {
+  ObsState& state = configured_obs_state();
+  if (state.json_path.empty()) return;
+  std::ofstream out(state.json_path);
+  if (!out) {
+    std::fprintf(stderr, "bench: cannot open json file %s\n",
+                 state.json_path.c_str());
+    std::exit(2);
+  }
+  char buf[64];
+  out << "{\n  \"schema\": 1,\n  \"bench\": \"" << json_escape(bench)
+      << "\",\n  \"toolchain\": {\n    \"compiler\": \""
+#if defined(__clang__)
+      << json_escape(__VERSION__)  // Clang's banner names itself.
+#else
+      << json_escape(std::string("gcc ") + __VERSION__)
+#endif
+      << "\",\n    \"cxx_standard\": "
+      << static_cast<long>(__cplusplus) << ",\n    \"build\": \""
+#ifdef NDEBUG
+      << "Release"
+#else
+      << "Debug"
+#endif
+      << "\",\n    \"obs_probes\": "
+      << (obs::kCompiledIn ? "true" : "false") << ",\n    \"sim_scale\": "
+      << util::sim_scale() << "\n  },\n  \"metrics\": {\n";
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const JsonMetric& m = metrics[i];
+    std::snprintf(buf, sizeof(buf), "%.10g", m.value);
+    out << "    \"" << json_escape(m.name) << "\": {\"value\": " << buf
+        << ", \"unit\": \"" << json_escape(m.unit) << "\", \"better\": \""
+        << json_escape(m.better) << "\", \"gate\": "
+        << (m.gate ? "true" : "false") << "}"
+        << (i + 1 < metrics.size() ? ",\n" : "\n");
+  }
+  out << "  }\n}\n";
+  std::fprintf(stderr, "bench: wrote %zu metrics to %s\n", metrics.size(),
+               state.json_path.c_str());
 }
 
 void export_metrics(const std::vector<core::SimResult>& results) {

@@ -34,6 +34,32 @@ void export_metrics(const core::SimResult& result);
 /// RESPIN_TRACE.
 core::RunOptions default_options();
 
+/// One machine-readable performance metric destined for a BENCH_*.json
+/// snapshot (the committed perf trajectory, compared by
+/// scripts/bench_compare.py).
+struct JsonMetric {
+  std::string name;   ///< Stable key, e.g. "serial_skip_sims_per_sec".
+  double value = 0.0;
+  std::string unit;   ///< Human label: "sims/s", "s", "ratio", ...
+  /// "higher" or "lower": which direction is an improvement. Empty means
+  /// purely informational (never compared).
+  std::string better;
+  /// Gated metrics fail scripts/bench_compare.py when they regress beyond
+  /// the noise band. Keep hardware-dependent absolutes ungated — CI
+  /// hardware differs from whoever committed the baseline — and gate
+  /// ratios (speedups, overheads), which track simulator behaviour.
+  bool gate = false;
+};
+
+/// Writes `metrics` plus toolchain provenance as JSON to the path given by
+/// `--json <path>` (or the RESPIN_BENCH_JSON environment variable); no-op
+/// when neither is set. `bench` names the producing binary.
+void export_bench_json(const std::string& bench,
+                       const std::vector<JsonMetric>& metrics);
+
+/// True when a --json / RESPIN_BENCH_JSON destination is configured.
+bool bench_json_enabled();
+
 /// Prints a standard experiment banner: which paper artifact this binary
 /// regenerates and the knobs in effect (including the host fan-out width).
 void print_banner(const std::string& artifact, const std::string& paper_claim,

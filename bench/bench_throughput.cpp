@@ -11,8 +11,10 @@
 // only the wall-clock differs. The trace mode doubles as the
 // observability-overhead guard: with no sink attached the probes must be
 // free, and with a sink attached the simulated work must be unchanged.
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -37,6 +39,7 @@ namespace {
 
 struct Mode {
   const char* name;
+  const char* key;  // JSON-safe metric prefix
   std::size_t threads;  // 0 = all host threads
   bool cycle_skip;
   bool traced;
@@ -62,10 +65,10 @@ int main(int argc, char** argv) {
   const std::size_t sims = configs.size() * benches.size();
 
   const Mode modes[] = {
-      {"serial/no-skip", 1, false, false},
-      {"serial/skip", 1, true, false},
-      {"parallel/skip", 0, true, false},
-      {"parallel/trace", 0, true, true},
+      {"serial/no-skip", "serial_noskip", 1, false, false},
+      {"serial/skip", "serial_skip", 1, true, false},
+      {"parallel/skip", "parallel_skip", 0, true, false},
+      {"parallel/trace", "parallel_trace", 0, true, true},
   };
 
   util::TextTable table("Host throughput (higher is better)");
@@ -79,6 +82,7 @@ int main(int argc, char** argv) {
 
   double reference_wall = 0.0;
   std::int64_t reference_cycles = -1;
+  std::vector<bench::JsonMetric> json;
   for (const Mode& mode : modes) {
     exec::set_thread_count(mode.threads);
     options.cycle_skip = mode.cycle_skip;
@@ -105,6 +109,21 @@ int main(int argc, char** argv) {
                    util::fixed(wall, 2),
                    util::fixed(static_cast<double>(sims) / wall, 2),
                    util::fixed(reference_wall / wall, 2)});
+    const std::string key = mode.key;
+    // Absolute rates are hardware-dependent (informational in CI, gated
+    // only by a local baseline run on the same machine); the speedup
+    // ratios below track simulator behaviour and are gated everywhere.
+    json.push_back({key + "_wall_seconds", wall, "s", "lower", false});
+    json.push_back({key + "_sims_per_sec", static_cast<double>(sims) / wall,
+                    "sims/s", "higher", false});
+    json.push_back({key + "_mcycles_per_sec",
+                    static_cast<double>(reference_cycles) / wall * 1e-6,
+                    "Mcycles/s", "higher", false});
+    // Parallel speedups scale with the host core count, so only the
+    // serial skip/no-skip ratio is comparable across machines.
+    json.push_back({key + "_speedup_vs_noskip", reference_wall / wall,
+                    "ratio", "higher",
+                    mode.cycle_skip && mode.threads == 1});
     if (mode.traced) obs::set_global_sink(untraced_sink);
   }
   exec::set_thread_count(0);
@@ -121,5 +140,36 @@ int main(int argc, char** argv) {
       static_cast<double>(reference_cycles) * 1e-9,
       respin::obs::kCompiledIn ? "compiled in" : "compiled out",
       static_cast<unsigned long long>(trace_counter.count()));
+  json.push_back({"total_gcycles",
+                  static_cast<double>(reference_cycles) * 1e-9, "Gcycles",
+                  "", false});
+
+  // Per-config breakdown on the default path (serial/skip): Table IV rows
+  // stress different subsystems (NT SRAM vs shared STT), so the trajectory
+  // records each config's simulated-cycles-per-host-second separately.
+  if (bench::bench_json_enabled()) {
+    exec::set_thread_count(1);
+    options.cycle_skip = true;
+    options.trace = untraced_sink;
+    for (const core::ConfigId config : configs) {
+      const auto start = std::chrono::steady_clock::now();
+      const auto row = core::run_matrix({config}, benches, options);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      std::int64_t cycles = 0;
+      for (const core::SimResult& r : row.front()) cycles += r.cycles;
+      std::string key = core::to_string(config);
+      for (char& c : key) c = c == '-' ? '_' : static_cast<char>(tolower(c));
+      json.push_back({"config_" + key + "_wall_seconds", wall, "s", "lower",
+                      false});
+      json.push_back({"config_" + key + "_mcycles_per_sec",
+                      static_cast<double>(cycles) / wall * 1e-6, "Mcycles/s",
+                      "higher", false});
+    }
+    exec::set_thread_count(0);
+  }
+  bench::export_bench_json("bench_throughput", json);
   return 0;
 }

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json perf snapshots against a committed baseline.
+
+Usage:
+  bench_compare.py BASELINE CURRENT [CURRENT2 ...] [--band 0.10] [--all]
+  bench_compare.py --merge-best OUT RUN1 [RUN2 ...]
+
+Compare mode takes one or more current runs of the same bench (CI runs the
+binary twice and passes both: per-metric best-of-N absorbs scheduler
+noise) and fails (exit 1) when a gated metric regresses beyond the noise
+band relative to the baseline value:
+
+  better=higher  fails when best_current < baseline * (1 - band)
+  better=lower   fails when best_current > baseline * (1 + band)
+
+Only metrics the baseline marks "gate": true are enforced — absolute
+rates (sims/sec, Msteps/sec) depend on the host and stay informational
+unless --all promotes every directional metric to a gate (useful locally,
+where the baseline was measured on the same machine).
+
+Merge mode writes a new snapshot whose metrics are the per-metric best of
+the input runs (scripts/update_bench_baseline.sh uses it to commit
+best-of-2 baselines).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != 1:
+        sys.exit(f"{path}: unsupported schema {data.get('schema')!r}")
+    return data
+
+
+def best(values, better):
+    return max(values) if better == "higher" else min(values)
+
+
+def merge_best(out_path, run_paths):
+    runs = [load(p) for p in run_paths]
+    merged = runs[0]
+    for name, metric in merged["metrics"].items():
+        values = []
+        for run in runs:
+            other = run["metrics"].get(name)
+            if other is not None:
+                values.append(other["value"])
+        if values and metric.get("better") in ("higher", "lower"):
+            metric["value"] = best(values, metric["better"])
+    with open(out_path, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"wrote best-of-{len(runs)} snapshot to {out_path}")
+
+
+def compare(baseline_path, current_paths, band, gate_all):
+    baseline = load(baseline_path)
+    currents = [load(p) for p in current_paths]
+    for current in currents:
+        if current["bench"] != baseline["bench"]:
+            sys.exit(
+                f"bench mismatch: baseline is {baseline['bench']!r}, "
+                f"current is {current['bench']!r}"
+            )
+
+    failures = []
+    print(f"{baseline['bench']}: current (best of {len(currents)}) vs "
+          f"baseline {baseline_path}, band {band:.0%}")
+    print(f"  {'metric':42s} {'baseline':>12s} {'current':>12s} "
+          f"{'delta':>8s}  status")
+    for name, metric in baseline["metrics"].items():
+        better = metric.get("better", "")
+        values = [
+            c["metrics"][name]["value"]
+            for c in currents
+            if name in c["metrics"]
+        ]
+        gated = metric.get("gate", False) or (gate_all and better)
+        if not values:
+            status = "MISSING" if gated else "missing (ungated)"
+            if gated:
+                failures.append(f"{name}: gated metric absent from current run")
+            print(f"  {name:42s} {metric['value']:12.4g} {'-':>12s} "
+                  f"{'-':>8s}  {status}")
+            continue
+        value = best(values, better) if better else values[0]
+        base = metric["value"]
+        delta = (value - base) / base if base != 0 else 0.0
+        if not better:
+            status = "info"
+        elif not gated:
+            status = "ok (ungated)"
+        else:
+            regressed = (
+                value < base * (1.0 - band)
+                if better == "higher"
+                else value > base * (1.0 + band)
+            )
+            if regressed:
+                status = "FAIL"
+                failures.append(
+                    f"{name}: {value:.4g} vs baseline {base:.4g} "
+                    f"({delta:+.1%}, better={better}, band {band:.0%})"
+                )
+            else:
+                status = "ok"
+        print(f"  {name:42s} {base:12.4g} {value:12.4g} {delta:+8.1%}  "
+              f"{status}")
+
+    if failures:
+        print(f"\n{len(failures)} perf regression(s) beyond the "
+              f"{band:.0%} band:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nno gated regressions")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--merge-best", metavar="OUT",
+                        help="write per-metric best-of of the inputs to OUT")
+    parser.add_argument("--band", type=float, default=0.10,
+                        help="allowed relative regression (default 0.10)")
+    parser.add_argument("--all", action="store_true",
+                        help="gate every directional metric, not just "
+                             "those marked gate:true")
+    parser.add_argument("files", nargs="+",
+                        help="baseline then current run(s), or runs to merge")
+    args = parser.parse_args()
+
+    if args.merge_best:
+        merge_best(args.merge_best, args.files)
+        return 0
+    if len(args.files) < 2:
+        parser.error("compare mode needs a baseline and at least one current")
+    return compare(args.files[0], args.files[1:], args.band, args.all)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

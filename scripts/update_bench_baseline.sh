@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerates the committed BENCH_*.json perf baselines after an
+# intentional performance change. Run from anywhere; builds the bench
+# binaries first so the snapshot always reflects the current tree, and
+# runs each bench twice, committing the per-metric best-of-2 (via
+# scripts/bench_compare.py --merge-best) to absorb scheduler noise.
+#
+#   scripts/update_bench_baseline.sh [build-dir]
+#
+# Review the resulting diff before committing: the gated ratio metrics
+# (skip speedup, replay overhead, arbitration cost) are what CI enforces
+# with a 10% band — a drop there is a real simulator regression, not host
+# noise. Absolute rates are informational and simply track the trajectory.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+benches=(bench_throughput bench_trace_replay bench_micro_controller)
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build" --target "${benches[@]}" -j "$(nproc)"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+for bench in "${benches[@]}"; do
+  out="$repo/BENCH_${bench#bench_}.json"
+  for run in 1 2; do
+    echo "== $bench run $run/2 =="
+    (cd "$tmp" && "$build/bench/$bench" --json "$tmp/$bench.$run.json")
+  done
+  python3 "$repo/scripts/bench_compare.py" --merge-best "$out" \
+    "$tmp/$bench.1.json" "$tmp/$bench.2.json"
+done
+
+echo
+echo "Updated BENCH_*.json — review with:"
+echo "  git diff BENCH_*.json"

@@ -36,6 +36,8 @@ ClusterSim::ClusterSim(ClusterConfig config, std::string benchmark_name,
   // One virtual core (thread) per physical core, as in the paper.
   vcores_.reserve(cfg_.cluster_cores);
   cores_.resize(cfg_.cluster_cores);
+  core_next_tick_.resize(cfg_.cluster_cores);
+  parked_at_.assign(cfg_.cluster_cores, kNever);
   host_of_.resize(cfg_.cluster_cores);
   for (std::uint32_t c = 0; c < cfg_.cluster_cores; ++c) {
     vcores_.emplace_back(sources(c, cfg_.cluster_cores));
@@ -45,7 +47,7 @@ ClusterSim::ClusterSim(ClusterConfig config, std::string benchmark_name,
     cores_[c].multiplier = cfg_.multipliers[c];
     cores_[c].powered_on = true;
     cores_[c].vcores = {c};
-    cores_[c].next_tick = cores_[c].multiplier;  // First boundary.
+    core_next_tick_[c] = cores_[c].multiplier;  // First boundary.
     cores_[c].quantum_remaining = cfg_.core_timing.hw_quantum_instructions;
     cores_[c].os_next_switch = cfg_.os_quantum_cycles;
     host_of_[c] = c;
@@ -104,8 +106,8 @@ ClusterSim::ClusterSim(ClusterConfig config, std::string benchmark_name,
   next_epoch_cycle_ = cfg_.os_epoch_cycles;
 
   next_core_tick_ = kNever;
-  for (const cpu::PhysicalCore& core : cores_) {
-    next_core_tick_ = std::min(next_core_tick_, core.next_tick);
+  for (const std::int64_t tick : core_next_tick_) {
+    next_core_tick_ = std::min(next_core_tick_, tick);
   }
   epoch_watched_ = cfg_.governor != GovernorKind::kNone;
 }
@@ -126,6 +128,15 @@ void ClusterSim::run() {
         at_epoch_boundary()) {
       on_epoch_boundary();
     }
+  }
+  // A run cut short by max_cycles can leave cores parked on a barrier
+  // that never completed; credit the idle polls they would have executed
+  // up to the horizon so the counters match the cycle-by-cycle clock.
+  for (std::uint32_t c = 0; c < cores_.size(); ++c) {
+    if (parked_at_[c] == kNever) continue;
+    core_next_tick_[c] = parked_at_[c];
+    parked_at_[c] = kNever;
+    jump_idle_to(c, params_.max_cycles);
   }
   sync_power_integral();
 }
@@ -207,8 +218,17 @@ void ClusterSim::step_cycle() {
   if (now_ >= next_core_tick_) {
     std::int64_t next = kNever;
     for (std::uint32_t pid = 0; pid < cores_.size(); ++pid) {
-      if (cores_[pid].next_tick == now_) step_core(pid);
-      next = std::min(next, cores_[pid].next_tick);
+      if (core_next_tick_[pid] == now_) step_core(pid);
+      next = std::min(next, core_next_tick_[pid]);
+    }
+    if (tick_rescan_needed_) {
+      // A barrier completion unparked waiters behind the fold point, so
+      // the single-pass minimum may be stale: rescan.
+      tick_rescan_needed_ = false;
+      next = kNever;
+      for (const std::int64_t tick : core_next_tick_) {
+        next = std::min(next, tick);
+      }
     }
     next_core_tick_ = next;
   }
@@ -257,7 +277,7 @@ void ClusterSim::advance_clock() {
 void ClusterSim::step_core(std::uint32_t pid) {
   cpu::PhysicalCore& p = cores_[pid];
   const std::int64_t m = p.multiplier;
-  p.next_tick = now_ + m;
+  core_next_tick_[pid] = now_ + m;
 
   if (!p.powered_on) return;
   if (p.stalled_until > now_) {
@@ -294,6 +314,7 @@ void ClusterSim::step_core(std::uint32_t pid) {
     case cpu::WaitState::kRunnable:
       execute_vcore(pid, vid);
       ++p.busy_cycles;
+      fast_forward_idle(pid);
       return;
     case cpu::WaitState::kMemory:
       if (now_ >= v.mem_ready_cycle) {
@@ -307,6 +328,7 @@ void ClusterSim::step_core(std::uint32_t pid) {
         // a 1-core-cycle hit really costs one cycle.
         if (v.state == cpu::WaitState::kRunnable) execute_vcore(pid, vid);
         ++p.busy_cycles;
+        fast_forward_idle(pid);
         return;
       }
       break;
@@ -315,12 +337,14 @@ void ClusterSim::step_core(std::uint32_t pid) {
         v.state = cpu::WaitState::kRunnable;
         execute_vcore(pid, vid);
         ++p.busy_cycles;
+        fast_forward_idle(pid);
         return;
       }
       break;
     case cpu::WaitState::kStoreBuffer:
       if (issue_store(pid, vid)) {
         ++p.busy_cycles;
+        fast_forward_idle(pid);
         return;
       }
       break;
@@ -384,15 +408,77 @@ void ClusterSim::fast_forward_idle(std::uint32_t pid) {
     default:
       return;
   }
+  jump_idle_to(pid, ready);
+}
+
+void ClusterSim::jump_idle_to(std::uint32_t pid, std::int64_t ready) {
+  // Jump core `pid`'s next tick to its first boundary at or after `ready`,
+  // crediting the boundary ticks in between as the idle polls the
+  // cycle-by-cycle clock would have executed. Callers must have
+  // established eligibility (cycle_skip on, no observed epochs, single
+  // resident thread).
+  cpu::PhysicalCore& p = cores_[pid];
   ready = std::max(ready, p.stalled_until);
   const std::int64_t wake = next_boundary_after(pid, ready);
   // Ticks past max_cycles never execute, so their idles are not credited.
   const std::int64_t limit =
       std::min(wake, next_boundary_after(pid, params_.max_cycles));
-  const std::int64_t elided = (limit - p.next_tick) / p.multiplier;
-  if (wake <= p.next_tick) return;
+  const std::int64_t elided =
+      (limit - core_next_tick_[pid]) / p.multiplier;
+  if (wake <= core_next_tick_[pid]) return;
   if (elided > 0) p.idle_cycles += static_cast<std::uint64_t>(elided);
-  p.next_tick = wake;
+  core_next_tick_[pid] = wake;
+}
+
+void ClusterSim::elide_compute_ticks(std::uint32_t pid, std::uint32_t vid) {
+  // Compute-burst elision: the interior of a compute run is a closed
+  // per-core recurrence — each tick adds current_ipc to the issue
+  // accumulator, commits the integer part, and touches nothing the rest
+  // of the cluster can observe (no memory op, no barrier, no ifetch).
+  // Replay that recurrence here, tick for tick in the exact same IEEE
+  // arithmetic, and jump the core's next boundary past the elided ticks.
+  // Boundary ticks (op completion or an ifetch trigger) are left to the
+  // normal path so their side effects land on the right cycle. The
+  // eligibility guards mirror fast_forward_idle(): a quiescent scheduling
+  // environment with one resident thread and no observed epochs.
+  if (!params_.cycle_skip || epoch_watched_) return;
+  cpu::PhysicalCore& p = cores_[pid];
+  if (p.vcores.size() != 1) return;
+  cpu::VirtualCore& v = vcores_[vid];
+  if (v.state != cpu::WaitState::kRunnable) return;
+
+  const std::int64_t m = p.multiplier;
+  std::int64_t tick = now_ + m;  // First candidate: the very next boundary.
+  double acc = v.issue_accumulator;
+  std::uint32_t remaining = v.compute_remaining;
+  std::uint32_t until_fetch = v.until_fetch;
+  std::uint64_t committed = 0;
+  std::int64_t elided = 0;
+  while (tick < params_.max_cycles) {
+    // Evaluate the candidate tick without touching `acc`: a boundary tick
+    // (op completion or ifetch trigger) must re-run this arithmetic on the
+    // live vcore state, so its accumulator increment must not stick here.
+    const double ticked = acc + v.current_ipc;
+    const auto issued = static_cast<std::uint32_t>(ticked);
+    if (issued >= remaining) break;    // Op-completion tick: run normally.
+    if (until_fetch <= issued) break;  // Ifetch tick: run normally.
+    acc = ticked - issued;
+    remaining -= issued;
+    until_fetch -= issued;
+    committed += issued;
+    ++elided;
+    tick += m;
+  }
+  if (elided == 0) return;
+  v.issue_accumulator = acc;
+  v.compute_remaining = remaining;
+  v.until_fetch = until_fetch;
+  v.instructions += committed;
+  counts_.instructions += committed;
+  p.quantum_remaining -= std::min<std::uint64_t>(p.quantum_remaining,
+                                                 committed);
+  p.busy_cycles += static_cast<std::uint64_t>(elided);
+  core_next_tick_[pid] = tick;
 }
 
 bool ClusterSim::try_context_switch(std::uint32_t pid) {
@@ -453,6 +539,7 @@ void ClusterSim::execute_vcore(std::uint32_t pid, std::uint32_t vid) {
       v.compute_remaining -= issued;
       if (v.compute_remaining == 0) v.has_op = false;
       if (issued > 0) commit_instructions(pid, vid, issued);
+      if (v.has_op) elide_compute_ticks(pid, vid);
       return;
     }
     case workload::OpKind::kLoad:
@@ -581,7 +668,6 @@ bool ClusterSim::issue_store(std::uint32_t pid, std::uint32_t vid) {
 }
 
 void ClusterSim::arrive_barrier(std::uint32_t pid, std::uint32_t vid) {
-  (void)pid;
   cpu::VirtualCore& v = vcores_[vid];
   // The arrival update (fetch-and-increment on the barrier line)
   // serializes across arriving cores; under private caches each arrival is
@@ -598,17 +684,40 @@ void ClusterSim::arrive_barrier(std::uint32_t pid, std::uint32_t vid) {
   v.has_op = false;
   ++barrier_.arrived;
 
-  if (barrier_.arrived == vcores_.size()) {
-    barrier_.completed = static_cast<std::int64_t>(v.barrier_id);
-    barrier_.last_release =
-        barrier_.latest_arrival + cfg_.barrier_release_cycles +
-        cfg_.barrier_post_release_cycles;
-    barrier_.arrived = 0;
-    barrier_.latest_arrival = 0;
-    // Release invalidates every waiter's cached flag copy (private mode).
-    counts_.coherence_messages +=
-        cfg_.barrier_arrival_messages * vcores_.size();
+  if (barrier_.arrived < vcores_.size()) {
+    // The waiter cannot progress until the last thread arrives, and that
+    // arrival is another core's tick: park this core (no boundary polls at
+    // all) and let the completion branch below credit the skipped polls
+    // and schedule the wake-up. Same eligibility as fast_forward_idle.
+    if (params_.cycle_skip && !epoch_watched_ &&
+        cores_[pid].vcores.size() == 1) {
+      parked_at_[pid] = core_next_tick_[pid];
+      core_next_tick_[pid] = kNever;
+    }
+    return;
   }
+
+  barrier_.completed = static_cast<std::int64_t>(v.barrier_id);
+  barrier_.last_release =
+      barrier_.latest_arrival + cfg_.barrier_release_cycles +
+      cfg_.barrier_post_release_cycles;
+  barrier_.arrived = 0;
+  barrier_.latest_arrival = 0;
+  // Release invalidates every waiter's cached flag copy (private mode).
+  counts_.coherence_messages +=
+      cfg_.barrier_arrival_messages * vcores_.size();
+
+  // The release cycle is now fixed: wake every parked waiter, crediting
+  // the boundary polls it skipped while parked as the idle ticks the
+  // cycle-by-cycle clock would have executed. The arriving core itself
+  // was never parked; its step_core tail jumps it to the release.
+  for (std::uint32_t c = 0; c < cores_.size(); ++c) {
+    if (parked_at_[c] == kNever) continue;
+    core_next_tick_[c] = parked_at_[c];
+    parked_at_[c] = kNever;
+    jump_idle_to(c, barrier_.last_release);
+  }
+  tick_rescan_needed_ = true;
 }
 
 bool ClusterSim::barrier_released(const cpu::VirtualCore& v) const {
@@ -851,8 +960,8 @@ void ClusterSim::power_up_one() {
   p.os_next_switch = now_ + cfg_.os_quantum_cycles;
   p.stalled_until =
       now_ + cfg_.core_timing.power_on_stall_cycles * p.multiplier;
-  p.next_tick = next_boundary_after(target, now_ + 1);
-  next_core_tick_ = std::min(next_core_tick_, p.next_tick);
+  core_next_tick_[target] = next_boundary_after(target, now_ + 1);
+  next_core_tick_ = std::min(next_core_tick_, core_next_tick_[target]);
   ++powered_cores_;
   ++active_count_;
 
@@ -1064,7 +1173,7 @@ std::string ClusterSim::describe_state() const {
   for (std::uint32_t pid = 0; pid < cores_.size(); ++pid) {
     const cpu::PhysicalCore& p = cores_[pid];
     os << "  p" << pid << (p.powered_on ? " on" : " OFF") << " next_tick="
-       << p.next_tick << " stalled_until=" << p.stalled_until
+       << core_next_tick_[pid] << " stalled_until=" << p.stalled_until
        << " vcores=" << p.vcores.size() << " run_index=" << p.run_index
        << (pending_reads_.empty() || !pending_reads_[pid].valid
                ? ""

@@ -192,7 +192,15 @@ class ClusterSim {
   void advance_clock();
   void step_core(std::uint32_t pid);
   void fast_forward_idle(std::uint32_t pid);
+  /// Jumps `pid`'s next tick to its first boundary at or after `ready`,
+  /// crediting the skipped boundary ticks as idle polls. Callers guard
+  /// eligibility (cycle_skip, no observed epochs, single resident thread).
+  void jump_idle_to(std::uint32_t pid, std::int64_t ready);
   void execute_vcore(std::uint32_t pid, std::uint32_t vid);
+  /// Replays the interior of a compute run in a tight loop (identical
+  /// arithmetic, no per-tick cluster scan) and jumps the core's next
+  /// boundary past the elided ticks. See the comment in the definition.
+  void elide_compute_ticks(std::uint32_t pid, std::uint32_t vid);
   void issue_load(std::uint32_t pid, std::uint32_t vid);
   bool issue_store(std::uint32_t pid, std::uint32_t vid);
   void arrive_barrier(std::uint32_t pid, std::uint32_t vid);
@@ -224,7 +232,7 @@ class ClusterSim {
   SimParams params_;
   std::string benchmark_name_;
   std::int64_t now_ = 0;
-  /// Cached min of cores_[*].next_tick: the core scan runs only on cycles
+  /// Cached min of core_next_tick_: the core scan runs only on cycles
   /// where some core actually ticks, and the event-driven clock jumps to
   /// it when the cache side is quiescent.
   std::int64_t next_core_tick_ = 0;
@@ -235,6 +243,19 @@ class ClusterSim {
 
   std::vector<cpu::VirtualCore> vcores_;
   std::vector<cpu::PhysicalCore> cores_;
+  /// Next core-cycle boundary per physical core, kept out of PhysicalCore
+  /// so the per-cycle tick scan walks one contiguous array.
+  std::vector<std::int64_t> core_next_tick_;
+  /// Boundary tick a barrier-parked core would next have polled on, or
+  /// kNever when the core is live. A parked core has core_next_tick_ set
+  /// to kNever (no boundary polls while it waits); barrier completion —
+  /// or end-of-run reconciliation when max_cycles cuts the wait short —
+  /// restores the schedule and credits the skipped polls as idle ticks.
+  std::vector<std::int64_t> parked_at_;
+  /// Set when a barrier completion moves another core's next tick backward
+  /// (unparking): the fold-as-you-go minimum in the tick scan is then stale
+  /// and must be recomputed before the clock advances.
+  bool tick_rescan_needed_ = false;
   std::vector<std::uint32_t> host_of_;  ///< vcore -> physical core.
   std::vector<std::uint32_t> efficiency_order_;
   std::uint32_t active_count_ = 0;

@@ -1,17 +1,28 @@
 #include "core/shared_cache_controller.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
 #include "util/require.hpp"
 
 namespace respin::core {
 
+namespace {
+constexpr std::uint64_t bit_of(std::uint32_t core) {
+  return std::uint64_t{1} << (core & 63u);
+}
+}  // namespace
+
 SharedCacheController::SharedCacheController(const ControllerParams& params,
                                              std::uint64_t rng_seed)
     : params_(params),
       rng_("controller", rng_seed),
-      slots_(params.core_count) {
+      valid_words_((params.core_count + 63) / 64, 0),
+      visible_words_((params.core_count + 63) / 64, 0),
+      priority_bits_(params.core_count, 0),
+      issued_at_(params.core_count, 0),
+      half_misses_(params.core_count, 0) {
   RESPIN_REQUIRE(params.core_count >= 1, "controller needs cores");
   RESPIN_REQUIRE(params.request_delay_cycles + 2 < arrival_ring_.size(),
                  "request delay exceeds arrival ring window");
@@ -24,21 +35,33 @@ void SharedCacheController::note_arrival(std::int64_t visible_at) {
   ++arrival_ring_[static_cast<std::size_t>(visible_at) % arrival_ring_.size()];
 }
 
+void SharedCacheController::flush_census() const {
+  for (std::size_t i = 0; i < census_.size(); ++i) {
+    if (census_[i] != 0) {
+      stats_.arrivals_per_cycle.add(i, census_[i]);
+      census_[i] = 0;
+    }
+  }
+}
+
 void SharedCacheController::submit_read(std::uint32_t core,
                                         std::uint32_t multiplier,
                                         std::int64_t now) {
-  RESPIN_REQUIRE(core < slots_.size(), "core id out of range");
-  ReadSlot& slot = slots_[core];
-  RESPIN_REQUIRE(!slot.valid, "core already has an outstanding read");
+  RESPIN_REQUIRE(core < params_.core_count, "core id out of range");
+  RESPIN_REQUIRE((valid_words_[core >> 6] & bit_of(core)) == 0,
+                 "core already has an outstanding read");
   RESPIN_REQUIRE(multiplier > params_.request_delay_cycles,
                  "core period must exceed the request wire delay");
-  slot.valid = true;
-  slot.issued_at = now;
-  slot.visible_at = now + params_.request_delay_cycles;
-  slot.multiplier = multiplier;
-  slot.half_misses = 0;
-  slot.priority.preload(multiplier - params_.request_delay_cycles);
-  note_arrival(slot.visible_at);
+  const std::uint32_t slack = multiplier - params_.request_delay_cycles;
+  RESPIN_REQUIRE(slack >= 1 && slack <= PriorityRegister::kWidth,
+                 "priority register slack out of range");
+  valid_words_[core >> 6] |= bit_of(core);
+  issued_at_[core] = now;
+  half_misses_[core] = 0;
+  priority_bits_[core] = (1u << slack) - 1;
+  const std::int64_t visible = now + params_.request_delay_cycles;
+  read_arrivals_.push_back(PendingRead{visible, core});
+  note_arrival(visible);
   ++outstanding_;
 }
 
@@ -72,13 +95,17 @@ bool SharedCacheController::has_pending_work() const {
 
 std::int64_t SharedCacheController::next_activity_cycle(
     std::int64_t now) const {
+  // A visible read is arbitrated (and its priority register aged) every
+  // single cycle — no skipping while one waits.
+  for (const std::uint64_t word : visible_words_) {
+    if (word != 0) return now + 1;
+  }
   std::int64_t next = std::numeric_limits<std::int64_t>::max();
-  for (const ReadSlot& slot : slots_) {
-    if (!slot.valid) continue;
-    // A visible read is arbitrated (and its priority register aged) every
-    // single cycle — no skipping while one waits.
-    if (slot.visible_at <= now) return now + 1;
-    next = std::min(next, slot.visible_at);
+  // Reads still in flight arrive in nondecreasing visible order, so the
+  // FIFO front is the soonest (it may be <= now if step() has not yet run
+  // at this cycle; the clamp below turns that into now + 1).
+  if (!read_arrivals_.empty()) {
+    next = std::min(next, read_arrivals_.front().visible_at);
   }
   // Pipelined stores all have future visible times (matured ones already
   // moved to the drain queue); the front is the soonest.
@@ -86,11 +113,15 @@ std::int64_t SharedCacheController::next_activity_cycle(
     next = std::min(next, pending_store_times_.front());
   }
   // A fill's visible cycle consumes an arrival-census slot even if the
-  // write port delays its drain, so stop at whichever comes first.
+  // write port delays its drain. The queue is sorted by visible time, so
+  // matured fills (visible <= now, waiting on the port) sit at the front
+  // and the first future one bounds the rest.
   for (const std::int64_t visible : fill_queue_) {
-    next = std::min(next, visible > now
-                              ? visible
-                              : std::max(write_port_free_at_, now + 1));
+    if (visible > now) {
+      next = std::min(next, visible);
+      break;
+    }
+    next = std::min(next, std::max(write_port_free_at_, now + 1));
   }
   // Queued stores are already visible; they drain when the port frees.
   if (!store_queue_.empty()) {
@@ -101,6 +132,7 @@ std::int64_t SharedCacheController::next_activity_cycle(
 
 void SharedCacheController::collect_counters(obs::CounterSet& set,
                                              const std::string& prefix) const {
+  flush_census();
   set.add(prefix + ".reads_serviced", stats_.reads_serviced);
   set.add(prefix + ".half_misses", stats_.half_misses);
   set.add(prefix + ".stores_accepted", stats_.stores_accepted);
@@ -121,10 +153,52 @@ void SharedCacheController::note_skipped_cycles(std::int64_t cycles) {
   // step() would have recorded a zero-arrival census; it counts as busy
   // exactly when something is still in flight.
   stats_.total_cycles += static_cast<std::uint64_t>(cycles);
-  stats_.arrivals_per_cycle.add(0, static_cast<std::uint64_t>(cycles));
+  census_[0] += static_cast<std::uint64_t>(cycles);
   if (has_pending_work()) {
     stats_.busy_cycles += static_cast<std::uint64_t>(cycles);
   }
+}
+
+std::uint32_t SharedCacheController::arbitrate_priority(std::int64_t now) {
+  // Masked min-scan over the visible set: ascending core order with
+  // reservoir-sampled tie-breaks, exactly as the reference slot walk (the
+  // rng draw sequence is part of the determinism contract).
+  (void)now;
+  std::uint32_t winner = kNoCore;
+  std::uint32_t winner_slack = 0;
+  std::uint32_t tie_count = 0;
+  for (std::size_t w = 0; w < visible_words_.size(); ++w) {
+    std::uint64_t bits = visible_words_[w];
+    while (bits != 0) {
+      const auto c = static_cast<std::uint32_t>(
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      const auto slack =
+          static_cast<std::uint32_t>(std::popcount(priority_bits_[c]));
+      if (winner == kNoCore || slack < winner_slack) {
+        winner = c;
+        winner_slack = slack;
+        tie_count = 1;
+      } else if (slack == winner_slack) {
+        // Reservoir-sample among ties: the paper breaks ties randomly.
+        ++tie_count;
+        if (rng_.uniform_u64(tie_count) == 0) winner = c;
+      }
+    }
+  }
+  return winner;
+}
+
+std::uint32_t SharedCacheController::arbitrate_round_robin() {
+  const auto n = params_.core_count;
+  for (std::uint32_t offset = 0; offset < n; ++offset) {
+    const std::uint32_t c = (rr_cursor_ + offset) % n;
+    if ((visible_words_[c >> 6] & bit_of(c)) != 0) {
+      rr_cursor_ = (c + 1) % n;
+      return c;
+    }
+  }
+  return kNoCore;
 }
 
 void SharedCacheController::step(std::int64_t now,
@@ -134,7 +208,7 @@ void SharedCacheController::step(std::int64_t now,
   // Arrival census for this cycle (paper Fig. 10).
   auto& ring_slot =
       arrival_ring_[static_cast<std::size_t>(now) % arrival_ring_.size()];
-  stats_.arrivals_per_cycle.add(ring_slot);
+  ++census_[ring_slot < kCensusBuckets ? ring_slot : kCensusBuckets - 1];
   ring_slot = 0;
 
   if (outstanding_ == 0) return;
@@ -147,48 +221,27 @@ void SharedCacheController::step(std::int64_t now,
     --pending_stores_;
   }
 
+  // Mature in-flight reads into the visible (arbitratable) set.
+  while (!read_arrivals_.empty() && read_arrivals_.front().visible_at <= now) {
+    const std::uint32_t c = read_arrivals_.front().core;
+    visible_words_[c >> 6] |= bit_of(c);
+    read_arrivals_.pop_front();
+  }
+
   // Read arbitration: soonest-expiring visible request wins the read port
   // (or plain round-robin when configured as the ablation baseline).
   if (read_port_free_at_ <= now) {
-    ReadSlot* winner = nullptr;
-    std::uint32_t winner_core = 0;
-    std::uint32_t tie_count = 0;
-    if (params_.arbitration == ArbitrationPolicy::kRoundRobin) {
-      for (std::uint32_t offset = 0; offset < slots_.size(); ++offset) {
-        const std::uint32_t c =
-            (rr_cursor_ + offset) % static_cast<std::uint32_t>(slots_.size());
-        ReadSlot& slot = slots_[c];
-        if (!slot.valid || slot.visible_at > now) continue;
-        winner = &slot;
-        winner_core = c;
-        rr_cursor_ = (c + 1) % static_cast<std::uint32_t>(slots_.size());
-        break;
-      }
-    } else {
-      for (std::uint32_t c = 0; c < slots_.size(); ++c) {
-        ReadSlot& slot = slots_[c];
-        if (!slot.valid || slot.visible_at > now) continue;
-        if (winner == nullptr ||
-            slot.priority.slack() < winner->priority.slack()) {
-          winner = &slot;
-          winner_core = c;
-          tie_count = 1;
-        } else if (slot.priority.slack() == winner->priority.slack()) {
-          // Reservoir-sample among ties: the paper breaks ties randomly.
-          ++tie_count;
-          if (rng_.uniform_u64(tie_count) == 0) {
-            winner = &slot;
-            winner_core = c;
-          }
-        }
-      }
-    }
-    if (winner != nullptr) {
-      out.push_back(ServicedRead{.core = winner_core,
-                                 .issued_at = winner->issued_at,
+    const std::uint32_t winner =
+        params_.arbitration == ArbitrationPolicy::kRoundRobin
+            ? arbitrate_round_robin()
+            : arbitrate_priority(now);
+    if (winner != kNoCore) {
+      out.push_back(ServicedRead{.core = winner,
+                                 .issued_at = issued_at_[winner],
                                  .serviced_at = now,
-                                 .half_misses = winner->half_misses});
-      winner->valid = false;
+                                 .half_misses = half_misses_[winner]});
+      valid_words_[winner >> 6] &= ~bit_of(winner);
+      visible_words_[winner >> 6] &= ~bit_of(winner);
       --outstanding_;
       ++stats_.reads_serviced;
       read_port_free_at_ = now + params_.read_occupancy;
@@ -208,14 +261,21 @@ void SharedCacheController::step(std::int64_t now,
     }
   }
 
-  // Age the survivors; expired ones half-miss and re-arm critical.
-  for (ReadSlot& slot : slots_) {
-    if (!slot.valid || slot.visible_at > now) continue;
-    slot.priority.shift();
-    if (slot.priority.expired()) {
-      if (slot.half_misses == 0) ++stats_.half_misses;
-      ++slot.half_misses;
-      slot.priority.preload(1);
+  // Age the survivors: branch-light sweep over the visible set. A drained
+  // register is a half-miss; it re-arms critical (slack 1) so the request
+  // wins the following cycle.
+  for (std::size_t w = 0; w < visible_words_.size(); ++w) {
+    std::uint64_t bits = visible_words_[w];
+    while (bits != 0) {
+      const auto c = static_cast<std::uint32_t>(
+          w * 64 + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      priority_bits_[c] >>= 1;
+      if (priority_bits_[c] == 0) {
+        if (half_misses_[c] == 0) ++stats_.half_misses;
+        ++half_misses_[c];
+        priority_bits_[c] = 1u;
+      }
     }
   }
 }

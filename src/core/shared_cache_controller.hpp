@@ -12,6 +12,15 @@
 // tag lookups on serviced requests — so it is reusable for both the L1I
 // and L1D and for SRAM or STT-RAM arrays (which differ only in the port
 // occupancy parameters).
+//
+// Per-core request state is laid out struct-of-arrays: a packed bitmask of
+// cores with a visible (arbitratable) read, plus parallel arrays for the
+// raw priority-register bits, issue cycles and half-miss counts. The
+// per-cycle arbitration and aging loops walk only the set bits of the
+// mask instead of all core slots, and reads that are submitted but not
+// yet visible wait in a FIFO (their visible times are nondecreasing, so
+// the front is always the soonest) — making next_activity_cycle() O(1)
+// in the core count.
 #pragma once
 
 #include <array>
@@ -114,7 +123,10 @@ class SharedCacheController {
   }
 
   const ControllerParams& params() const { return params_; }
-  const ControllerStats& stats() const { return stats_; }
+  const ControllerStats& stats() const {
+    flush_census();
+    return stats_;
+  }
 
   /// Exports the controller statistics (including the arrival histogram
   /// bucket by bucket) into `set` under `prefix` ("<prefix>.half_misses",
@@ -123,18 +135,34 @@ class SharedCacheController {
                         const std::string& prefix) const;
 
  private:
-  struct ReadSlot {
-    bool valid = false;
-    std::int64_t issued_at = 0;
-    std::int64_t visible_at = 0;
-    std::uint32_t multiplier = 0;
-    std::uint32_t half_misses = 0;
-    PriorityRegister priority;
+  static constexpr std::uint32_t kNoCore =
+      static_cast<std::uint32_t>(-1);
+  /// Matches ControllerStats::arrivals_per_cycle's bucket count.
+  static constexpr std::size_t kCensusBuckets = 9;
+
+  /// A read submitted but not yet visible at the controller. Submission
+  /// cycles are nondecreasing and the wire delay is a constant, so the
+  /// FIFO is sorted by visible_at.
+  struct PendingRead {
+    std::int64_t visible_at;
+    std::uint32_t core;
   };
 
   ControllerParams params_;
   util::Rng rng_;
-  std::vector<ReadSlot> slots_;
+
+  // ---- Per-core read-slot state, struct-of-arrays ----------------------
+  // A core is "outstanding" when its bit is set in valid_words_; it is
+  // additionally "visible" (participates in arbitration/aging) once its
+  // bit is set in visible_words_. visible ⊆ valid always holds.
+  std::vector<std::uint64_t> valid_words_;
+  std::vector<std::uint64_t> visible_words_;
+  std::vector<std::uint32_t> priority_bits_;  ///< Raw shift registers.
+  std::vector<std::int64_t> issued_at_;
+  std::vector<std::uint32_t> half_misses_;
+  /// Submitted reads awaiting visibility, sorted by visible_at.
+  std::deque<PendingRead> read_arrivals_;
+
   std::deque<std::int64_t> pending_store_times_;  ///< In flight to the queue.
   std::deque<std::int64_t> store_queue_;   ///< visible_at per queued store.
   std::uint32_t pending_stores_ = 0;       ///< Submitted, not yet visible.
@@ -144,9 +172,16 @@ class SharedCacheController {
   std::array<std::uint32_t, 8> arrival_ring_{};  ///< Arrivals per near cycle.
   std::uint32_t outstanding_ = 0;          ///< Items not yet drained.
   std::uint32_t rr_cursor_ = 0;            ///< Round-robin ablation state.
-  ControllerStats stats_;
+  // The arrival census accumulates in a plain array on the per-cycle path
+  // and folds into the histogram only when stats are read (stats() /
+  // collect_counters()), hence the mutable pair.
+  mutable std::array<std::uint64_t, kCensusBuckets> census_{};
+  mutable ControllerStats stats_;
 
   void note_arrival(std::int64_t visible_at);
+  void flush_census() const;
+  std::uint32_t arbitrate_priority(std::int64_t now);
+  std::uint32_t arbitrate_round_robin();
 };
 
 }  // namespace respin::core

@@ -92,7 +92,9 @@ struct PhysicalCore {
   std::vector<std::uint32_t> vcores;
   std::size_t run_index = 0;            ///< Which assigned vcore runs now.
   std::uint64_t quantum_remaining = 0;  ///< Instructions to next HW switch.
-  std::int64_t next_tick = 0;           ///< Next core-cycle boundary (cache cycles).
+  // The next core-cycle boundary lives in ClusterSim::core_next_tick_ — a
+  // contiguous per-cluster array — so the every-tick scan over all cores
+  // stays inside one or two cache lines instead of striding these structs.
   std::int64_t stalled_until = 0;       ///< Migration / power-on stall.
   std::int64_t store_drain_free_at = 0; ///< Private store buffer backlog.
   std::int64_t os_next_switch = 0;      ///< OS-mode timeslice expiry.

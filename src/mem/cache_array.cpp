@@ -6,6 +6,11 @@
 
 namespace respin::mem {
 
+namespace {
+constexpr std::uint8_t kInvalidState =
+    static_cast<std::uint8_t>(Mesi::kInvalid);
+}  // namespace
+
 CacheArray::CacheArray(std::uint64_t capacity_bytes, std::uint32_t line_bytes,
                        std::uint32_t ways)
     : line_bytes_(line_bytes), ways_(ways) {
@@ -17,63 +22,23 @@ CacheArray::CacheArray(std::uint64_t capacity_bytes, std::uint32_t line_bytes,
                  "capacity must hold a whole number of sets");
   const std::uint64_t sets = lines / ways;
   set_count_ = static_cast<std::uint32_t>(sets);
-  ways_storage_.resize(lines);
-  lru_tick_.assign(set_count_, 0);
-}
-
-std::uint32_t CacheArray::set_index(LineAddr line) const {
   // Modulo indexing: set counts need not be powers of two (the 12 MB L3
-  // slice of the medium configuration has 6144 sets).
-  return static_cast<std::uint32_t>(line % set_count_);
-}
-
-CacheArray::Way* CacheArray::find(LineAddr line) {
-  const std::uint32_t set = set_index(line);
-  Way* base = &ways_storage_[static_cast<std::size_t>(set) * ways_];
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (base[w].state != Mesi::kInvalid && base[w].line == line) {
-      return &base[w];
-    }
-  }
-  return nullptr;
-}
-
-const CacheArray::Way* CacheArray::find(LineAddr line) const {
-  return const_cast<CacheArray*>(this)->find(line);
-}
-
-void CacheArray::touch(std::uint32_t set, Way& way) {
-  way.lru = ++lru_tick_[set];
-}
-
-std::optional<Mesi> CacheArray::access(LineAddr line, bool* corrected) {
-  if (corrected != nullptr) *corrected = false;
-  if (Way* way = find(line)) {
-    touch(set_index(line), *way);
-    ++stats_.hits;
-    if (!fault_.empty()) {
-      const auto idx = static_cast<std::size_t>(way - ways_storage_.data());
-      if (fault_[idx] == static_cast<std::uint8_t>(fault::LineFault::kCorrectable)) {
-        ++stats_.ecc_corrections;
-        if (corrected != nullptr) *corrected = true;
-      }
-    }
-    return way->state;
-  }
-  ++stats_.misses;
-  return std::nullopt;
-}
-
-std::optional<Mesi> CacheArray::probe(LineAddr line) const {
-  if (const Way* way = find(line)) return way->state;
-  return std::nullopt;
+  // slice of the medium configuration has 6144 sets); power-of-two counts
+  // take the mask fast path.
+  if (std::has_single_bit(sets)) set_mask_ = sets - 1;
+  lines_.assign(lines, kNoLine);
+  states_.assign(lines, kInvalidState);
+  lru_.assign(lines, 0);
+  lru_tick_.assign(set_count_, 0);
 }
 
 bool CacheArray::set_state(LineAddr line, Mesi state) {
   RESPIN_REQUIRE(state != Mesi::kInvalid,
                  "use invalidate() to drop a line, not set_state(I)");
-  if (Way* way = find(line)) {
-    way->state = state;
+  const std::size_t idx =
+      find_in_set(static_cast<std::size_t>(set_index(line)) * ways_, line);
+  if (idx != kNoWay) {
+    states_[idx] = static_cast<std::uint8_t>(state);
     return true;
   }
   return false;
@@ -81,42 +46,66 @@ bool CacheArray::set_state(LineAddr line, Mesi state) {
 
 std::optional<Eviction> CacheArray::insert(LineAddr line, Mesi state) {
   RESPIN_REQUIRE(state != Mesi::kInvalid, "cannot insert an invalid line");
-  RESPIN_REQUIRE(find(line) == nullptr, "line already present");
+  RESPIN_REQUIRE(line != kNoLine,
+                 "the all-ones line address is the invalid-way sentinel");
   const std::uint32_t set = set_index(line);
   const std::size_t set_base = static_cast<std::size_t>(set) * ways_;
-  Way* base = &ways_storage_[set_base];
 
-  Way* victim = nullptr;
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    if (way_disabled(set_base + w)) continue;
-    if (base[w].state == Mesi::kInvalid) {
-      victim = &base[w];
-      break;
+  // Pick the victim: first invalid usable way, else min-LRU usable way.
+  // Invalid ways carry the kNoLine tag, so the absence assertion and the
+  // free-way search are both branchless tag scans (see find_in_set); the
+  // LRU walk only runs when the set is full of valid usable ways.
+  RESPIN_REQUIRE(find_in_set(set_base, line) == kNoWay,
+                 "line already present");
+  std::size_t victim = find_in_set(set_base, kNoLine);
+  if (victim != kNoWay && way_disabled(victim)) {
+    // A disabled way also carries kNoLine; fall back to the precise walk.
+    victim = kNoWay;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      const std::size_t i = set_base + w;
+      if (!way_disabled(i) && lines_[i] == kNoLine) {
+        victim = i;
+        break;
+      }
     }
-    if (victim == nullptr || base[w].lru < victim->lru) victim = &base[w];
+  }
+  if (victim == kNoWay) {
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      const std::size_t i = set_base + w;
+      if (way_disabled(i)) continue;
+      if (victim == kNoWay || lru_[i] < lru_[victim]) victim = i;
+    }
   }
   // Every way of the set is disabled: the line cannot be cached. The
   // caller sees "no eviction" and simply misses again next time —
   // accesses bypass the dead set (callers that must know consult
   // can_insert() first).
-  if (victim == nullptr) return std::nullopt;
+  if (victim == kNoWay) return std::nullopt;
 
   std::optional<Eviction> evicted;
-  if (victim->state != Mesi::kInvalid) {
-    evicted = Eviction{victim->line, victim->state == Mesi::kModified};
+  if (states_[victim] != kInvalidState) {
+    evicted = Eviction{lines_[victim],
+                       states_[victim] ==
+                           static_cast<std::uint8_t>(Mesi::kModified)};
     ++stats_.evictions;
     if (evicted->dirty) ++stats_.writebacks;
   }
-  victim->line = line;
-  victim->state = state;
-  touch(set, *victim);
+  lines_[victim] = line;
+  states_[victim] = static_cast<std::uint8_t>(state);
+  touch(set, victim);
   return evicted;
 }
 
 bool CacheArray::invalidate(LineAddr line, bool* was_dirty) {
-  if (Way* way = find(line)) {
-    if (was_dirty != nullptr) *was_dirty = (way->state == Mesi::kModified);
-    way->state = Mesi::kInvalid;
+  const std::size_t idx =
+      find_in_set(static_cast<std::size_t>(set_index(line)) * ways_, line);
+  if (idx != kNoWay) {
+    if (was_dirty != nullptr) {
+      *was_dirty =
+          states_[idx] == static_cast<std::uint8_t>(Mesi::kModified);
+    }
+    states_[idx] = kInvalidState;
+    lines_[idx] = kNoLine;
     ++stats_.invalidations;
     return true;
   }
@@ -125,27 +114,33 @@ bool CacheArray::invalidate(LineAddr line, bool* was_dirty) {
 }
 
 void CacheArray::flush() {
-  for (Way& way : ways_storage_) {
-    if (way.state == Mesi::kModified) ++stats_.writebacks;
-    if (way.state != Mesi::kInvalid) ++stats_.invalidations;
-    way.state = Mesi::kInvalid;
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i] == static_cast<std::uint8_t>(Mesi::kModified)) {
+      ++stats_.writebacks;
+    }
+    if (states_[i] != kInvalidState) ++stats_.invalidations;
+    states_[i] = kInvalidState;
+    lines_[i] = kNoLine;
   }
 }
 
 std::uint64_t CacheArray::resident_lines() const {
   std::uint64_t count = 0;
-  for (const Way& way : ways_storage_) {
-    if (way.state != Mesi::kInvalid) ++count;
+  for (const std::uint8_t s : states_) {
+    if (s != kInvalidState) ++count;
   }
   return count;
 }
 
 void CacheArray::apply_fault_map(const std::vector<std::uint8_t>& map) {
-  RESPIN_REQUIRE(map.size() == ways_storage_.size(),
+  RESPIN_REQUIRE(map.size() == states_.size(),
                  "fault map must cover every way of the array");
   fault_ = map;
   for (std::size_t i = 0; i < fault_.size(); ++i) {
-    if (way_disabled(i)) ways_storage_[i].state = Mesi::kInvalid;
+    if (way_disabled(i)) {
+      states_[i] = kInvalidState;
+      lines_[i] = kNoLine;
+    }
   }
 }
 
@@ -160,15 +155,16 @@ bool CacheArray::can_insert(LineAddr line) const {
 }
 
 bool CacheArray::disable_line(LineAddr line) {
-  Way* way = find(line);
-  if (way == nullptr) return false;
+  const std::size_t idx =
+      find_in_set(static_cast<std::size_t>(set_index(line)) * ways_, line);
+  if (idx == kNoWay) return false;
   if (fault_.empty()) {
-    fault_.assign(ways_storage_.size(),
+    fault_.assign(states_.size(),
                   static_cast<std::uint8_t>(fault::LineFault::kNone));
   }
-  const auto idx = static_cast<std::size_t>(way - ways_storage_.data());
   fault_[idx] = static_cast<std::uint8_t>(fault::LineFault::kDisabled);
-  way->state = Mesi::kInvalid;
+  states_[idx] = kInvalidState;
+  lines_[idx] = kNoLine;
   return true;
 }
 

@@ -4,8 +4,15 @@
 // stores data payloads. The array is a plain value type (contiguous
 // storage, no internal pointers) so whole-cluster snapshots for the oracle
 // consolidation study are a default copy.
+//
+// Metadata is laid out struct-of-arrays: tags, MESI states and LRU ticks
+// live in separate contiguous vectors so the tag scan (the simulator's
+// single hottest memory operation) touches one densely packed cache line
+// per set and vectorizes, while cold metadata (fault classes, statistics)
+// stays out of the scan entirely.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -49,12 +56,19 @@ class CacheArray {
   /// `corrected` is non-null it reports whether the hit landed on a way
   /// the fault map marked SECDED-correctable (the owner charges the
   /// correction latency/energy); such hits also count ecc_corrections.
+  /// Defined inline below: this is the simulator's hottest call.
   std::optional<Mesi> access(LineAddr line, bool* corrected = nullptr);
 
   /// Looks up without touching LRU or counters (for coherence probes).
-  std::optional<Mesi> probe(LineAddr line) const;
+  std::optional<Mesi> probe(LineAddr line) const {
+    const std::size_t idx =
+        find_in_set(static_cast<std::size_t>(set_index(line)) * ways_, line);
+    if (idx != kNoWay) return static_cast<Mesi>(states_[idx]);
+    return std::nullopt;
+  }
 
   /// Changes the state of a present line; returns false if absent.
+  /// (set_state(I) is rejected — defined out of line with the check.)
   bool set_state(LineAddr line, Mesi state);
 
   /// Inserts a line in the given state, evicting the LRU way if the set is
@@ -107,16 +121,65 @@ class CacheArray {
   void reset_stats() { stats_ = CacheArrayStats{}; }
 
  private:
-  struct Way {
-    LineAddr line = 0;
-    Mesi state = Mesi::kInvalid;
-    std::uint32_t lru = 0;  // Higher = more recently used.
-  };
+  static constexpr std::size_t kNoWay = static_cast<std::size_t>(-1);
+  /// Tag stored in invalid ways. insert() rejects it as a line address, so
+  /// the tag array alone answers presence (see find_in_set).
+  static constexpr LineAddr kNoLine = static_cast<LineAddr>(-1);
 
-  std::uint32_t set_index(LineAddr line) const;
-  Way* find(LineAddr line);
-  const Way* find(LineAddr line) const;
-  void touch(std::uint32_t set, Way& way);
+  std::uint32_t set_index(LineAddr line) const {
+    // Power-of-two set counts (every L1/L2 shape) index with a mask; the
+    // modulo path remains for shapes like the 6144-set 12 MB L3 slice.
+    return set_mask_ != 0
+               ? static_cast<std::uint32_t>(line & set_mask_)
+               : static_cast<std::uint32_t>(line % set_count_);
+  }
+  /// Bitmask of ways whose tag equals `needle` (bit w = way w). The fixed
+  /// trip count and lack of early exit let the vectorizer turn each
+  /// instantiation into packed 64-bit compares; at most one bit is set
+  /// because a line is resident in at most one way.
+  template <std::uint32_t kWays>
+  static std::uint64_t match_mask(const LineAddr* tags, LineAddr needle) {
+    std::uint64_t mask = 0;
+    for (std::uint32_t w = 0; w < kWays; ++w) {
+      mask |= static_cast<std::uint64_t>(tags[w] == needle) << w;
+    }
+    return mask;
+  }
+
+  /// Global way index of `line` within its set, or kNoWay when absent.
+  /// Invalid ways hold kNoLine (which insert() rejects as a real address),
+  /// so the scan is a pure compare over at most `ways_` consecutive 8-byte
+  /// tags — no state loads. The switch dispatches the real associativities
+  /// (L1I 2, L1D 4, L2 8, L3 16) to branchless fixed-width scans.
+  std::size_t find_in_set(std::size_t set_base, LineAddr line) const {
+    const LineAddr* tags = lines_.data() + set_base;
+    std::uint64_t mask;
+    switch (ways_) {
+      case 2:
+        mask = match_mask<2>(tags, line);
+        break;
+      case 4:
+        mask = match_mask<4>(tags, line);
+        break;
+      case 8:
+        mask = match_mask<8>(tags, line);
+        break;
+      case 16:
+        mask = match_mask<16>(tags, line);
+        break;
+      default:
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+          if (tags[w] == line) return set_base + w;
+        }
+        return kNoWay;
+    }
+    return mask != 0
+               ? set_base + static_cast<std::size_t>(std::countr_zero(mask))
+               : kNoWay;
+  }
+  void touch(std::uint32_t set, std::size_t way_index) {
+    lru_[way_index] = ++lru_tick_[set];
+  }
   bool way_disabled(std::size_t way_index) const {
     return !fault_.empty() &&
            fault_[way_index] ==
@@ -126,12 +189,40 @@ class CacheArray {
   std::uint32_t line_bytes_;
   std::uint32_t ways_;
   std::uint32_t set_count_;
-  std::vector<Way> ways_storage_;       // set_count_ * ways_.
-  std::vector<std::uint32_t> lru_tick_; // per-set monotonic counter.
+  std::uint64_t set_mask_ = 0;  ///< set_count_ - 1 when a power of two.
+  // Hot metadata, struct-of-arrays (all sized set_count_ * ways_).
+  std::vector<LineAddr> lines_;         ///< Tags; kNoLine iff state == I.
+  std::vector<std::uint8_t> states_;    ///< Mesi per way.
+  std::vector<std::uint32_t> lru_;      ///< Higher = more recently used.
+  std::vector<std::uint32_t> lru_tick_; ///< Per-set monotonic counter.
   /// Per-way fault::LineFault classes; empty (the default) means
   /// fault-free and keeps every access on the original path.
   std::vector<std::uint8_t> fault_;
   CacheArrayStats stats_;
 };
+
+// Inline so the per-access call from PrivateL1System/Chip folds into the
+// caller's loop: access() is the top entry in the simulator's profile and
+// the out-of-line call (plus the embedded find_in_set call) was measurable.
+inline std::optional<Mesi> CacheArray::access(LineAddr line,
+                                              bool* corrected) {
+  if (corrected != nullptr) *corrected = false;
+  const std::uint32_t set = set_index(line);
+  const std::size_t idx =
+      find_in_set(static_cast<std::size_t>(set) * ways_, line);
+  if (idx != kNoWay) {
+    touch(set, idx);
+    ++stats_.hits;
+    if (!fault_.empty() &&
+        fault_[idx] ==
+            static_cast<std::uint8_t>(fault::LineFault::kCorrectable)) {
+      ++stats_.ecc_corrections;
+      if (corrected != nullptr) *corrected = true;
+    }
+    return static_cast<Mesi>(states_[idx]);
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
 
 }  // namespace respin::mem

@@ -1,0 +1,141 @@
+// Flat open-addressing map for the MESI full-map directory.
+//
+// The directory is the private-L1 configurations' hottest associative
+// structure: every data miss, upgrade and eviction probes it. A
+// node-based std::unordered_map pays a pointer chase plus an allocation
+// per entry; this map stores 16-byte slots (line, sharers, dirty, used)
+// in one contiguous power-of-two table with linear probing, so a lookup
+// usually touches a single cache line. Deletion uses backward-shift
+// compaction — no tombstones, so probe chains never grow stale.
+//
+// Iteration visits slots in table order, which is a deterministic
+// function of the insertion/erase history (no pointers, no allocator
+// state). Callers that mutate while iterating must not insert or erase
+// mid-walk; for_each() plus a deferred erase list covers the directory's
+// only whole-table walk (flush_core).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache_types.hpp"
+#include "util/require.hpp"
+
+namespace respin::mem {
+
+/// One directory entry: which cores hold the line, and whether exactly
+/// one of them holds it Modified.
+struct DirEntry {
+  std::uint32_t sharers = 0;  ///< Bitmask over cores.
+  bool dirty = false;         ///< Exactly one sharer holds M.
+};
+
+class DirectoryMap {
+ public:
+  DirectoryMap() { slots_.resize(kInitialCapacity); }
+
+  std::size_t size() const { return size_; }
+
+  /// Pointer to the entry for `line`, or nullptr when absent. The pointer
+  /// is invalidated by any subsequent insert or erase.
+  DirEntry* find(LineAddr line) {
+    std::size_t i = home_of(line);
+    while (slots_[i].used) {
+      if (slots_[i].line == line) return &slots_[i].entry;
+      i = (i + 1) & mask();
+    }
+    return nullptr;
+  }
+  const DirEntry* find(LineAddr line) const {
+    return const_cast<DirectoryMap*>(this)->find(line);
+  }
+
+  /// Entry for `line`, default-constructed and inserted when absent.
+  /// The reference is invalidated by any subsequent insert or erase.
+  DirEntry& get_or_insert(LineAddr line) {
+    if (DirEntry* found = find(line)) return *found;
+    // Grow at 50% load: linear probing degrades sharply past that, and
+    // the 16-byte slots make the extra headroom cheap (a 64-core run
+    // tops out around a few hundred KB of table).
+    if ((size_ + 1) * 2 > slots_.size()) grow();
+    std::size_t i = home_of(line);
+    while (slots_[i].used) i = (i + 1) & mask();
+    slots_[i] = Slot{line, DirEntry{}, true};
+    ++size_;
+    return slots_[i].entry;
+  }
+
+  /// Removes `line` if present (backward-shift deletion).
+  void erase(LineAddr line) {
+    std::size_t i = home_of(line);
+    while (slots_[i].used) {
+      if (slots_[i].line == line) {
+        erase_slot(i);
+        return;
+      }
+      i = (i + 1) & mask();
+    }
+  }
+
+  /// Calls f(line, entry&) for every entry, in table order. f must not
+  /// insert into or erase from the map.
+  template <typename F>
+  void for_each(F&& f) {
+    for (Slot& slot : slots_) {
+      if (slot.used) f(slot.line, slot.entry);
+    }
+  }
+
+ private:
+  struct Slot {
+    LineAddr line = 0;
+    DirEntry entry;
+    bool used = false;
+  };
+
+  static constexpr std::size_t kInitialCapacity = 1024;
+
+  std::size_t mask() const { return slots_.size() - 1; }
+
+  std::size_t home_of(LineAddr line) const {
+    // SplitMix64 finalizer: line addresses are sequential per set, so the
+    // low bits need thorough mixing before masking.
+    std::uint64_t z = static_cast<std::uint64_t>(line) +
+                      0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>((z ^ (z >> 31)) & mask());
+  }
+
+  void grow() {
+    std::vector<Slot> old;
+    old.swap(slots_);
+    slots_.resize(old.size() * 2);
+    size_ = 0;
+    for (const Slot& slot : old) {
+      if (slot.used) get_or_insert(slot.line) = slot.entry;
+    }
+  }
+
+  void erase_slot(std::size_t gap) {
+    // Backward-shift: pull later cluster members whose home position is at
+    // or before the gap into it, so lookups never cross an empty slot.
+    std::size_t j = gap;
+    while (true) {
+      j = (j + 1) & mask();
+      if (!slots_[j].used) break;
+      const std::size_t home = home_of(slots_[j].line);
+      if (((j - home) & mask()) >= ((j - gap) & mask())) {
+        slots_[gap] = slots_[j];
+        gap = j;
+      }
+    }
+    slots_[gap].used = false;
+    --size_;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace respin::mem

@@ -121,8 +121,7 @@ PrivateAccessResult PrivateL1System::access_data(std::uint32_t core, Addr addr,
     if (!store) return {.l1_hit = true, .extra_cycles = ecc_extra};
     if (can_write(*state)) {
       cache.set_state(line, Mesi::kModified);
-      auto it = directory_.find(line);
-      if (it != directory_.end()) it->second.dirty = true;
+      if (DirEntry* entry = directory_.find(line)) entry->dirty = true;
       bool exhausted = false;
       const std::uint32_t retry_extra = draw_write(faults, &exhausted);
       if (exhausted) {
@@ -140,17 +139,17 @@ PrivateAccessResult PrivateL1System::access_data(std::uint32_t core, Addr addr,
     ++coherence_.upgrades;
     ++coherence_.directory_lookups;
     std::uint32_t stall = params_.invalidation_cycles + ecc_extra;
-    auto it = directory_.find(line);
-    RESPIN_REQUIRE(it != directory_.end(), "shared line missing from directory");
-    std::uint32_t peers = it->second.sharers & ~my_bit;
+    DirEntry* entry = directory_.find(line);
+    RESPIN_REQUIRE(entry != nullptr, "shared line missing from directory");
+    std::uint32_t peers = entry->sharers & ~my_bit;
     while (peers != 0) {
       const auto peer = static_cast<std::uint32_t>(std::countr_zero(peers));
       peers &= peers - 1;
       l1d_[peer].invalidate(line);
       ++coherence_.invalidations_sent;
     }
-    it->second.sharers = my_bit;
-    it->second.dirty = true;
+    entry->sharers = my_bit;
+    entry->dirty = true;
     cache.set_state(line, Mesi::kModified);
     bool exhausted = false;
     stall += draw_write(faults, &exhausted);
@@ -166,9 +165,10 @@ PrivateAccessResult PrivateL1System::access_data(std::uint32_t core, Addr addr,
   // covers the directory lookup).
   ++coherence_.directory_lookups;
   std::uint32_t stall = 0;
-  auto it = directory_.find(line);
-  if (it != directory_.end() && (it->second.sharers & ~my_bit) != 0) {
-    DirEntry& entry = it->second;
+  DirEntry* found = directory_.find(line);
+  const bool had_peers = found != nullptr && (found->sharers & ~my_bit) != 0;
+  if (had_peers) {
+    DirEntry& entry = *found;
     if (entry.dirty) {
       // A peer holds M: intervene, pull the dirty copy.
       ++coherence_.interventions;
@@ -224,7 +224,7 @@ PrivateAccessResult PrivateL1System::access_data(std::uint32_t core, Addr addr,
   } else {
     // No peer copy: plain fill from the backside.
     stall += backside.fill(addr).latency_cycles;
-    DirEntry& entry = directory_[line];
+    DirEntry& entry = directory_.get_or_insert(line);
     entry.sharers = my_bit;
     entry.dirty = store;
   }
@@ -245,10 +245,11 @@ PrivateAccessResult PrivateL1System::access_data(std::uint32_t core, Addr addr,
     evict_data_line(core, line, /*dirty=*/store, backside);
     return {.l1_hit = false, .extra_cycles = stall};
   }
-  const Mesi install = store ? Mesi::kModified
-                       : ((directory_[line].sharers & ~my_bit) != 0)
-                           ? Mesi::kShared
-                           : Mesi::kExclusive;
+  // A load that found peer copies installs Shared (every branch above
+  // leaves the peers' membership intact for loads); otherwise Exclusive.
+  const Mesi install = store      ? Mesi::kModified
+                       : had_peers ? Mesi::kShared
+                                   : Mesi::kExclusive;
   if (auto evicted = cache.insert(line, install)) {
     evict_data_line(core, evicted->line, evicted->dirty, backside);
   }
@@ -257,10 +258,9 @@ PrivateAccessResult PrivateL1System::access_data(std::uint32_t core, Addr addr,
 
 void PrivateL1System::evict_data_line(std::uint32_t core, LineAddr line,
                                       bool dirty, Backside& backside) {
-  auto it = directory_.find(line);
-  if (it != directory_.end()) {
-    it->second.sharers &= ~(1u << core);
-    if (it->second.sharers == 0) directory_.erase(it);
+  if (DirEntry* entry = directory_.find(line)) {
+    entry->sharers &= ~(1u << core);
+    if (entry->sharers == 0) directory_.erase(line);
   }
   if (dirty) {
     ++coherence_.writebacks;
@@ -270,25 +270,24 @@ void PrivateL1System::evict_data_line(std::uint32_t core, LineAddr line,
 
 void PrivateL1System::flush_core(std::uint32_t core, Backside& backside) {
   RESPIN_REQUIRE(core < params_.core_count, "core id out of range");
-  // Walk the directory dropping this core's copies; dirty lines write back.
+  // Walk the directory dropping this core's copies; dirty lines write
+  // back. Emptied entries are erased after the walk (erasing mid-walk
+  // would shift slots under the iteration).
   const std::uint32_t my_bit = 1u << core;
-  for (auto it = directory_.begin(); it != directory_.end();) {
-    if ((it->second.sharers & my_bit) != 0) {
-      bool dirty = false;
-      l1d_[core].invalidate(it->first, &dirty);
-      if (dirty) {
-        ++coherence_.writebacks;
-        backside.writeback(it->first * params_.line_bytes);
-        it->second.dirty = false;
-      }
-      it->second.sharers &= ~my_bit;
-      if (it->second.sharers == 0) {
-        it = directory_.erase(it);
-        continue;
-      }
+  std::vector<LineAddr> emptied;
+  directory_.for_each([&](LineAddr line, DirEntry& entry) {
+    if ((entry.sharers & my_bit) == 0) return;
+    bool dirty = false;
+    l1d_[core].invalidate(line, &dirty);
+    if (dirty) {
+      ++coherence_.writebacks;
+      backside.writeback(line * params_.line_bytes);
+      entry.dirty = false;
     }
-    ++it;
-  }
+    entry.sharers &= ~my_bit;
+    if (entry.sharers == 0) emptied.push_back(line);
+  });
+  for (const LineAddr line : emptied) directory_.erase(line);
   l1d_[core].flush();
   l1i_[core].flush();
 }

@@ -12,13 +12,13 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "fault/fault.hpp"
 #include "mem/backside.hpp"
 #include "mem/cache_array.hpp"
 #include "mem/cache_types.hpp"
+#include "mem/directory_map.hpp"
 #include "obs/counters.hpp"
 
 namespace respin::mem {
@@ -102,11 +102,6 @@ class PrivateL1System {
                         const std::string& prefix) const;
 
  private:
-  struct DirEntry {
-    std::uint32_t sharers = 0;  ///< Bitmask over cores.
-    bool dirty = false;         ///< Exactly one sharer holds M.
-  };
-
   PrivateAccessResult access_data(std::uint32_t core, Addr addr, bool store,
                                   Backside& backside,
                                   fault::FaultInjector* faults);
@@ -123,7 +118,7 @@ class PrivateL1System {
   PrivateL1Params params_;
   std::vector<CacheArray> l1i_;
   std::vector<CacheArray> l1d_;
-  std::unordered_map<LineAddr, DirEntry> directory_;
+  DirectoryMap directory_;
   CoherenceStats coherence_;
   std::uint64_t l1_reads_ = 0;
   std::uint64_t l1_writes_ = 0;

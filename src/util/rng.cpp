@@ -23,12 +23,6 @@ std::uint64_t fnv1a(std::string_view text) {
   return hash;
 }
 
-namespace {
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& lane : s_) lane = splitmix64(sm);
@@ -36,35 +30,6 @@ Rng::Rng(std::uint64_t seed) {
 
 Rng::Rng(std::string_view name, std::uint64_t index)
     : Rng(fnv1a(name) ^ (0x9e3779b97f4a7c15ULL * (index + 1))) {}
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 high bits -> double in [0,1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
-
-std::uint64_t Rng::uniform_u64(std::uint64_t bound) {
-  RESPIN_REQUIRE(bound > 0, "uniform_u64 bound must be positive");
-  // Lemire's method would be faster; rejection keeps it simple and unbiased.
-  const std::uint64_t threshold = -bound % bound;
-  for (;;) {
-    const std::uint64_t r = next_u64();
-    if (r >= threshold) return r % bound;
-  }
-}
 
 double Rng::normal() {
   if (has_cached_normal_) {
@@ -86,15 +51,17 @@ double Rng::normal(double mean, double stddev) {
   return mean + stddev * normal();
 }
 
-bool Rng::bernoulli(double p) { return uniform() < p; }
-
 std::uint64_t Rng::geometric(double p, std::uint64_t cap) {
   RESPIN_REQUIRE(p > 0.0 && p <= 1.0, "geometric needs p in (0,1]");
   if (p >= 1.0) return 0;
+  return geometric_from_log(std::log1p(-p), cap);
+}
+
+std::uint64_t Rng::geometric_from_log(double log1p_neg_p, std::uint64_t cap) {
   // Inverse-transform sampling: floor(log(u) / log(1-p)).
   double u = uniform();
   if (u < 1e-300) u = 1e-300;
-  const double draw = std::floor(std::log(u) / std::log1p(-p));
+  const double draw = std::floor(std::log(u) / log1p_neg_p);
   if (draw >= static_cast<double>(cap)) return cap;
   return static_cast<std::uint64_t>(draw);
 }

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "util/require.hpp"
+
 namespace respin::util {
 
 /// SplitMix64: used only to expand seeds for Xoshiro.
@@ -26,17 +28,44 @@ class Rng {
   /// e.g. Rng("varius.vth", core_id).
   Rng(std::string_view name, std::uint64_t index);
 
+  // The draw primitives are defined inline: they sit on the simulator's
+  // per-access hot path (workload generation, arbitration tie-breaks,
+  // fault draws), where an out-of-line call costs more than the xoshiro
+  // step itself.
+
   /// Next raw 64-bit value.
-  std::uint64_t next_u64();
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
-  double uniform();
+  double uniform() {
+    // 53 high bits -> double in [0,1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
   /// Uniform integer in [0, bound) without modulo bias.
-  std::uint64_t uniform_u64(std::uint64_t bound);
+  std::uint64_t uniform_u64(std::uint64_t bound) {
+    RESPIN_REQUIRE(bound > 0, "uniform_u64 bound must be positive");
+    // Lemire's method would be faster; rejection keeps it simple and
+    // unbiased.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
 
   /// Standard normal deviate (Box-Muller with caching).
   double normal();
@@ -45,13 +74,23 @@ class Rng {
   double normal(double mean, double stddev);
 
   /// Bernoulli trial with probability p of returning true.
-  bool bernoulli(double p);
+  bool bernoulli(double p) { return uniform() < p; }
 
   /// Geometric-like draw: number of failures before the first success with
   /// success probability p (p in (0, 1]). Capped at `cap`.
   std::uint64_t geometric(double p, std::uint64_t cap);
 
+  /// As geometric(p, cap) for p in (0, 1), with log1p(-p) precomputed by
+  /// the caller. Bit-identical to geometric() for the same p — the
+  /// division is unchanged, only the constant denominator is hoisted out
+  /// of per-draw code (the workload draws one gap per memory access).
+  std::uint64_t geometric_from_log(double log1p_neg_p, std::uint64_t cap);
+
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

@@ -45,13 +45,6 @@ Histogram::Histogram(std::size_t bucket_count) : buckets_(bucket_count, 0) {
   RESPIN_REQUIRE(bucket_count > 0, "histogram needs at least one bucket");
 }
 
-void Histogram::add(std::uint64_t value, std::uint64_t weight) {
-  const std::size_t index =
-      std::min<std::size_t>(value, buckets_.size() - 1);
-  buckets_[index] += weight;
-  total_ += weight;
-}
-
 std::uint64_t Histogram::bucket(std::size_t index) const {
   RESPIN_REQUIRE(index < buckets_.size(), "histogram bucket out of range");
   return buckets_[index];

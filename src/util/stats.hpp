@@ -40,7 +40,15 @@ class Histogram {
  public:
   explicit Histogram(std::size_t bucket_count);
 
-  void add(std::uint64_t value, std::uint64_t weight = 1);
+  // Inline: the latency/arrival histograms are bumped from per-access
+  // simulator paths.
+  void add(std::uint64_t value, std::uint64_t weight = 1) {
+    const std::size_t index = value < buckets_.size() - 1
+                                  ? static_cast<std::size_t>(value)
+                                  : buckets_.size() - 1;
+    buckets_[index] += weight;
+    total_ += weight;
+  }
 
   std::uint64_t total() const { return total_; }
   std::uint64_t bucket(std::size_t index) const;

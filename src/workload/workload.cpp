@@ -81,6 +81,8 @@ void ThreadWorkload::enter_phase(std::size_t index) {
   }
   phase_index_ = index;
   phase_budget_ = phase_work_for_thread(index);
+  const double mem = phase().mem_fraction;
+  mem_gap_log_ = mem > 0.0 && mem < 1.0 ? std::log1p(-mem) : 0.0;
   barriers_left_ = phase().barriers;
   until_barrier_ = barriers_left_ > 0
                        ? phase_budget_ / (barriers_left_ + 1) + 1
@@ -159,7 +161,10 @@ Op ThreadWorkload::next() {
   // memory instruction it precedes (pending_mem_), or the achieved memory
   // fraction would be one geometric mean short of the target.
   if (!pending_mem_) {
-    const std::uint64_t gap = rng_.geometric(p.mem_fraction, 4096);
+    const std::uint64_t gap =
+        p.mem_fraction >= 1.0
+            ? 0
+            : rng_.geometric_from_log(mem_gap_log_, 4096);
     if (gap > 0) {
       const auto run =
           static_cast<std::uint32_t>(std::min<std::uint64_t>(gap, limit));

@@ -114,6 +114,9 @@ class ThreadWorkload {
   std::uint32_t barriers_left_ = 0; ///< In-phase barriers still to emit.
   std::uint64_t next_barrier_id_ = 0;
   bool pending_mem_ = false;  ///< A compute gap was emitted; memory op due.
+  /// log1p(-mem_fraction) for the current phase — the constant denominator
+  /// of the per-memory-op geometric gap draw, hoisted out of next().
+  double mem_gap_log_ = 0.0;
   bool finished_ = false;
   std::uint64_t instructions_emitted_ = 0;
   mem::Addr code_cursor_ = 0;

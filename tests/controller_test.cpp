@@ -2,6 +2,7 @@
 // cache controller, including a replay of the paper's Figure 3 example.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "core/priority_register.hpp"
@@ -214,6 +215,78 @@ TEST(Controller, ReadsEventuallyServicedUnderSaturation) {
   EXPECT_GT(serviced_total, 1500);
   EXPECT_EQ(ctrl.stats().reads_serviced,
             static_cast<std::uint64_t>(serviced_total));
+}
+
+// ---- next_activity_cycle skip points -------------------------------------
+// The owner's event-driven clock jumps straight to these cycles, so each
+// edge case is pinned: a wrong prediction silently breaks the bit-exact
+// skip/no-skip equivalence contract rather than any single assertion.
+
+TEST(ControllerSkipPoints, EmptyControllerReportsNever) {
+  SharedCacheController ctrl(stt_params(), 1);
+  EXPECT_EQ(ctrl.next_activity_cycle(0),
+            std::numeric_limits<std::int64_t>::max());
+  // Draining the only request returns the controller to "never".
+  ctrl.submit_read(0, 4, 0);
+  step_n(ctrl, 0, 4);
+  EXPECT_FALSE(ctrl.has_pending_work());
+  EXPECT_EQ(ctrl.next_activity_cycle(4),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(ControllerSkipPoints, VisibleReadPinsNextCycle) {
+  SharedCacheController ctrl(stt_params(), 1);
+  // Two reads so one is still visible after the first is serviced: a
+  // waiting request is arbitrated and aged every cycle, so the clock may
+  // never skip past it.
+  ctrl.submit_read(0, 4, 0);
+  ctrl.submit_read(1, 4, 0);
+  std::vector<ServicedRead> out;
+  ctrl.step(2, out);  // Both visible at 2; one wins the port.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(ctrl.next_activity_cycle(2), 3);
+  EXPECT_EQ(ctrl.next_activity_cycle(100), 101);  // Still pinned to now+1.
+}
+
+TEST(ControllerSkipPoints, InFlightReadReportsItsVisibleCycle) {
+  SharedCacheController ctrl(stt_params(), 1);
+  ctrl.submit_read(0, 4, 10);  // Visible at 12 (2-cycle wire delay).
+  EXPECT_EQ(ctrl.next_activity_cycle(10), 12);
+  EXPECT_EQ(ctrl.next_activity_cycle(11), 12);
+}
+
+TEST(ControllerSkipPoints, DrainEligibleStoreWaitsOnWritePort) {
+  ControllerParams params = stt_params();
+  params.write_occupancy = 13;  // STT write pulse.
+  SharedCacheController ctrl(params, 1);
+  std::vector<ServicedRead> out;
+  // A fill at cycle 0 becomes visible at 1 and takes the write port until
+  // cycle 14; the store submitted at 0 matures into the drain queue at 2.
+  ctrl.submit_fill(0);
+  ctrl.submit_store(0);
+  ctrl.step(1, out);
+  ctrl.step(2, out);
+  // The queued store is drain-eligible but blocked: the next activity is
+  // the port release, max(write_port_free_at_, now + 1) = 14.
+  EXPECT_EQ(ctrl.next_activity_cycle(2), 14);
+  ctrl.note_skipped_cycles(11);
+  ctrl.step(14, out);  // Store takes the port.
+  // Port busy again until 27, but nothing else is pending — the drained
+  // queue no longer pins activity.
+  EXPECT_EQ(ctrl.next_activity_cycle(14),
+            std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(ControllerSkipPoints, DrainEligibleStoreOnFreePortIsImmediate) {
+  SharedCacheController ctrl(stt_params(), 1);
+  std::vector<ServicedRead> out;
+  ctrl.submit_store(0);  // Visible at 2.
+  ctrl.step(0, out);
+  EXPECT_EQ(ctrl.next_activity_cycle(0), 2);
+  ctrl.step(1, out);
+  ctrl.step(2, out);  // Matured and drained the same cycle: port was free.
+  EXPECT_EQ(ctrl.next_activity_cycle(2),
+            std::numeric_limits<std::int64_t>::max());
 }
 
 TEST(Controller, BusyCycleAccounting) {

@@ -21,6 +21,7 @@
 #include "core/shared_cache_controller.hpp"
 #include "mem/cache_array.hpp"
 #include "mem/cache_types.hpp"
+#include "reference_controller.hpp"
 #include "trace/format.hpp"
 #include "util/rng.hpp"
 
@@ -436,6 +437,91 @@ TEST(TraceVarintProperty, DecoderRejectsOverlongAndTruncatedInput) {
       FAIL() << "expected TraceError";
     } catch (const trace::TraceError& e) {
       EXPECT_EQ(e.kind(), trace::TraceErrorKind::kBadRecord);
+    }
+  }
+}
+
+// ---- SharedCacheController vs the AoS reference oracle -------------------
+
+// The production controller keeps its per-core read slots
+// struct-of-arrays (packed visibility bitmasks, parallel priority/issue
+// arrays); tests/reference_controller.hpp preserves the original
+// array-of-structs slot walk. Both run the same random schedule in
+// lockstep: serviced reads, admissions, statistics, activity predictions
+// and the RNG tie-break draws must agree cycle by cycle.
+TEST(ControllerProperty, SoaControllerMatchesAosReference) {
+  const core::ControllerParams shapes[] = {
+      {},  // Paper defaults: 16 cores, priority arbitration, STT writes.
+      {.core_count = 4, .read_occupancy = 2, .write_occupancy = 2,
+       .store_queue_depth = 4},
+      // 96 cores spans multiple 64-bit visibility words.
+      {.core_count = 96, .read_occupancy = 3, .store_queue_depth = 8},
+      {.core_count = 32, .arbitration = core::ArbitrationPolicy::kRoundRobin,
+       .store_queue_depth = 8},
+  };
+  const std::int64_t horizon = 2500;
+
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    for (const core::ControllerParams& params : shapes) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " cores=" + std::to_string(params.core_count));
+      core::SharedCacheController soa(params, seed);
+      test::ReferenceController aos(params, seed);
+      util::Rng rng("property.soa_vs_aos", seed);
+      std::vector<bool> outstanding(params.core_count, false);
+      std::vector<core::ServicedRead> soa_out;
+      std::vector<core::ServicedRead> aos_out;
+      std::uint64_t serviced_total = 0;
+
+      for (std::int64_t now = 0; now < horizon; ++now) {
+        // Heavier arrival rate than the port can drain, so priority
+        // registers age, half-miss and re-arm constantly.
+        if (rng.bernoulli(0.4)) {
+          const std::uint32_t core =
+              static_cast<std::uint32_t>(rng.uniform_u64(params.core_count));
+          if (!outstanding[core]) {
+            const std::uint32_t multiplier =
+                params.request_delay_cycles + 1 +
+                static_cast<std::uint32_t>(rng.uniform_u64(4));
+            soa.submit_read(core, multiplier, now);
+            aos.submit_read(core, multiplier, now);
+            outstanding[core] = true;
+          }
+        }
+        if (rng.bernoulli(0.15)) {
+          if (rng.bernoulli(0.3)) {
+            soa.submit_fill(now);
+            aos.submit_fill(now);
+          } else {
+            ASSERT_EQ(soa.submit_store(now), aos.submit_store(now))
+                << "store admission diverged at cycle " << now;
+          }
+        }
+        soa_out.clear();
+        aos_out.clear();
+        soa.step(now, soa_out);
+        aos.step(now, aos_out);
+        ASSERT_EQ(soa_out.size(), aos_out.size()) << "cycle " << now;
+        for (std::size_t i = 0; i < soa_out.size(); ++i) {
+          ASSERT_EQ(soa_out[i].core, aos_out[i].core) << "cycle " << now;
+          ASSERT_EQ(soa_out[i].issued_at, aos_out[i].issued_at)
+              << "cycle " << now;
+          ASSERT_EQ(soa_out[i].serviced_at, aos_out[i].serviced_at)
+              << "cycle " << now;
+          ASSERT_EQ(soa_out[i].half_misses, aos_out[i].half_misses)
+              << "cycle " << now;
+          outstanding[soa_out[i].core] = false;
+          ++serviced_total;
+        }
+        ASSERT_EQ(soa.next_activity_cycle(now), aos.next_activity_cycle(now))
+            << "cycle " << now;
+        ASSERT_EQ(soa.has_pending_work(), aos.has_pending_work())
+            << "cycle " << now;
+        ASSERT_EQ(soa.store_queue_size(), aos.store_queue_size())
+            << "cycle " << now;
+      }
+      ASSERT_GT(serviced_total, 0u);
+      expect_same_stats(soa.stats(), aos.stats());
     }
   }
 }

@@ -1,0 +1,225 @@
+// Test-only array-of-structs controller: the pre-refactor per-core slot
+// walk, kept verbatim as an executable oracle for the production
+// struct-of-arrays SharedCacheController. Every observable — serviced
+// reads field by field, statistics, store admissions, next_activity_cycle
+// predictions and the RNG tie-break draw sequence — must match the SoA
+// implementation exactly; property_test.cpp replays random schedules
+// through both. Do not optimize this file: its value is being the simple,
+// obviously-correct formulation.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "core/priority_register.hpp"
+#include "core/shared_cache_controller.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace respin::test {
+
+class ReferenceController {
+ public:
+  ReferenceController(const core::ControllerParams& params,
+                      std::uint64_t rng_seed)
+      : params_(params),
+        rng_("controller", rng_seed),
+        slots_(params.core_count) {
+    arrival_ring_.fill(0);
+  }
+
+  void submit_read(std::uint32_t core, std::uint32_t multiplier,
+                   std::int64_t now) {
+    ReadSlot& slot = slots_[core];
+    RESPIN_REQUIRE(!slot.valid, "core already has an outstanding read");
+    slot.valid = true;
+    slot.issued_at = now;
+    slot.visible_at = now + params_.request_delay_cycles;
+    slot.half_misses = 0;
+    slot.priority.preload(multiplier - params_.request_delay_cycles);
+    note_arrival(slot.visible_at);
+    ++outstanding_;
+  }
+
+  bool submit_store(std::int64_t now) {
+    if (store_queue_size() >= params_.store_queue_depth) {
+      ++stats_.store_queue_rejections;
+      return false;
+    }
+    const std::int64_t visible = now + params_.request_delay_cycles;
+    pending_store_times_.push_back(visible);
+    ++pending_stores_;
+    note_arrival(visible);
+    ++stats_.stores_accepted;
+    ++outstanding_;
+    return true;
+  }
+
+  void submit_fill(std::int64_t now) {
+    const std::int64_t visible = now + 1;
+    fill_queue_.push_back(visible);
+    note_arrival(visible);
+    ++stats_.fills;
+    ++outstanding_;
+  }
+
+  bool has_pending_work() const {
+    return outstanding_ > 0 || !store_queue_.empty() || !fill_queue_.empty();
+  }
+
+  std::uint32_t store_queue_size() const {
+    return static_cast<std::uint32_t>(store_queue_.size()) + pending_stores_;
+  }
+
+  std::int64_t next_activity_cycle(std::int64_t now) const {
+    std::int64_t next = std::numeric_limits<std::int64_t>::max();
+    for (const ReadSlot& slot : slots_) {
+      if (!slot.valid) continue;
+      if (slot.visible_at <= now) return now + 1;
+      next = std::min(next, slot.visible_at);
+    }
+    if (!pending_store_times_.empty()) {
+      next = std::min(next, pending_store_times_.front());
+    }
+    for (const std::int64_t visible : fill_queue_) {
+      next = std::min(next, visible > now
+                                ? visible
+                                : std::max(write_port_free_at_, now + 1));
+    }
+    if (!store_queue_.empty()) {
+      next = std::min(next, std::max(write_port_free_at_, now + 1));
+    }
+    return std::max(next, now + 1);
+  }
+
+  void note_skipped_cycles(std::int64_t cycles) {
+    if (cycles <= 0) return;
+    stats_.total_cycles += static_cast<std::uint64_t>(cycles);
+    stats_.arrivals_per_cycle.add(0, static_cast<std::uint64_t>(cycles));
+    if (has_pending_work()) {
+      stats_.busy_cycles += static_cast<std::uint64_t>(cycles);
+    }
+  }
+
+  void step(std::int64_t now, std::vector<core::ServicedRead>& out) {
+    ++stats_.total_cycles;
+    auto& ring_slot =
+        arrival_ring_[static_cast<std::size_t>(now) % arrival_ring_.size()];
+    stats_.arrivals_per_cycle.add(ring_slot);
+    ring_slot = 0;
+
+    if (outstanding_ == 0) return;
+    ++stats_.busy_cycles;
+
+    while (!pending_store_times_.empty() &&
+           pending_store_times_.front() <= now) {
+      store_queue_.push_back(pending_store_times_.front());
+      pending_store_times_.pop_front();
+      --pending_stores_;
+    }
+
+    if (read_port_free_at_ <= now) {
+      ReadSlot* winner = nullptr;
+      std::uint32_t winner_core = 0;
+      std::uint32_t tie_count = 0;
+      if (params_.arbitration == core::ArbitrationPolicy::kRoundRobin) {
+        for (std::uint32_t offset = 0; offset < slots_.size(); ++offset) {
+          const std::uint32_t c =
+              (rr_cursor_ + offset) %
+              static_cast<std::uint32_t>(slots_.size());
+          ReadSlot& slot = slots_[c];
+          if (!slot.valid || slot.visible_at > now) continue;
+          winner = &slot;
+          winner_core = c;
+          rr_cursor_ = (c + 1) % static_cast<std::uint32_t>(slots_.size());
+          break;
+        }
+      } else {
+        for (std::uint32_t c = 0; c < slots_.size(); ++c) {
+          ReadSlot& slot = slots_[c];
+          if (!slot.valid || slot.visible_at > now) continue;
+          if (winner == nullptr ||
+              slot.priority.slack() < winner->priority.slack()) {
+            winner = &slot;
+            winner_core = c;
+            tie_count = 1;
+          } else if (slot.priority.slack() == winner->priority.slack()) {
+            ++tie_count;
+            if (rng_.uniform_u64(tie_count) == 0) {
+              winner = &slot;
+              winner_core = c;
+            }
+          }
+        }
+      }
+      if (winner != nullptr) {
+        out.push_back(core::ServicedRead{.core = winner_core,
+                                         .issued_at = winner->issued_at,
+                                         .serviced_at = now,
+                                         .half_misses = winner->half_misses});
+        winner->valid = false;
+        --outstanding_;
+        ++stats_.reads_serviced;
+        read_port_free_at_ = now + params_.read_occupancy;
+      }
+    }
+
+    if (write_port_free_at_ <= now) {
+      if (!fill_queue_.empty() && fill_queue_.front() <= now) {
+        fill_queue_.pop_front();
+        --outstanding_;
+        write_port_free_at_ = now + params_.write_occupancy;
+      } else if (!store_queue_.empty() && store_queue_.front() <= now) {
+        store_queue_.pop_front();
+        --outstanding_;
+        write_port_free_at_ = now + params_.write_occupancy;
+      }
+    }
+
+    for (ReadSlot& slot : slots_) {
+      if (!slot.valid || slot.visible_at > now) continue;
+      slot.priority.shift();
+      if (slot.priority.expired()) {
+        if (slot.half_misses == 0) ++stats_.half_misses;
+        ++slot.half_misses;
+        slot.priority.preload(1);
+      }
+    }
+  }
+
+  const core::ControllerStats& stats() const { return stats_; }
+
+ private:
+  struct ReadSlot {
+    bool valid = false;
+    std::int64_t issued_at = 0;
+    std::int64_t visible_at = 0;
+    std::uint32_t half_misses = 0;
+    core::PriorityRegister priority;
+  };
+
+  void note_arrival(std::int64_t visible_at) {
+    ++arrival_ring_[static_cast<std::size_t>(visible_at) %
+                    arrival_ring_.size()];
+  }
+
+  core::ControllerParams params_;
+  util::Rng rng_;
+  std::vector<ReadSlot> slots_;
+  std::deque<std::int64_t> pending_store_times_;
+  std::deque<std::int64_t> store_queue_;
+  std::uint32_t pending_stores_ = 0;
+  std::deque<std::int64_t> fill_queue_;
+  std::int64_t read_port_free_at_ = 0;
+  std::int64_t write_port_free_at_ = 0;
+  std::array<std::uint32_t, 8> arrival_ring_{};
+  std::uint32_t outstanding_ = 0;
+  std::uint32_t rr_cursor_ = 0;
+  core::ControllerStats stats_;
+};
+
+}  // namespace respin::test
