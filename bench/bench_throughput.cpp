@@ -59,8 +59,12 @@ int main(int argc, char** argv) {
       "tracks simulator speed: parallel fan-out + event-driven clock",
       options);
 
+  // One private-L1 config, one shared-L1 config, and the hybrid L1D (its
+  // per-way class bookkeeping rides the hottest access path, so its cost
+  // must show up in the throughput trajectory).
   const std::vector<core::ConfigId> configs = {core::ConfigId::kPrSramNt,
-                                               core::ConfigId::kShStt};
+                                               core::ConfigId::kShStt,
+                                               core::ConfigId::kShHybrid};
   const std::vector<std::string> benches = workload::benchmark_names();
   const std::size_t sims = configs.size() * benches.size();
 
@@ -161,7 +165,13 @@ int main(int argc, char** argv) {
       std::int64_t cycles = 0;
       for (const core::SimResult& r : row.front()) cycles += r.cycles;
       std::string key = core::to_string(config);
-      for (char& c : key) c = c == '-' ? '_' : static_cast<char>(tolower(c));
+      for (char& c : key) {
+        // Config names carry '-' and '+' ("SH-HYBRID-4+12"); JSON metric
+        // keys stay [a-z0-9_].
+        c = std::isalnum(static_cast<unsigned char>(c))
+                ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                : '_';
+      }
       json.push_back({"config_" + key + "_wall_seconds", wall, "s", "lower",
                       false});
       json.push_back({"config_" + key + "_mcycles_per_sec",

@@ -13,10 +13,11 @@ namespace respin::core {
 ClusterConfig make_chip_cluster_config(ConfigId id, CacheSize size,
                                        std::uint32_t cluster_cores,
                                        std::uint32_t cluster_index,
-                                       std::uint64_t seed) {
+                                       std::uint64_t seed,
+                                       const TechOverride& tech) {
   return make_cluster_config(id, size, cluster_cores, seed,
                              CoreCalibration{},
-                             cluster_index * cluster_cores);
+                             cluster_index * cluster_cores, tech);
 }
 
 ChipResult run_chip(ConfigId id, const std::string& benchmark,
@@ -30,7 +31,8 @@ ChipResult run_chip(ConfigId id, const std::string& benchmark,
   configs.reserve(clusters);
   for (std::uint32_t c = 0; c < clusters; ++c) {
     configs.push_back(make_chip_cluster_config(
-        id, options.size, options.cluster_cores, c, options.seed));
+        id, options.size, options.cluster_cores, c, options.seed,
+        options.tech));
   }
 
   ChipResult chip;

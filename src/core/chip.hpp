@@ -51,6 +51,7 @@ ChipResult run_chip(ConfigId id, const std::string& benchmark,
 ClusterConfig make_chip_cluster_config(ConfigId id, CacheSize size,
                                        std::uint32_t cluster_cores,
                                        std::uint32_t cluster_index,
-                                       std::uint64_t seed);
+                                       std::uint64_t seed,
+                                       const TechOverride& tech = {});
 
 }  // namespace respin::core

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "nvsim/tech_backend.hpp"
 #include "util/require.hpp"
 
 namespace respin::core {
@@ -60,19 +61,40 @@ ClusterSim::ClusterSim(ClusterConfig config, std::string benchmark_name,
     dl1_ctrl_.emplace(cfg_.controller, params.seed);
     l1i_.emplace(cfg_.l1_shared_capacity, cfg_.l1_line_bytes, cfg_.l1i_ways);
     l1d_.emplace(cfg_.l1_shared_capacity, cfg_.l1_line_bytes, cfg_.l1d_ways);
+    // Hybrid L1D: dedicate the first hybrid_sram_ways ways of every set to
+    // SRAM (the L1I stays pure — ifetches never write).
+    if (cfg_.hybrid_sram_ways > 0) {
+      l1d_->set_way_partition(cfg_.hybrid_sram_ways);
+    }
     pending_reads_.resize(cfg_.cluster_cores);
   } else {
     private_l1_.emplace(cfg_.private_l1);
   }
 
   if (params_.faults.enabled) {
-    injector_.emplace(params_.faults, cfg_.vth_mean);
-    // The technology picks the active model: SRAM arrays get static
-    // voltage-dependent cell maps, STT-RAM arrays get stochastic write
-    // retries. See docs/faults.md.
-    stt_write_faults_ = cfg_.cache_tech == nvsim::MemTech::kSttRam &&
-                        params_.faults.stt.write_fail_prob > 0.0;
-    if (cfg_.cache_tech == nvsim::MemTech::kSram) {
+    // The technology's registered backend picks the active fault model:
+    // static-cell technologies (SRAM, eDRAM) get voltage-dependent cell
+    // maps — eDRAM with its retention margin shifting the Vccmin mean —
+    // and write-retry technologies (STT-RAM, PCM) get stochastic write
+    // draws, PCM at a wear-elevated rate. See docs/faults.md and
+    // docs/technologies.md. For SRAM and STT-RAM the adjustments below
+    // are exact no-ops (x1.0, +0.0), keeping fault runs bit-identical to
+    // the pre-registry model.
+    const nvsim::TechTraits tech_traits =
+        nvsim::TechnologyRegistry::instance()
+            .backend(cfg_.cache_tech)
+            .traits();
+    fault::FaultPlan plan = params_.faults;
+    plan.stt.write_fail_prob *= tech_traits.write_fail_multiplier;
+    plan.sram.vccmin_mean += tech_traits.vccmin_shift_v;
+    injector_.emplace(plan, cfg_.vth_mean);
+    // Write-retry draws are per-array-write and technology-wide; a hybrid
+    // L1D mixes classes within one array, so retry injection is not yet
+    // modeled there (documented limitation — docs/technologies.md).
+    stt_write_faults_ = tech_traits.write_retry_faults &&
+                        plan.stt.write_fail_prob > 0.0 &&
+                        cfg_.hybrid_sram_ways == 0;
+    if (tech_traits.static_cell_faults) {
       std::vector<double> vths(cfg_.cluster_cores, cfg_.vth_mean);
       for (std::size_t c = 0; c < vths.size() && c < cfg_.core_vth.size();
            ++c) {
@@ -606,14 +628,17 @@ bool ClusterSim::issue_store(std::uint32_t pid, std::uint32_t vid) {
     // (the store buffer hides the fill latency).
     const mem::LineAddr line = mem::line_of(addr, cfg_.l1_line_bytes);
     bool corrected = false;
-    if (auto state = l1d_->access(line, &corrected)) {
+    bool sram_way = false;
+    if (auto state = l1d_->access(line, &corrected, &sram_way)) {
       (void)state;
+      if (sram_way) ++counts_.l1_sram_writes;
       l1d_->set_state(line, mem::Mesi::kModified);
       if (corrected && injector_) {
         // Read-modify-write of a SECDED-corrected word; the store buffer
         // hides the latency but the extra array read costs energy.
         injector_->note_correction();
         ++counts_.l1_reads;
+        if (sram_way) ++counts_.l1_sram_reads;
       }
       if (stt_write_faults_) {
         bool exhausted = false;
@@ -802,8 +827,10 @@ void ClusterSim::handle_serviced_read(const ServicedRead& serviced) {
   ++counts_.l1_reads;
   const mem::LineAddr line = mem::line_of(pending.addr, cfg_.l1_line_bytes);
   bool corrected = false;
-  const bool hit = l1d_->access(line, &corrected).has_value();
+  bool sram_way = false;
+  const bool hit = l1d_->access(line, &corrected, &sram_way).has_value();
   if (hit) {
+    if (sram_way) ++counts_.l1_sram_reads;
     std::int64_t latency_cycles =
         serviced.serviced_at + 1 - serviced.issued_at;
     if (corrected && injector_) {
@@ -811,6 +838,7 @@ void ClusterSim::handle_serviced_read(const ServicedRead& serviced) {
       // and the array is read again after the fix.
       injector_->note_correction();
       ++counts_.l1_reads;
+      if (sram_way) ++counts_.l1_sram_reads;
       latency_cycles += params_.faults.ecc.correction_cycles;
     }
     const auto core_cycles =
@@ -863,11 +891,18 @@ void ClusterSim::apply_fill(const FillEvent& event) {
     return;
   }
   if (array.probe(line).has_value()) return;  // Raced with another fill.
-  if (auto evicted = array.insert(line, mem::Mesi::kExclusive)) {
+  // On a hybrid L1D, steer store-allocate fills (write-biased lines) into
+  // the SRAM way class; pure arrays and the L1I ignore the hint.
+  const mem::WayClassHint hint = event.store ? mem::WayClassHint::kPreferSram
+                                             : mem::WayClassHint::kAny;
+  bool placed_sram = false;
+  if (auto evicted = array.insert(line, mem::Mesi::kExclusive, hint,
+                                  &placed_sram)) {
     if (evicted->dirty) {
       backside_.writeback(evicted->line * cfg_.l1_line_bytes);
     }
   }
+  if (placed_sram) counts_.l1_sram_writes += 1 + event.retries;
 }
 
 void ClusterSim::set_active_cores(std::uint32_t count) {
@@ -1028,6 +1063,14 @@ void ClusterSim::collect_counters(obs::CounterSet& set) const {
   }
   if (dl1_ctrl_) dl1_ctrl_->collect_counters(set, "dl1");
   if (private_l1_) private_l1_->collect_counters(set, "pl1");
+  if (cfg_.hybrid_sram_ways > 0) {
+    set.add("tech.l1_sram_ways",
+            static_cast<std::uint64_t>(cfg_.hybrid_sram_ways));
+    set.add("tech.l1_nvm_ways",
+            static_cast<std::uint64_t>(cfg_.hybrid_nvm_ways));
+    set.add("tech.l1_sram_reads", counts_.l1_sram_reads);
+    set.add("tech.l1_sram_writes", counts_.l1_sram_writes);
+  }
   if (injector_) {
     const fault::FaultStats& f = injector_->stats();
     set.add("fault.sram_lines_mapped", f.sram_lines_mapped);
@@ -1129,6 +1172,9 @@ SimResult ClusterSim::result() {
     r.dl1_arrivals = dl1_ctrl_->stats().arrivals_per_cycle;
     r.dl1_cycles = dl1_ctrl_->stats().total_cycles;
   }
+
+  r.hybrid_sram_ways = cfg_.hybrid_sram_ways;
+  r.hybrid_nvm_ways = cfg_.hybrid_nvm_ways;
 
   if (injector_) {
     r.faults_enabled = true;

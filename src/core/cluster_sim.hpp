@@ -91,6 +91,11 @@ struct SimResult {
   std::uint32_t min_active_cores = 0;
   std::uint32_t max_active_cores = 0;
 
+  // Hybrid L1D way partition (surfaced as tech.* metrics); both zero on
+  // pure arrays. The SRAM-class access counts live in counts.l1_sram_*.
+  std::uint32_t hybrid_sram_ways = 0;
+  std::uint32_t hybrid_nvm_ways = 0;
+
   // Fault injection (respin::fault); all zero when faults were disabled.
   bool faults_enabled = false;
   fault::FaultStats faults;

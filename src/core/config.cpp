@@ -1,7 +1,9 @@
 #include "core/config.hpp"
 
+#include <algorithm>
 #include <cmath>
 
+#include "nvsim/tech_backend.hpp"
 #include "util/require.hpp"
 #include "varius/variation.hpp"
 
@@ -17,6 +19,9 @@ const char* to_string(ConfigId id) {
     case ConfigId::kShSttCcOracle: return "SH-STT-CC-Oracle";
     case ConfigId::kPrSttCc: return "PR-STT-CC";
     case ConfigId::kShSttCcOs: return "SH-STT-CC-OS";
+    case ConfigId::kShPcm: return "SH-PCM";
+    case ConfigId::kShEdram: return "SH-EDRAM";
+    case ConfigId::kShHybrid: return "SH-HYBRID-4+12";
   }
   return "?";
 }
@@ -34,7 +39,9 @@ std::vector<ConfigId> all_config_ids() {
   return {ConfigId::kPrSramNt,   ConfigId::kHpSramCmp,
           ConfigId::kShSramNom,  ConfigId::kShStt,
           ConfigId::kShSttCc,    ConfigId::kShSttCcOracle,
-          ConfigId::kPrSttCc,    ConfigId::kShSttCcOs};
+          ConfigId::kPrSttCc,    ConfigId::kShSttCcOs,
+          ConfigId::kShPcm,      ConfigId::kShEdram,
+          ConfigId::kShHybrid};
 }
 
 ConfigId parse_config_id(const std::string& name) {
@@ -110,6 +117,17 @@ ConfigTraits traits_of(ConfigId id, const tech::TechnologyParams& tp) {
     case ConfigId::kShSttCcOs:
       return {true, nvsim::MemTech::kSttRam, tp.nominal_vdd, false,
               GovernorKind::kOs};
+    case ConfigId::kShPcm:
+      return {true, nvsim::MemTech::kPcm, tp.nominal_vdd, false,
+              GovernorKind::kNone};
+    case ConfigId::kShEdram:
+      return {true, nvsim::MemTech::kEdram, tp.nominal_vdd, false,
+              GovernorKind::kNone};
+    case ConfigId::kShHybrid:
+      // Hybrid base technology is the NVM way class; the SRAM class and
+      // the default 4+12 partition are applied in make_cluster_config.
+      return {true, nvsim::MemTech::kSttRam, tp.nominal_vdd, false,
+              GovernorKind::kNone};
   }
   RESPIN_REQUIRE(false, "unknown config id");
   throw std::logic_error("unreachable");
@@ -125,7 +143,8 @@ ClusterConfig make_cluster_config(ConfigId id, CacheSize size,
                                   std::uint32_t cluster_cores,
                                   std::uint64_t seed,
                                   const CoreCalibration& cal,
-                                  std::uint32_t first_core) {
+                                  std::uint32_t first_core,
+                                  const TechOverride& tech_override) {
   RESPIN_REQUIRE(cluster_cores >= 2 && cluster_cores <= 32 &&
                      kChipCores % cluster_cores == 0,
                  "cluster size must divide the 64-core chip");
@@ -135,6 +154,15 @@ ClusterConfig make_cluster_config(ConfigId id, CacheSize size,
   const tech::TechnologyParams tp = tech::TechnologyParams::ipdps2017();
   const ConfigTraits tr = traits_of(id, tp);
 
+  // --- Technology selection: named traits, then CLI/API overrides.
+  nvsim::MemTech l1_tech = tr.tech;
+  if (tr.shared_l1 && tech_override.shared_tech) {
+    l1_tech = *tech_override.shared_tech;
+  }
+  if (!tr.shared_l1 && tech_override.private_tech) {
+    l1_tech = *tech_override.private_tech;
+  }
+
   ClusterConfig cfg;
   cfg.name = to_string(id);
   cfg.id = id;
@@ -142,8 +170,35 @@ ClusterConfig make_cluster_config(ConfigId id, CacheSize size,
   cfg.cluster_cores = cluster_cores;
   cfg.clusters_per_chip = kChipCores / cluster_cores;
   cfg.shared_l1 = tr.shared_l1;
-  cfg.cache_tech = tr.tech;
   cfg.cache_vdd = tr.cache_vdd;
+
+  // --- Hybrid L1D way partition. Degenerate requests (all-SRAM or
+  // all-NVM) collapse to the equivalent pure configuration here, so the
+  // simulator's pure path runs and the differential tests can pin
+  // bit-identity against the genuinely pure configs.
+  std::uint32_t sram_ways = tech_override.hybrid_sram_ways;
+  std::uint32_t nvm_ways = tech_override.hybrid_nvm_ways;
+  if (sram_ways == 0 && nvm_ways == 0 && id == ConfigId::kShHybrid) {
+    sram_ways = 4;
+    nvm_ways = 12;
+  }
+  if (sram_ways > 0 || nvm_ways > 0) {
+    RESPIN_REQUIRE(tr.shared_l1,
+                   "hybrid way partition requires a shared L1 configuration");
+    if (nvm_ways == 0) {
+      l1_tech = nvsim::MemTech::kSram;  // All ways SRAM: a pure SRAM L1.
+      cfg.l1d_ways = sram_ways;
+    } else if (sram_ways == 0) {
+      cfg.l1d_ways = nvm_ways;          // All ways NVM: pure `l1_tech`.
+    } else {
+      RESPIN_REQUIRE(l1_tech != nvsim::MemTech::kSram,
+                     "hybrid NVM way class requires a non-SRAM technology");
+      cfg.l1d_ways = sram_ways + nvm_ways;
+      cfg.hybrid_sram_ways = sram_ways;
+      cfg.hybrid_nvm_ways = nvm_ways;
+    }
+  }
+  cfg.cache_tech = l1_tech;
   cfg.core_vdd = tr.nominal_cores ? tp.nominal_vdd : tp.nt_core_vdd;
   cfg.governor = tr.governor;
   cfg.seed = seed;
@@ -169,14 +224,14 @@ ClusterConfig make_cluster_config(ConfigId id, CacheSize size,
   // --- L1 organization and array figures.
   cfg.l1_shared_capacity = std::uint64_t{16 * 1024} * cluster_cores;
   const nvsim::ArrayConfig l1_shared_cfg{
-      .tech = tr.tech,
+      .tech = l1_tech,
       .capacity_bytes = cfg.l1_shared_capacity,
       .block_bytes = cfg.l1_line_bytes,
       .associativity = cfg.l1d_ways,
       .vdd = tr.cache_vdd,
       .bank_count = 1};
   const nvsim::ArrayConfig l1_private_cfg{
-      .tech = tr.tech,
+      .tech = l1_tech,
       .capacity_bytes = 16 * 1024,
       .block_bytes = cfg.l1_line_bytes,
       .associativity = cfg.l1d_ways,
@@ -185,15 +240,48 @@ ClusterConfig make_cluster_config(ConfigId id, CacheSize size,
   const nvsim::ArrayFigures l1_fig =
       nvsim::evaluate(tr.shared_l1 ? l1_shared_cfg : l1_private_cfg);
 
-  // --- Shared controller occupancies. The paper pipelines the STT-RAM
-  // read into one 0.4 ns cache cycle (§II); SRAM at 533.6 ps takes two.
+  // Hybrid sub-array figures: the L1D splits into an SRAM slice and an
+  // NVM slice, each sized by its share of the ways. `l1_fig` above stays
+  // the full-capacity NVM evaluation — it prices the L1I and the NVM-way
+  // accesses; the SRAM slice prices SRAM-way hits/fills and its leakage.
+  const bool hybrid_l1 = cfg.hybrid_sram_ways > 0;
+  nvsim::ArrayFigures l1_sram_fig{};
+  nvsim::ArrayFigures l1_nvm_slice_fig{};
+  if (hybrid_l1) {
+    nvsim::ArrayConfig sram_slice = l1_shared_cfg;
+    sram_slice.tech = nvsim::MemTech::kSram;
+    sram_slice.capacity_bytes =
+        cfg.l1_shared_capacity * cfg.hybrid_sram_ways / cfg.l1d_ways;
+    sram_slice.associativity = cfg.hybrid_sram_ways;
+    l1_sram_fig = nvsim::evaluate(sram_slice);
+    nvsim::ArrayConfig nvm_slice = l1_shared_cfg;
+    nvm_slice.capacity_bytes =
+        cfg.l1_shared_capacity * cfg.hybrid_nvm_ways / cfg.l1d_ways;
+    nvm_slice.associativity = cfg.hybrid_nvm_ways;
+    l1_nvm_slice_fig = nvsim::evaluate(nvm_slice);
+  }
+
+  // --- Shared controller occupancies. Pipelinable reads (the paper
+  // pipelines the STT-RAM read into one 0.4 ns cache cycle, §II) take one
+  // cycle; other technologies derive occupancy from the array's read
+  // latency (SRAM at 533.6 ps takes two). A hybrid port is provisioned
+  // for its slower way class.
+  const auto& registry = nvsim::TechnologyRegistry::instance();
+  const auto read_occupancy_of = [&](nvsim::MemTech t,
+                                     const nvsim::ArrayFigures& fig) {
+    return registry.backend(t).traits().pipelined_reads
+               ? 1u
+               : cycles_for_ps(static_cast<double>(fig.read_latency),
+                               cache_period);
+  };
   cfg.controller.core_count = cluster_cores;
   cfg.controller.request_delay_cycles = 2;
-  cfg.controller.read_occupancy =
-      tr.tech == nvsim::MemTech::kSttRam
-          ? 1
-          : cycles_for_ps(static_cast<double>(l1_fig.read_latency),
-                          cache_period);
+  cfg.controller.read_occupancy = read_occupancy_of(l1_tech, l1_fig);
+  if (hybrid_l1) {
+    cfg.controller.read_occupancy =
+        std::max(cfg.controller.read_occupancy,
+                 read_occupancy_of(nvsim::MemTech::kSram, l1_sram_fig));
+  }
   // Writes are pipelined across subarrays: the 5.2 ns STT-RAM write pulse
   // is a *latency* (invisible to posted stores), not a throughput bound;
   // the write port accepts one write per reference cycle, like the read
@@ -223,14 +311,14 @@ ClusterConfig make_cluster_config(ConfigId id, CacheSize size,
   const std::uint32_t l3_banks = 8;
   cfg.backside.l2_capacity_bytes = chip_l2_bytes(size) / cfg.clusters_per_chip;
   cfg.backside.l3_capacity_bytes = chip_l3_bytes(size) / cfg.clusters_per_chip;
-  const nvsim::ArrayConfig l2_cfg{.tech = tr.tech,
+  const nvsim::ArrayConfig l2_cfg{.tech = l1_tech,
                                   .capacity_bytes =
                                       cfg.backside.l2_capacity_bytes,
                                   .block_bytes = cfg.backside.l2_line_bytes,
                                   .associativity = cfg.backside.l2_ways,
                                   .vdd = tr.cache_vdd,
                                   .bank_count = l2_banks};
-  const nvsim::ArrayConfig l3_cfg{.tech = tr.tech,
+  const nvsim::ArrayConfig l3_cfg{.tech = l1_tech,
                                   .capacity_bytes =
                                       cfg.backside.l3_capacity_bytes,
                                   .block_bytes = cfg.backside.l3_line_bytes,
@@ -287,6 +375,15 @@ ClusterConfig make_cluster_config(ConfigId id, CacheSize size,
   // Two L1 arrays (I + D) per cluster: shared pair or 2x per-core banks of
   // the same total capacity — leakage depends on capacity only.
   pm.l1_leakage_w = 2.0 * l1_fig.leakage_power;
+  if (hybrid_l1) {
+    // SRAM-way accesses are re-priced by the energy model (the counters
+    // record how many L1D accesses landed in the SRAM class); leakage is
+    // the pure-NVM L1I plus the two L1D slices.
+    pm.l1_sram_read_pj = l1_sram_fig.read_energy;
+    pm.l1_sram_write_pj = l1_sram_fig.write_energy;
+    pm.l1_leakage_w = l1_fig.leakage_power + l1_sram_fig.leakage_power +
+                      l1_nvm_slice_fig.leakage_power;
+  }
   pm.l2_read_pj = l2_fig.read_energy;
   pm.l2_write_pj = l2_fig.write_energy;
   pm.l2_leakage_w = l2_fig.leakage_power;

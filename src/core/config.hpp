@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,7 +24,9 @@
 
 namespace respin::core {
 
-/// The eight named configurations of paper Table IV.
+/// The eight named configurations of paper Table IV, plus three
+/// technology-exploration configurations enabled by the pluggable
+/// backend registry (nvsim::TechnologyRegistry).
 enum class ConfigId {
   kPrSramNt,      ///< Baseline: NT cores, private SRAM L1 @0.65 V.
   kHpSramCmp,     ///< Alt baseline: whole chip at nominal Vdd.
@@ -33,6 +36,9 @@ enum class ConfigId {
   kShSttCcOracle, ///< + oracle consolidation (upper bound).
   kPrSttCc,       ///< Consolidation with *private* STT-RAM caches.
   kShSttCcOs,     ///< Consolidation driven by the OS at 1 ms epochs.
+  kShPcm,         ///< Shared PCM caches @1.0 V (slow asymmetric writes).
+  kShEdram,       ///< Shared eDRAM caches @1.0 V (refresh tax).
+  kShHybrid,      ///< Shared hybrid L1D: 4 SRAM + 12 STT-RAM ways.
 };
 
 /// Table I cache-size classes (chip-level L2/L3 capacity).
@@ -80,6 +86,14 @@ struct ClusterConfig {
   std::uint32_t l1_line_bytes = 32;
   std::uint32_t l1i_ways = 2;
   std::uint32_t l1d_ways = 4;
+  /// Hybrid L1D way partition: ways [0, hybrid_sram_ways) of every L1D set
+  /// are SRAM, the remaining hybrid_nvm_ways are `cache_tech`. Both are
+  /// nonzero only for a genuinely mixed array (degenerate requests collapse
+  /// to the equivalent pure configuration in make_cluster_config); 0/0 —
+  /// the default — is a pure array. The shared L1I stays pure `cache_tech`
+  /// (instruction fetches never write, so there is nothing to steer).
+  std::uint32_t hybrid_sram_ways = 0;
+  std::uint32_t hybrid_nvm_ways = 0;
   ControllerParams controller;
 
   // Private-L1 organization (when !shared_l1).
@@ -123,6 +137,21 @@ struct CoreCalibration {
   double core_path_speedup = 1.5;
 };
 
+/// Optional technology overrides applied on top of a named configuration's
+/// traits (CLI: --shared-tech / --private-tech / --hybrid-ways). The
+/// defaults leave the named configuration untouched.
+struct TechOverride {
+  /// Replaces the cache technology when the configuration shares its L1
+  /// (applies to the whole cache-rail hierarchy: L1 + L2/L3 slices).
+  std::optional<nvsim::MemTech> shared_tech;
+  /// Replaces the cache technology when the L1s are private.
+  std::optional<nvsim::MemTech> private_tech;
+  /// Requested L1D way partition; 0/0 means "as named". S+0 and 0+N are
+  /// accepted and collapse to the equivalent pure configuration.
+  std::uint32_t hybrid_sram_ways = 0;
+  std::uint32_t hybrid_nvm_ways = 0;
+};
+
 /// Builds the derived configuration for (config, size class) with
 /// `cluster_cores` cores per cluster on a 64-core chip. `seed` selects the
 /// process-variation die instance.
@@ -130,7 +159,8 @@ ClusterConfig make_cluster_config(ConfigId id, CacheSize size,
                                   std::uint32_t cluster_cores = 16,
                                   std::uint64_t seed = 1,
                                   const CoreCalibration& cal = {},
-                                  std::uint32_t first_core = 0);
+                                  std::uint32_t first_core = 0,
+                                  const TechOverride& tech = {});
 
 /// Chip-level L2/L3 capacities per Table I.
 std::uint64_t chip_l2_bytes(CacheSize size);

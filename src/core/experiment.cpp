@@ -32,7 +32,8 @@ void emit_run_complete(obs::TraceSink* sink, const SimResult& result) {
 SimResult run_experiment(ConfigId id, const std::string& benchmark,
                          const RunOptions& options) {
   const ClusterConfig config = make_cluster_config(
-      id, options.size, options.cluster_cores, options.seed);
+      id, options.size, options.cluster_cores, options.seed,
+      CoreCalibration{}, /*first_core=*/0, options.tech);
   SimParams params;
   params.workload_scale = options.workload_scale;
   params.seed = options.seed;

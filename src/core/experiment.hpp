@@ -32,6 +32,9 @@ struct RunOptions {
   /// its injector, so fault runs stay deterministic in (seed, plan,
   /// config) no matter how the suite fans out over threads.
   fault::FaultPlan faults;
+  /// Technology overrides (CLI --shared-tech / --private-tech /
+  /// --hybrid-ways) applied on top of the named configuration's traits.
+  TechOverride tech;
 };
 
 /// Runs `benchmark` on configuration `id` and returns the cluster-level

@@ -67,6 +67,16 @@ obs::CounterSet metrics_of(const SimResult& result) {
           static_cast<std::uint64_t>(result.min_active_cores));
   set.add("consolidation.max_active_cores",
           static_cast<std::uint64_t>(result.max_active_cores));
+  // Hybrid-technology counters appear only for a partitioned L1D: pure
+  // configurations keep the pre-hybrid metric set byte-identical.
+  if (result.hybrid_sram_ways > 0) {
+    set.add("tech.l1_sram_ways",
+            static_cast<std::uint64_t>(result.hybrid_sram_ways));
+    set.add("tech.l1_nvm_ways",
+            static_cast<std::uint64_t>(result.hybrid_nvm_ways));
+    set.add("tech.l1_sram_reads", result.counts.l1_sram_reads);
+    set.add("tech.l1_sram_writes", result.counts.l1_sram_writes);
+  }
   // Fault counters appear only when injection ran: the fault-free metric
   // set (and hence the golden grid) is unchanged by the subsystem.
   if (result.faults_enabled) {

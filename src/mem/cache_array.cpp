@@ -44,36 +44,65 @@ bool CacheArray::set_state(LineAddr line, Mesi state) {
   return false;
 }
 
-std::optional<Eviction> CacheArray::insert(LineAddr line, Mesi state) {
+void CacheArray::set_way_partition(std::uint32_t sram_ways) {
+  RESPIN_REQUIRE(sram_ways <= ways_,
+                 "SRAM way class cannot exceed the associativity");
+  sram_ways_ = sram_ways;
+}
+
+std::optional<Eviction> CacheArray::insert(LineAddr line, Mesi state,
+                                           WayClassHint hint,
+                                           bool* placed_sram) {
   RESPIN_REQUIRE(state != Mesi::kInvalid, "cannot insert an invalid line");
   RESPIN_REQUIRE(line != kNoLine,
                  "the all-ones line address is the invalid-way sentinel");
+  if (placed_sram != nullptr) *placed_sram = false;
   const std::uint32_t set = set_index(line);
   const std::size_t set_base = static_cast<std::size_t>(set) * ways_;
 
-  // Pick the victim: first invalid usable way, else min-LRU usable way.
-  // Invalid ways carry the kNoLine tag, so the absence assertion and the
-  // free-way search are both branchless tag scans (see find_in_set); the
-  // LRU walk only runs when the set is full of valid usable ways.
   RESPIN_REQUIRE(find_in_set(set_base, line) == kNoWay,
                  "line already present");
-  std::size_t victim = find_in_set(set_base, kNoLine);
-  if (victim != kNoWay && way_disabled(victim)) {
-    // A disabled way also carries kNoLine; fall back to the precise walk.
-    victim = kNoWay;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
+  std::size_t victim = kNoWay;
+  if (hint == WayClassHint::kPreferSram && hybrid()) {
+    // Write-biased fill on a hybrid array: keep it out of the slow/wearing
+    // NVM ways. Free usable SRAM way first, else the LRU SRAM way — even
+    // when an NVM way is free, evicting from the SRAM class is the point.
+    // Only when every SRAM way is disabled does the whole-set policy run.
+    std::size_t lru_way = kNoWay;
+    for (std::uint32_t w = 0; w < sram_ways_; ++w) {
       const std::size_t i = set_base + w;
-      if (!way_disabled(i) && lines_[i] == kNoLine) {
+      if (way_disabled(i)) continue;
+      if (lines_[i] == kNoLine) {
         victim = i;
         break;
       }
+      if (lru_way == kNoWay || lru_[i] < lru_[lru_way]) lru_way = i;
     }
+    if (victim == kNoWay) victim = lru_way;
   }
   if (victim == kNoWay) {
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-      const std::size_t i = set_base + w;
-      if (way_disabled(i)) continue;
-      if (victim == kNoWay || lru_[i] < lru_[victim]) victim = i;
+    // Pick the victim: first invalid usable way, else min-LRU usable way.
+    // Invalid ways carry the kNoLine tag, so the absence assertion and the
+    // free-way search are both branchless tag scans (see find_in_set); the
+    // LRU walk only runs when the set is full of valid usable ways.
+    victim = find_in_set(set_base, kNoLine);
+    if (victim != kNoWay && way_disabled(victim)) {
+      // A disabled way also carries kNoLine; fall back to the precise walk.
+      victim = kNoWay;
+      for (std::uint32_t w = 0; w < ways_; ++w) {
+        const std::size_t i = set_base + w;
+        if (!way_disabled(i) && lines_[i] == kNoLine) {
+          victim = i;
+          break;
+        }
+      }
+    }
+    if (victim == kNoWay) {
+      for (std::uint32_t w = 0; w < ways_; ++w) {
+        const std::size_t i = set_base + w;
+        if (way_disabled(i)) continue;
+        if (victim == kNoWay || lru_[i] < lru_[victim]) victim = i;
+      }
     }
   }
   // Every way of the set is disabled: the line cannot be cached. The
@@ -81,6 +110,9 @@ std::optional<Eviction> CacheArray::insert(LineAddr line, Mesi state) {
   // accesses bypass the dead set (callers that must know consult
   // can_insert() first).
   if (victim == kNoWay) return std::nullopt;
+  if (placed_sram != nullptr && hybrid()) {
+    *placed_sram = static_cast<std::uint32_t>(victim - set_base) < sram_ways_;
+  }
 
   std::optional<Eviction> evicted;
   if (states_[victim] != kInvalidState) {

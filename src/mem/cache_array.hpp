@@ -28,6 +28,13 @@ struct Eviction {
   bool dirty = false;
 };
 
+/// Victim-class steering hint for insert() on a hybrid array. Pure arrays
+/// (no way partition) ignore the hint entirely.
+enum class WayClassHint {
+  kAny,         ///< Normal whole-set replacement policy.
+  kPreferSram,  ///< Write-biased line: steer into the SRAM way class.
+};
+
 /// Access/miss counters for one array.
 struct CacheArrayStats {
   std::uint64_t hits = 0;
@@ -56,8 +63,12 @@ class CacheArray {
   /// `corrected` is non-null it reports whether the hit landed on a way
   /// the fault map marked SECDED-correctable (the owner charges the
   /// correction latency/energy); such hits also count ecc_corrections.
-  /// Defined inline below: this is the simulator's hottest call.
-  std::optional<Mesi> access(LineAddr line, bool* corrected = nullptr);
+  /// When `sram_way` is non-null it reports whether the hit landed in the
+  /// SRAM way class of a hybrid array (false on pure arrays — the owner
+  /// charges per-technology access energy). Defined inline below: this is
+  /// the simulator's hottest call.
+  std::optional<Mesi> access(LineAddr line, bool* corrected = nullptr,
+                             bool* sram_way = nullptr);
 
   /// Looks up without touching LRU or counters (for coherence probes).
   std::optional<Mesi> probe(LineAddr line) const {
@@ -73,8 +84,29 @@ class CacheArray {
 
   /// Inserts a line in the given state, evicting the LRU way if the set is
   /// full. Returns the eviction, if one happened. The line must not already
-  /// be present (callers access() first).
-  std::optional<Eviction> insert(LineAddr line, Mesi state);
+  /// be present (callers access() first). On a hybrid array a kPreferSram
+  /// hint steers the fill into the SRAM way class (free SRAM way first,
+  /// else the LRU SRAM way, falling back to the whole-set policy only when
+  /// every SRAM way is disabled); pure arrays ignore the hint. When
+  /// `placed_sram` is non-null it reports whether the line landed in the
+  /// SRAM way class of a hybrid array.
+  std::optional<Eviction> insert(LineAddr line, Mesi state,
+                                 WayClassHint hint = WayClassHint::kAny,
+                                 bool* placed_sram = nullptr);
+
+  // ---- Hybrid SRAM+NVM way partition -------------------------------------
+  // A hybrid array dedicates ways [0, sram_ways) of every set to SRAM cells
+  // and the rest to the NVM technology. The partition only influences
+  // insert() steering and the per-class reporting out-params; lookup,
+  // replacement state and fault handling are class-blind, so an array with
+  // no partition (the default) behaves bit-identically to a pure array.
+
+  /// Declares ways [0, sram_ways) of every set to be the SRAM class.
+  /// 0 (the default) and ways() both mean "pure" — no partition.
+  void set_way_partition(std::uint32_t sram_ways);
+  std::uint32_t sram_ways() const { return sram_ways_; }
+  /// True when the array genuinely mixes two technologies.
+  bool hybrid() const { return sram_ways_ > 0 && sram_ways_ < ways_; }
 
   /// Removes a line if present; returns true (and counts an invalidation)
   /// when it was. `was_dirty` reports whether the dropped copy was Modified.
@@ -188,6 +220,7 @@ class CacheArray {
 
   std::uint32_t line_bytes_;
   std::uint32_t ways_;
+  std::uint32_t sram_ways_ = 0;  ///< Hybrid way partition; 0 = pure array.
   std::uint32_t set_count_;
   std::uint64_t set_mask_ = 0;  ///< set_count_ - 1 when a power of two.
   // Hot metadata, struct-of-arrays (all sized set_count_ * ways_).
@@ -204,12 +237,13 @@ class CacheArray {
 // Inline so the per-access call from PrivateL1System/Chip folds into the
 // caller's loop: access() is the top entry in the simulator's profile and
 // the out-of-line call (plus the embedded find_in_set call) was measurable.
-inline std::optional<Mesi> CacheArray::access(LineAddr line,
-                                              bool* corrected) {
+inline std::optional<Mesi> CacheArray::access(LineAddr line, bool* corrected,
+                                              bool* sram_way) {
   if (corrected != nullptr) *corrected = false;
+  if (sram_way != nullptr) *sram_way = false;
   const std::uint32_t set = set_index(line);
-  const std::size_t idx =
-      find_in_set(static_cast<std::size_t>(set) * ways_, line);
+  const std::size_t set_base = static_cast<std::size_t>(set) * ways_;
+  const std::size_t idx = find_in_set(set_base, line);
   if (idx != kNoWay) {
     touch(set, idx);
     ++stats_.hits;
@@ -218,6 +252,9 @@ inline std::optional<Mesi> CacheArray::access(LineAddr line,
             static_cast<std::uint8_t>(fault::LineFault::kCorrectable)) {
       ++stats_.ecc_corrections;
       if (corrected != nullptr) *corrected = true;
+    }
+    if (sram_way != nullptr && hybrid()) {
+      *sram_way = static_cast<std::uint32_t>(idx - set_base) < sram_ways_;
     }
     return static_cast<Mesi>(states_[idx]);
   }

@@ -1,8 +1,8 @@
 #include "nvsim/array_model.hpp"
 
-#include <cmath>
 #include <sstream>
 
+#include "nvsim/tech_backend.hpp"
 #include "util/require.hpp"
 
 namespace respin::nvsim {
@@ -13,98 +13,50 @@ const char* to_string(MemTech tech) {
       return "SRAM";
     case MemTech::kSttRam:
       return "STT-RAM";
+    case MemTech::kPcm:
+      return "PCM";
+    case MemTech::kEdram:
+      return "eDRAM";
   }
   return "?";
 }
 
-namespace {
-
-constexpr double kAnchorCapacitySram = 16.0 * 1024.0;   // 16 KB.
-constexpr double kAnchorCapacityStt = 256.0 * 1024.0;   // 256 KB.
-constexpr double kAnchorBlock = 32.0;
-
-double capacity_scale(double capacity, double anchor, double exponent) {
-  return std::pow(capacity / anchor, exponent);
+MemTech parse_mem_tech(const std::string& name) {
+  const TechBackend* backend = TechnologyRegistry::instance().find(name);
+  if (backend == nullptr) {
+    throw InvalidArrayConfig("unknown memory technology '" + name + "'");
+  }
+  return backend->tech();
 }
 
-}  // namespace
+void validate(const ArrayConfig& config, const ArrayModelParams& params) {
+  if (config.capacity_bytes == 0) {
+    throw InvalidArrayConfig("array capacity must be > 0");
+  }
+  if (config.block_bytes == 0) {
+    throw InvalidArrayConfig("block size must be > 0");
+  }
+  if (config.associativity == 0) {
+    throw InvalidArrayConfig("associativity must be > 0");
+  }
+  if (config.bank_count == 0) {
+    throw InvalidArrayConfig("bank count must be > 0");
+  }
+  if (!(config.vdd >= params.min_vdd)) {
+    throw InvalidArrayConfig("array Vdd below model validity range");
+  }
+}
+
+ArrayConfig ArrayConfig::validated(ArrayConfig config) {
+  validate(config);
+  return config;
+}
 
 ArrayFigures evaluate(const ArrayConfig& config,
                       const ArrayModelParams& params) {
-  RESPIN_REQUIRE(config.capacity_bytes > 0, "array capacity must be > 0");
-  RESPIN_REQUIRE(config.block_bytes > 0, "block size must be > 0");
-  RESPIN_REQUIRE(config.associativity > 0, "associativity must be > 0");
-  RESPIN_REQUIRE(config.bank_count > 0, "bank count must be > 0");
-  RESPIN_REQUIRE(config.vdd >= params.min_vdd,
-                 "array Vdd below model validity range");
-
-  const double per_bank_capacity =
-      static_cast<double>(config.capacity_bytes) / config.bank_count;
-  const double total_mb =
-      static_cast<double>(config.capacity_bytes) / (1024.0 * 1024.0);
-  const double block_scale =
-      std::pow(static_cast<double>(config.block_bytes) / kAnchorBlock,
-               params.energy_block_exponent);
-  // Highly associative arrays burn extra tag/compare energy; mild penalty.
-  const double assoc_scale =
-      1.0 + 0.03 * (static_cast<double>(config.associativity) - 2.0);
-  const double volt_energy =
-      (config.vdd / params.nominal_vdd) * (config.vdd / params.nominal_vdd);
-
-  ArrayFigures out;
-  if (config.tech == MemTech::kSram) {
-    const double geom = capacity_scale(per_bank_capacity, kAnchorCapacitySram,
-                                       params.latency_capacity_exponent);
-    const double volt_latency =
-        std::exp(params.sram_latency_volt_k *
-                 (params.nominal_vdd - config.vdd));
-    const double latency_ps =
-        params.sram_base_read_ps * geom * volt_latency;
-    out.read_latency = static_cast<util::Picoseconds>(latency_ps + 0.5);
-    out.write_latency = out.read_latency;  // 6T SRAM: symmetric access.
-
-    const double energy =
-        params.sram_base_energy_pj *
-        capacity_scale(per_bank_capacity, kAnchorCapacitySram,
-                       params.energy_capacity_exponent) *
-        block_scale * assoc_scale * volt_energy;
-    out.read_energy = energy;
-    out.write_energy = energy;
-
-    out.leakage_power = params.sram_leakage_w_per_mb * total_mb *
-                        (config.vdd / params.nominal_vdd);
-    out.area_mm2 = params.sram_area_mm2_per_mb * total_mb;
-  } else {
-    const double geom = capacity_scale(per_bank_capacity, kAnchorCapacityStt,
-                                       params.latency_capacity_exponent);
-    // STT-RAM sensing degrades only mildly below nominal (current sensing),
-    // but the paper never operates it below nominal; keep the read path
-    // voltage-flat and let RESPIN_REQUIRE guard the validity range.
-    out.read_latency = static_cast<util::Picoseconds>(
-        params.stt_read_ps_256k * geom + 0.5);
-    // MTJ write time is cell-limited, not geometry-limited: the 5.2 ns pulse
-    // dominates; only a small peripheral term scales with bank size.
-    const double write_ps =
-        params.stt_write_ps_256k +
-        0.15 * params.stt_read_ps_256k * (geom - 1.0);
-    out.write_latency =
-        static_cast<util::Picoseconds>(std::max(write_ps, 0.0) + 0.5);
-
-    const double read_energy =
-        params.stt_read_energy_pj_256k *
-        capacity_scale(per_bank_capacity, kAnchorCapacityStt,
-                       params.energy_capacity_exponent) *
-        block_scale * assoc_scale * volt_energy;
-    out.read_energy = read_energy;
-    out.write_energy = read_energy * params.stt_write_energy_factor;
-
-    out.leakage_power = params.sram_leakage_w_per_mb * total_mb *
-                        (config.vdd / params.nominal_vdd) *
-                        params.stt_leakage_ratio;
-    out.area_mm2 =
-        params.sram_area_mm2_per_mb * total_mb * params.stt_area_ratio;
-  }
-  return out;
+  validate(config, params);
+  return TechnologyRegistry::instance().backend(config.tech).evaluate(config,
+                                                                      params);
 }
 
 std::string describe(const ArrayConfig& config) {

@@ -1,4 +1,4 @@
-// Analytical SRAM / STT-RAM array model (NVSim + CACTI substitute).
+// Analytical memory-array model (NVSim + CACTI substitute).
 //
 // The paper extracted cache latency/energy/area/leakage from NVSim combined
 // with CACTI. Those tools are not redistributable, so this module implements
@@ -17,20 +17,31 @@
 //   leakage ∝ capacity · Vdd           (573 / 881 = 0.65)
 //   SRAM latency degrades exponentially below nominal Vdd
 //                                      (1337 / 211.9 at ΔV = 0.35)
+//
+// Each technology is a pluggable backend object (see tech_backend.hpp);
+// the free evaluate() below dispatches through the TechnologyRegistry, so
+// PCM and eDRAM (analytically calibrated, see docs/technologies.md) slot
+// in beside the two paper technologies without touching any caller.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 #include "util/units.hpp"
 
 namespace respin::nvsim {
 
-/// Memory cell technology for an on-chip array.
-enum class MemTech { kSram, kSttRam };
+/// Memory cell technology for an on-chip array. Each value is backed by a
+/// TechBackend registered in the TechnologyRegistry (tech_backend.hpp).
+enum class MemTech { kSram, kSttRam, kPcm, kEdram };
 
-/// Returns a printable name ("SRAM" / "STT-RAM").
+/// Returns a printable name ("SRAM" / "STT-RAM" / "PCM" / "eDRAM").
 const char* to_string(MemTech tech);
+
+/// Parses a technology name as printed by to_string (case-sensitive);
+/// throws InvalidArrayConfig on unknown names.
+MemTech parse_mem_tech(const std::string& name);
 
 /// Physical configuration of one cache data array.
 struct ArrayConfig {
@@ -40,6 +51,21 @@ struct ArrayConfig {
   std::uint32_t associativity = 2;
   double vdd = 1.0;                  ///< Supply voltage of the array rail.
   std::uint32_t bank_count = 1;      ///< Banks; latency is per-bank.
+
+  /// Validating factory: returns the config after validate() has accepted
+  /// it, so construction sites can make malformed geometry (zero capacity,
+  /// zero associativity, ...) fail loudly at build time instead of
+  /// surfacing as a division hazard downstream.
+  static ArrayConfig validated(ArrayConfig config);
+};
+
+/// Typed error for nonsensical array configurations. Derives
+/// std::invalid_argument (itself a std::logic_error), so existing callers
+/// that catch std::logic_error keep working.
+class InvalidArrayConfig : public std::invalid_argument {
+ public:
+  explicit InvalidArrayConfig(const std::string& what)
+      : std::invalid_argument("nvsim: invalid array config: " + what) {}
 };
 
 /// Derived timing, energy and area figures for an array.
@@ -53,6 +79,8 @@ struct ArrayFigures {
 };
 
 /// Calibration constants; the defaults reproduce Table III (see above).
+/// PCM and eDRAM have no Table III row: their anchors are analytic,
+/// derived from published device ratios (see docs/technologies.md).
 struct ArrayModelParams {
   // SRAM anchors at 16 KB, 1.0 V, 32 B block.
   double sram_base_read_ps = 211.9;
@@ -71,6 +99,28 @@ struct ArrayModelParams {
   double stt_leakage_ratio = 114.0 / 881.0;  ///< vs SRAM at same size/Vdd.
   double stt_area_ratio = 0.2451 / 0.9176;   ///< MTJ density advantage.
 
+  // PCM anchors at 256 KB, 1.0 V. Reads sense resistance (slower than the
+  // MTJ), writes melt/crystallize the cell: a ~10x slower, much more
+  // energetic pulse than STT-RAM's, and the cell wears out — the write
+  // fault model runs at an elevated failure rate (TechTraits).
+  double pcm_read_ps_256k = 1029.0;          ///< ~1.75x the STT read.
+  double pcm_write_ps_256k = 52080.0;        ///< ~10x the STT write pulse.
+  double pcm_read_energy_pj_256k = 58.64;    ///< ~2x the STT read energy.
+  double pcm_write_energy_factor = 8.0;      ///< SET/RESET pulse energy.
+  double pcm_leakage_ratio = 0.08;           ///< vs SRAM at same size/Vdd.
+  double pcm_area_ratio = 0.2;               ///< Densest of the four.
+
+  // eDRAM anchors at 256 KB, 1.0 V. 1T1C cells: denser and lower-leakage
+  // than SRAM but slower to sense, and the stored charge decays — the
+  // array pays a refresh-power tax that grows as retention collapses at
+  // lowered Vdd (tech::retention_scale).
+  double edram_read_ps_256k = 750.0;         ///< ~1.4x the SRAM 256 KB read.
+  double edram_read_energy_pj_256k = 33.93;  ///< ~0.8x the SRAM 256 KB read.
+  double edram_leakage_ratio = 0.2;          ///< Cell/peripheral, vs SRAM.
+  double edram_refresh_w_per_mb = 0.30;      ///< Refresh power at nominal.
+  double edram_retention_volt_k = 3.0;       ///< Retention ∝ exp(k·(V-Vnom)).
+  double edram_area_ratio = 0.35;
+
   // Shared scaling exponents.
   double latency_capacity_exponent = 1.0 / 3.0;
   double energy_capacity_exponent = 0.7;
@@ -80,11 +130,18 @@ struct ArrayModelParams {
   double min_vdd = 0.3;  ///< Below this the model refuses to evaluate.
 };
 
-/// Evaluates the analytical model for one array configuration.
+/// Throws InvalidArrayConfig on nonsensical configurations: zero capacity,
+/// block size or associativity (division hazards in the set/geometry
+/// math), zero banks, or Vdd below params.min_vdd.
+void validate(const ArrayConfig& config,
+              const ArrayModelParams& params = ArrayModelParams{});
+
+/// Evaluates the analytical model for one array configuration by
+/// dispatching to the technology's registered backend.
 ///
 /// Latency is per-bank (banking divides capacity before the geometry term);
-/// leakage and area cover all banks. Throws std::logic_error on nonsensical
-/// configurations (zero capacity, Vdd below min_vdd, associativity of 0).
+/// leakage and area cover all banks. Throws InvalidArrayConfig (a
+/// std::logic_error) on nonsensical configurations — see validate().
 ArrayFigures evaluate(const ArrayConfig& config,
                       const ArrayModelParams& params = ArrayModelParams{});
 

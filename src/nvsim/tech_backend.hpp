@@ -1,0 +1,110 @@
+// Pluggable memory-technology backends.
+//
+// A TechBackend packages everything the rest of the simulator needs to
+// know about one memory-cell technology:
+//
+//   * evaluate()  — the analytical latency/energy/leakage/area model
+//                   (anchor points + scaling laws + Vdd laws);
+//   * anchors()   — the calibration anchor points as data, so the shared
+//                   conformance suite (tests/tech_backend_conformance_test)
+//                   can hold every backend to the same contract;
+//   * traits()    — per-technology fault-model and pipelining hooks the
+//                   configuration layer and ClusterSim consult instead of
+//                   hard-coding `tech == kSttRam` style tests.
+//
+// The four built-in backends (SRAM, STT-RAM, PCM, eDRAM) register in the
+// process-wide TechnologyRegistry; SRAM and STT-RAM reproduce the original
+// hard-coded model bit-for-bit (the golden grid pins this). Adding a
+// technology means writing one backend class, registering it, and passing
+// the conformance suite — see docs/technologies.md for the checklist.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nvsim/array_model.hpp"
+
+namespace respin::nvsim {
+
+/// One calibration anchor: a concrete configuration and the figures the
+/// backend must reproduce for it (to four significant digits — the
+/// conformance suite allows integer-rounding slack on the latencies).
+struct TechAnchor {
+  const char* label = "";
+  ArrayConfig config;
+  double read_ps = 0.0;
+  double write_ps = 0.0;
+  double read_pj = 0.0;
+  double write_pj = 0.0;
+  double leakage_w = 0.0;
+  double area_mm2 = 0.0;
+};
+
+/// Per-technology hooks for the fault model (src/fault) and the shared
+/// cache controller. These replace scattered `tech == k...` tests: the
+/// configuration layer and ClusterSim consult the backend instead.
+struct TechTraits {
+  /// Cells fail statically below a voltage margin: the injector builds
+  /// per-(set,way) cell maps from the Gaussian-Vccmin model. SRAM's
+  /// Vccmin cliff; eDRAM maps retention failure onto the same machinery
+  /// via `vccmin_shift_v`.
+  bool static_cell_faults = false;
+  /// Writes fail stochastically and are retried (capped-geometric draws).
+  /// STT-RAM's thermally activated MTJ switching; PCM reuses the same
+  /// machinery at an elevated rate (`write_fail_multiplier`) to model
+  /// write wear.
+  bool write_retry_faults = false;
+  /// Multiplier on the plan's per-attempt write-failure probability
+  /// (PCM wear; 1.0 for STT-RAM).
+  double write_fail_multiplier = 1.0;
+  /// Additive shift, volts, on the plan's mean cell Vccmin (eDRAM's
+  /// retention margin differs from the SRAM noise margin; 0 for SRAM).
+  double vccmin_shift_v = 0.0;
+  /// The shared controller pipelines reads to one reference cycle
+  /// (paper §II pipelines the STT-RAM read); otherwise occupancy is
+  /// derived from the array's read latency.
+  bool pipelined_reads = false;
+  /// Cells hold state without power (drives nothing yet; documented for
+  /// the checkpoint/power-gating items on the roadmap).
+  bool non_volatile = false;
+};
+
+/// Interface one memory technology implements. Stateless: all calibration
+/// flows through ArrayModelParams so tests can perturb constants.
+class TechBackend {
+ public:
+  virtual ~TechBackend() = default;
+  virtual MemTech tech() const = 0;
+  /// Printable name; round-trips through parse_mem_tech().
+  virtual const char* name() const = 0;
+  virtual TechTraits traits() const = 0;
+  /// The analytical model. `config` has already passed validate().
+  virtual ArrayFigures evaluate(const ArrayConfig& config,
+                                const ArrayModelParams& params) const = 0;
+  /// Calibration anchors the conformance suite checks evaluate() against.
+  virtual std::vector<TechAnchor> anchors(
+      const ArrayModelParams& params) const = 0;
+};
+
+/// Process-wide registry of technology backends. Construction registers
+/// the four built-ins; lookup by enum is O(1), by name linear (names are
+/// only parsed at the CLI boundary).
+class TechnologyRegistry {
+ public:
+  static const TechnologyRegistry& instance();
+
+  /// The backend for `tech`; every MemTech value has one.
+  const TechBackend& backend(MemTech tech) const;
+  /// Lookup by printable name; nullptr when unknown.
+  const TechBackend* find(const std::string& name) const;
+  /// Every registered backend, in MemTech declaration order.
+  const std::vector<const TechBackend*>& all() const { return view_; }
+
+ private:
+  TechnologyRegistry();
+  std::vector<std::unique_ptr<TechBackend>> backends_;
+  std::vector<const TechBackend*> view_;
+};
+
+}  // namespace respin::nvsim

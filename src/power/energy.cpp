@@ -12,6 +12,8 @@ ActivityCounts ActivityCounts::operator-(const ActivityCounts& rhs) const {
   d.core_idle_cycles = core_idle_cycles - rhs.core_idle_cycles;
   d.l1_reads = l1_reads - rhs.l1_reads;
   d.l1_writes = l1_writes - rhs.l1_writes;
+  d.l1_sram_reads = l1_sram_reads - rhs.l1_sram_reads;
+  d.l1_sram_writes = l1_sram_writes - rhs.l1_sram_writes;
   d.l2_reads = l2_reads - rhs.l2_reads;
   d.l2_writes = l2_writes - rhs.l2_writes;
   d.l3_reads = l3_reads - rhs.l3_reads;
@@ -57,6 +59,16 @@ EnergyBreakdown compute_energy(const PowerModel& model,
                     n(counts.l2_writes) * model.l2_write_pj +
                     n(counts.l3_reads) * model.l3_read_pj +
                     n(counts.l3_writes) * model.l3_write_pj;
+  // Hybrid L1D: re-price the accesses that landed in the SRAM way class
+  // from the default NVM energies to the SRAM slice's. Pure arrays never
+  // count l1_sram_* accesses, so this block is exactly zero for them.
+  if (counts.l1_sram_reads > 0 || counts.l1_sram_writes > 0) {
+    e.cache_dynamic +=
+        n(counts.l1_sram_reads) *
+            (model.l1_sram_read_pj - model.l1_read_pj) +
+        n(counts.l1_sram_writes) *
+            (model.l1_sram_write_pj - model.l1_write_pj);
+  }
 
   const double elapsed_ps = static_cast<double>(elapsed);
   e.cache_leakage = (model.l1_leakage_w + model.l2_leakage_w +

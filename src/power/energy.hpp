@@ -33,6 +33,11 @@ struct PowerModel {
   double l1_read_pj = 0.0;
   double l1_write_pj = 0.0;
   double l1_leakage_w = 0.0;
+  /// Hybrid L1D only: per-access energies of the SRAM way class. Accesses
+  /// counted in ActivityCounts::l1_sram_* are re-priced from the default
+  /// (NVM) l1_read_pj/l1_write_pj to these. Both 0 on pure arrays.
+  double l1_sram_read_pj = 0.0;
+  double l1_sram_write_pj = 0.0;
 
   // Cluster L2 slice.
   double l2_read_pj = 0.0;
@@ -58,6 +63,10 @@ struct ActivityCounts {
   std::uint64_t core_idle_cycles = 0;  ///< Powered-on but stalled/idle.
   std::uint64_t l1_reads = 0;
   std::uint64_t l1_writes = 0;
+  /// Subset of l1_reads / l1_writes that landed in the SRAM way class of a
+  /// hybrid L1D (always 0 on pure arrays).
+  std::uint64_t l1_sram_reads = 0;
+  std::uint64_t l1_sram_writes = 0;
   std::uint64_t l2_reads = 0;
   std::uint64_t l2_writes = 0;
   std::uint64_t l3_reads = 0;

@@ -31,6 +31,14 @@ double leakage_power_scale(const TechnologyParams& tech, double vdd) {
   return std::pow(ratio, tech.leakage_vdd_exponent);
 }
 
+double subnominal_latency_scale(double k, double nominal_vdd, double vdd) {
+  return std::exp(k * (nominal_vdd - vdd));
+}
+
+double retention_scale(double k, double nominal_vdd, double vdd) {
+  return std::exp(k * (vdd - nominal_vdd));
+}
+
 int ClusterClocking::multiplier_for_max_frequency(double max_hz) const {
   RESPIN_REQUIRE(max_hz > 0.0, "core max frequency must be positive");
   const double min_period_ps = 1e12 / max_hz;

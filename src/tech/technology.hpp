@@ -47,6 +47,23 @@ double dynamic_energy_scale(const TechnologyParams& tech, double vdd);
 /// Leakage-power multiplier relative to nominal Vdd.
 double leakage_power_scale(const TechnologyParams& tech, double vdd);
 
+// ---- Shared voltage laws for memory-cell technologies ------------------
+// The nvsim technology backends consume these so every backend expresses
+// its Vdd dependence through the same two first-order laws: exponential
+// degradation of a margin-limited path below nominal (SRAM sense margin),
+// and exponential retention loss below nominal (eDRAM cell charge).
+
+/// exp(k · (Vnom - Vdd)): multiplier on a margin-limited access path as
+/// the rail drops below nominal. 1.0 at nominal, growing exponentially
+/// below it (SRAM's sense-margin latency cliff).
+double subnominal_latency_scale(double k, double nominal_vdd, double vdd);
+
+/// exp(k · (Vdd - Vnom)): retention-time multiplier of a charge-storage
+/// cell versus the rail. 1.0 at nominal, collapsing exponentially below it
+/// — its reciprocal is the refresh-rate (and refresh-power) tax an eDRAM
+/// array pays for running at a lowered Vdd.
+double retention_scale(double k, double nominal_vdd, double vdd);
+
 /// A named voltage rail.
 struct VoltageDomain {
   const char* name;

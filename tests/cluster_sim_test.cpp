@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 
 #include "core/cluster_sim.hpp"
@@ -82,7 +83,8 @@ INSTANTIATE_TEST_SUITE_P(TableIV, AllConfigsTest,
                          [](const auto& info) {
                            std::string name = to_string(info.param);
                            for (char& c : name) {
-                             if (c == '-') c = '_';
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
                            }
                            return name;
                          });

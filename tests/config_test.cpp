@@ -1,5 +1,6 @@
-// Tests for the configuration layer — all eight Table IV configurations
-// must build with mutually consistent derived parameters.
+// Tests for the configuration layer — the eight Table IV configurations
+// plus the three technology-exploration ones must build with mutually
+// consistent derived parameters.
 #include <gtest/gtest.h>
 
 #include "core/config.hpp"
@@ -7,9 +8,9 @@
 namespace respin::core {
 namespace {
 
-TEST(Config, AllEightConfigurationsBuild) {
+TEST(Config, AllConfigurationsBuild) {
   const auto ids = all_config_ids();
-  ASSERT_EQ(ids.size(), 8u);
+  ASSERT_EQ(ids.size(), 11u);
   for (ConfigId id : ids) {
     const ClusterConfig cfg = make_cluster_config(id, CacheSize::kMedium);
     EXPECT_EQ(cfg.cluster_cores, 16u);
@@ -30,6 +31,10 @@ TEST(Config, NamesMatchPaperTableIV) {
   EXPECT_STREQ(to_string(ConfigId::kShSttCcOracle), "SH-STT-CC-Oracle");
   EXPECT_STREQ(to_string(ConfigId::kPrSttCc), "PR-STT-CC");
   EXPECT_STREQ(to_string(ConfigId::kShSttCcOs), "SH-STT-CC-OS");
+  // Technology-exploration configurations (not in the paper's table).
+  EXPECT_STREQ(to_string(ConfigId::kShPcm), "SH-PCM");
+  EXPECT_STREQ(to_string(ConfigId::kShEdram), "SH-EDRAM");
+  EXPECT_STREQ(to_string(ConfigId::kShHybrid), "SH-HYBRID-4+12");
 }
 
 TEST(Config, BaselineIsPrivateSramAtSafeRail) {

@@ -4,6 +4,7 @@
 // energy — for every Table IV configuration.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <string>
 #include <vector>
 
@@ -43,7 +44,8 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<ConfigId>& info) {
       std::string name = to_string(info.param);
       for (char& c : name) {
-        if (c == '-') c = '_';
+        // Config names use '-' and, for the hybrid partition, '+'.
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }
       return name;
     });

@@ -2,6 +2,7 @@
 // grid: accounting identities that must hold for any run.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <map>
 #include <string>
 #include <tuple>
@@ -99,7 +100,7 @@ INSTANTIATE_TEST_SUITE_P(
       std::string name = std::string(to_string(std::get<0>(info.param))) +
                          "_" + std::get<1>(info.param);
       for (char& c : name) {
-        if (c == '-') c = '_';
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }
       return name;
     });

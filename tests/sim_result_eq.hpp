@@ -38,6 +38,8 @@ inline void expect_same_result(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.counts.core_idle_cycles, b.counts.core_idle_cycles);
   EXPECT_EQ(a.counts.l1_reads, b.counts.l1_reads);
   EXPECT_EQ(a.counts.l1_writes, b.counts.l1_writes);
+  EXPECT_EQ(a.counts.l1_sram_reads, b.counts.l1_sram_reads);
+  EXPECT_EQ(a.counts.l1_sram_writes, b.counts.l1_sram_writes);
   EXPECT_EQ(a.counts.l2_reads, b.counts.l2_reads);
   EXPECT_EQ(a.counts.l2_writes, b.counts.l2_writes);
   EXPECT_EQ(a.counts.l3_reads, b.counts.l3_reads);
@@ -74,6 +76,9 @@ inline void expect_same_result(const SimResult& a, const SimResult& b) {
   EXPECT_EQ(a.avg_active_cores, b.avg_active_cores);
   EXPECT_EQ(a.min_active_cores, b.min_active_cores);
   EXPECT_EQ(a.max_active_cores, b.max_active_cores);
+
+  EXPECT_EQ(a.hybrid_sram_ways, b.hybrid_sram_ways);
+  EXPECT_EQ(a.hybrid_nvm_ways, b.hybrid_nvm_ways);
 
   EXPECT_EQ(a.faults_enabled, b.faults_enabled);
   EXPECT_EQ(a.faults.sram_lines_mapped, b.faults.sram_lines_mapped);

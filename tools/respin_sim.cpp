@@ -23,6 +23,12 @@
 //                        or RESPIN_THREADS); results do not depend on it
 //   --time               report wall-clock per run and aggregate sims/sec
 //   --no-skip            disable the event-driven clock (reference path)
+//   --shared-tech <t>    override the cache technology of a shared-L1
+//                        configuration (SRAM | STT-RAM | PCM | eDRAM)
+//   --private-tech <t>   override the cache technology of a private-L1
+//                        configuration
+//   --hybrid-ways <s+n>  partition the shared L1D into s SRAM + n NVM ways
+//                        (e.g. 4+12); s+0 / 0+n collapse to a pure array
 //   --faults             enable fault injection (see docs/faults.md)
 //   --fault-seed <n>     fault-stream seed (default: --seed value)
 //   --stt-wfail <p>      STT write-failure probability per attempt
@@ -54,6 +60,7 @@
 #include "core/metrics.hpp"
 #include "core/report.hpp"
 #include "exec/parallel.hpp"
+#include "nvsim/tech_backend.hpp"
 #include "obs/golden.hpp"
 #include "obs/obs.hpp"
 #include "workload/workload.hpp"
@@ -119,6 +126,33 @@ int main(int argc, char** argv) {
       report_time = true;
     } else if (std::strcmp(argv[i], "--no-skip") == 0) {
       options.cycle_skip = false;
+    } else if (std::strcmp(argv[i], "--shared-tech") == 0 ||
+               std::strcmp(argv[i], "--private-tech") == 0) {
+      const bool shared = argv[i][2] == 's';
+      const char* flag = shared ? "--shared-tech" : "--private-tech";
+      const char* value = need_value(flag);
+      const nvsim::TechBackend* backend =
+          nvsim::TechnologyRegistry::instance().find(value);
+      if (backend == nullptr) {
+        std::string names;
+        for (const auto* b : nvsim::TechnologyRegistry::instance().all()) {
+          names += names.empty() ? b->name() : std::string("/") + b->name();
+        }
+        usage_error((std::string(flag) + " needs one of " + names).c_str());
+      }
+      if (shared) {
+        options.tech.shared_tech = backend->tech();
+      } else {
+        options.tech.private_tech = backend->tech();
+      }
+    } else if (std::strcmp(argv[i], "--hybrid-ways") == 0) {
+      const char* spec = need_value("--hybrid-ways");
+      unsigned sram = 0, nvm = 0;
+      if (std::sscanf(spec, "%u+%u", &sram, &nvm) != 2 || sram + nvm == 0) {
+        usage_error("--hybrid-ways needs the form <sram>+<nvm>, e.g. 4+12");
+      }
+      options.tech.hybrid_sram_ways = sram;
+      options.tech.hybrid_nvm_ways = nvm;
     } else if (std::strcmp(argv[i], "--faults") == 0) {
       options.faults.enabled = true;
     } else if (std::strcmp(argv[i], "--fault-seed") == 0) {
@@ -275,6 +309,14 @@ int main(int argc, char** argv) {
           u64(f.stt_write_faults), u64(f.stt_write_retries),
           u64(f.stt_lines_disabled), u64(run.result.fault_l1_usable_bytes),
           u64(run.result.fault_l1_total_bytes));
+    }
+    if (run.result.hybrid_sram_ways > 0) {
+      std::printf(
+          "  hybrid L1D: %u SRAM + %u NVM ways, sram-class accesses "
+          "%llu reads / %llu writes\n",
+          run.result.hybrid_sram_ways, run.result.hybrid_nvm_ways,
+          static_cast<unsigned long long>(run.result.counts.l1_sram_reads),
+          static_cast<unsigned long long>(run.result.counts.l1_sram_writes));
     }
     results.push_back(run.result);
   }
