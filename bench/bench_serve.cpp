@@ -1,0 +1,136 @@
+// Serving-layer micro-benchmark (not a paper artifact): what the daemon
+// adds on top of a raw simulation. Three costs bound the serving hot
+// path, and each gets a scenario:
+//
+//   cache hit    handle_line() on an already-cached key — parse request,
+//                canonical key, LRU lookup, serialize result. This is the
+//                steady-state cost of a duplicate-heavy client, and the
+//                reason the cache exists: it must be orders of magnitude
+//                cheaper than simulating.
+//   serde        result_to_json -> dump -> parse -> result_from_json
+//                round-trips of a real SimResult (store appends and loads
+//                pay this per record).
+//   coalesced    N concurrent identical requests resolved by one
+//                simulation (single-flight) — the dedupe win.
+//
+// `--smoke` shrinks the iteration counts so the sanitizer CI jobs can run
+// the whole binary as a ctest; other flags go to bench_common (--json
+// writes BENCH_serve.json for the perf gate).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/serde.hpp"
+#include "obs/json.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace respin;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  bench::init_obs(static_cast<int>(passthrough.size()), passthrough.data());
+
+  const core::RunOptions options = bench::default_options();
+  bench::print_banner("serve: daemon overhead microbenchmark",
+                      "serving adds cache/serde overhead on top of the "
+                      "simulator; duplicates must be near-free",
+                      options);
+
+  const int hit_iters = smoke ? 200 : 20000;
+  const int serde_iters = smoke ? 50 : 2000;
+  const int waiters = 8;
+
+  serve::ServerConfig config;
+  serve::Server server(config);
+  const std::string line =
+      "{\"op\":\"run\",\"config\":\"SH-STT\",\"benchmark\":\"ocean\","
+      "\"scale\":0.05}";
+
+  // Cold request: one real simulation, which also warms the cache.
+  auto start = std::chrono::steady_clock::now();
+  server.handle_line(line);
+  const double sim_seconds = seconds_since(start);
+
+  // Steady state: every request is a cache hit.
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < hit_iters; ++i) server.handle_line(line);
+  const double hit_seconds = seconds_since(start);
+  const double hits_per_sec = hit_iters / hit_seconds;
+
+  // Serde round-trip of the simulated result.
+  const core::SimResult result = core::result_from_json(
+      *obs::json::parse(server.handle_line(line)).find("result"));
+  start = std::chrono::steady_clock::now();
+  std::uint64_t guard = 0;
+  for (int i = 0; i < serde_iters; ++i) {
+    const std::string text = core::result_to_json(result).dump();
+    guard += core::result_from_json(obs::json::parse(text)).cycles;
+  }
+  const double serde_seconds = seconds_since(start);
+  const double serde_per_sec = serde_iters / serde_seconds;
+
+  // Single-flight: N threads ask for one uncached key; one simulation.
+  const std::string cold_line =
+      "{\"op\":\"run\",\"config\":\"SH-STT\",\"benchmark\":\"radix\","
+      "\"scale\":0.05}";
+  start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int i = 0; i < waiters; ++i) {
+    clients.emplace_back([&] { server.handle_line(cold_line); });
+  }
+  for (std::thread& t : clients) t.join();
+  const double coalesced_seconds = seconds_since(start);
+
+  std::printf("cold simulation:     %10.3f ms\n", sim_seconds * 1e3);
+  std::printf("cache hit:           %10.3f us  (%.0f hits/sec, %.0fx "
+              "cheaper than simulating)\n",
+              hit_seconds / hit_iters * 1e6, hits_per_sec,
+              sim_seconds / (hit_seconds / hit_iters));
+  std::printf("result serde trip:   %10.3f us  (%.0f round-trips/sec)\n",
+              serde_seconds / serde_iters * 1e6, serde_per_sec);
+  std::printf("coalesced %d-of-1:    %10.3f ms  (%d waiters, 1 simulation, "
+              "guard %llu)\n",
+              waiters, coalesced_seconds * 1e3, waiters,
+              static_cast<unsigned long long>(guard % 1000));
+
+  const obs::CounterSet counters = server.counters();
+  const double* sims = counters.find("serve.sims_run");
+  const double* coalesced = counters.find("serve.coalesced");
+  std::printf("counters: sims_run %.0f, cache_hits %.0f, coalesced %.0f\n",
+              sims != nullptr ? *sims : -1.0,
+              *counters.find("serve.cache_hits"),
+              coalesced != nullptr ? *coalesced : -1.0);
+
+  if (bench::bench_json_enabled()) {
+    bench::export_bench_json(
+        "serve",
+        {{"cache_hits_per_sec", hits_per_sec, "hits/sec", "higher", false},
+         {"serde_round_trips_per_sec", serde_per_sec, "trips/sec", "higher",
+          false},
+         {"cache_speedup_vs_sim",
+          sim_seconds / (hit_seconds / hit_iters), "x", "higher", false}});
+  }
+  return 0;
+}

@@ -29,10 +29,38 @@ import sys
 
 
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
+    """Loads and validates one snapshot.
+
+    Validation is exhaustive up front so a malformed or hand-edited
+    snapshot fails with a per-key message naming the file and the missing
+    key, never a KeyError traceback from deep inside compare().
+    """
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        sys.exit(f"{path}: cannot read snapshot: {e.strerror}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: not valid JSON: {e}")
+    if not isinstance(data, dict):
+        sys.exit(f"{path}: snapshot must be a JSON object, got "
+                 f"{type(data).__name__}")
     if data.get("schema") != 1:
         sys.exit(f"{path}: unsupported schema {data.get('schema')!r}")
+    for key in ("bench", "metrics"):
+        if key not in data:
+            sys.exit(f"{path}: snapshot is missing the {key!r} key")
+    if not isinstance(data["metrics"], dict):
+        sys.exit(f"{path}: 'metrics' must be an object mapping metric "
+                 f"names to entries")
+    for name, metric in data["metrics"].items():
+        if not isinstance(metric, dict):
+            sys.exit(f"{path}: metric {name!r} must be an object")
+        if "value" not in metric:
+            sys.exit(f"{path}: metric {name!r} is missing the 'value' key")
+        if not isinstance(metric["value"], (int, float)):
+            sys.exit(f"{path}: metric {name!r} has a non-numeric value "
+                     f"{metric['value']!r}")
     return data
 
 

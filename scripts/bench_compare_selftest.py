@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Self-test for bench_compare.py, invoked from the CI perf job.
+
+Exercises the compare/merge happy paths and — the reason it exists — the
+malformed-snapshot paths: every missing key must produce a clear per-key
+error message and exit status 1, never a KeyError traceback.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_compare.py")
+
+
+def snapshot(metrics, bench="selftest", schema=1):
+    data = {"schema": schema, "bench": bench,
+            "toolchain": {"compiler": "selftest"}, "metrics": metrics}
+    return data
+
+
+def metric(value, better="higher", gate=True):
+    return {"value": value, "unit": "x/sec", "better": better, "gate": gate}
+
+
+def write(tmp, name, data):
+    path = os.path.join(tmp, name)
+    with open(path, "w") as f:
+        json.dump(data, f)
+    return path
+
+
+def run(*args):
+    return subprocess.run([sys.executable, SCRIPT, *args],
+                          capture_output=True, text=True)
+
+
+def check(label, ok, detail=""):
+    if not ok:
+        print(f"FAIL: {label}\n{detail}")
+        sys.exit(1)
+    print(f"ok: {label}")
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        base = write(tmp, "base.json",
+                     snapshot({"rate": metric(100.0),
+                               "latency": metric(10.0, better="lower")}))
+        good = write(tmp, "good.json",
+                     snapshot({"rate": metric(98.0),
+                               "latency": metric(10.5, better="lower")}))
+        slow = write(tmp, "slow.json",
+                     snapshot({"rate": metric(50.0),
+                               "latency": metric(30.0, better="lower")}))
+
+        r = run(base, good)
+        check("in-band run passes", r.returncode == 0, r.stdout + r.stderr)
+
+        r = run(base, slow)
+        check("regression fails with named metrics",
+              r.returncode == 1 and "rate" in r.stderr
+              and "latency" in r.stderr and "Traceback" not in r.stderr,
+              r.stdout + r.stderr)
+
+        # Best-of-N: one good run among bad ones passes.
+        r = run(base, slow, good)
+        check("best-of-N absorbs a slow run", r.returncode == 0,
+              r.stdout + r.stderr)
+
+        # Gated metric absent from every current run -> failure, not crash.
+        partial = write(tmp, "partial.json", snapshot({"rate": metric(99.0)}))
+        r = run(base, partial)
+        check("absent gated metric fails cleanly",
+              r.returncode == 1 and "latency" in r.stderr
+              and "Traceback" not in r.stderr, r.stdout + r.stderr)
+
+        # Malformed snapshots: per-key messages, never a KeyError traceback.
+        no_metrics = write(tmp, "no_metrics.json",
+                           {"schema": 1, "bench": "selftest"})
+        r = run(no_metrics, good)
+        check("missing 'metrics' key named in error",
+              r.returncode == 1 and "'metrics'" in r.stderr
+              and "no_metrics.json" in r.stderr
+              and "Traceback" not in r.stderr, r.stdout + r.stderr)
+
+        no_bench = write(tmp, "no_bench.json",
+                         {"schema": 1, "metrics": {"rate": metric(1.0)}})
+        r = run(no_bench, good)
+        check("missing 'bench' key named in error",
+              r.returncode == 1 and "'bench'" in r.stderr
+              and "Traceback" not in r.stderr, r.stdout + r.stderr)
+
+        no_value = write(tmp, "no_value.json",
+                         snapshot({"rate": {"unit": "x/sec",
+                                            "better": "higher"}}))
+        r = run(no_value, good)
+        check("metric missing 'value' key named in error",
+              r.returncode == 1 and "'rate'" in r.stderr
+              and "'value'" in r.stderr and "Traceback" not in r.stderr,
+              r.stdout + r.stderr)
+
+        bad_schema = write(tmp, "bad_schema.json",
+                           snapshot({"rate": metric(1.0)}, schema=2))
+        r = run(bad_schema, good)
+        check("unsupported schema rejected", r.returncode == 1,
+              r.stdout + r.stderr)
+
+        not_json = os.path.join(tmp, "not_json.json")
+        with open(not_json, "w") as f:
+            f.write("{ torn")
+        r = run(not_json, good)
+        check("invalid JSON rejected cleanly",
+              r.returncode == 1 and "Traceback" not in r.stderr,
+              r.stdout + r.stderr)
+
+        mismatch = write(tmp, "other.json",
+                         snapshot({"rate": metric(1.0)}, bench="other"))
+        r = run(base, mismatch)
+        check("bench-name mismatch rejected",
+              r.returncode == 1 and "mismatch" in r.stderr,
+              r.stdout + r.stderr)
+
+        # Merge mode still works and picks the per-metric best.
+        merged_path = os.path.join(tmp, "merged.json")
+        r = run("--merge-best", merged_path, base, good, slow)
+        check("merge-best succeeds", r.returncode == 0,
+              r.stdout + r.stderr)
+        with open(merged_path) as f:
+            merged = json.load(f)
+        check("merge-best picks best per metric",
+              merged["metrics"]["rate"]["value"] == 100.0
+              and merged["metrics"]["latency"]["value"] == 10.0,
+              json.dumps(merged))
+
+    print("bench_compare selftest: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

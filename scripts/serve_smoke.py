@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test of the respin_serve daemon over TCP, run by CI.
+
+Starts the daemon on a kernel-assigned port with a fresh results store,
+then drives the documented client flow: submit a simulation, submit the
+identical request again and prove it was answered from the cache (the
+`source` field and the serve.cache_hits / serve.sims_run counters), run a
+Pareto query, and finally shut down gracefully via SIGTERM, checking the
+daemon drains and exits 0.
+
+Usage: serve_smoke.py /path/to/respin_serve
+"""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def fail(message):
+    print(f"serve_smoke: FAIL: {message}")
+    sys.exit(1)
+
+
+def check(label, ok, detail=""):
+    if not ok:
+        fail(f"{label}: {detail}")
+    print(f"serve_smoke: ok: {label}")
+
+
+class Client:
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=120)
+        self.buf = b""
+
+    def ask(self, request):
+        self.sock.sendall((json.dumps(request) + "\n").encode())
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                fail("connection closed mid-response")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return json.loads(line)
+
+    def close(self):
+        self.sock.close()
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail("usage: serve_smoke.py /path/to/respin_serve")
+    binary = sys.argv[1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = os.path.join(tmp, "results.jsonl")
+        daemon = subprocess.Popen(
+            [binary, "--port", "0", "--store", store, "--threads", "2"],
+            stderr=subprocess.PIPE, text=True)
+        try:
+            # The daemon prints the kernel-assigned port on startup.
+            banner = daemon.stderr.readline()
+            m = re.search(r"listening on port (\d+)", banner)
+            check("daemon started and printed its port", m is not None,
+                  repr(banner))
+            client = Client(int(m.group(1)))
+
+            pong = client.ask({"op": "ping", "id": 1})
+            check("ping answered with echoed id",
+                  pong.get("ok") and pong.get("id") == 1, pong)
+
+            request = {"op": "run", "config": "SH-STT",
+                       "benchmark": "ocean", "scale": 0.05}
+            first = client.ask(request)
+            check("first submit simulated",
+                  first.get("ok") and first.get("source") == "sim"
+                  and first["result"]["cycles"] > 0, first)
+
+            second = client.ask(request)
+            check("duplicate submit answered from cache",
+                  second.get("ok") and second.get("source") == "cache"
+                  and second.get("cached") is True, second)
+            check("cached result identical",
+                  second["result"] == first["result"])
+
+            stats = client.ask({"op": "stats"})["counters"]
+            check("cache-hit counter recorded the dedupe",
+                  stats["serve.cache_hits"] == 1
+                  and stats["serve.sims_run"] == 1, stats)
+
+            # A second config gives the Pareto query something to rank.
+            client.ask({"op": "run", "config": "PR-SRAM-NT",
+                        "benchmark": "ocean", "scale": 0.05})
+            pareto = client.ask({"op": "pareto", "x": "energy_pj",
+                                 "y": "cycles"})
+            check("pareto query returns a frontier",
+                  pareto.get("ok") and 1 <= pareto["count"] <= 2
+                  and all("x" in p and "y" in p for p in pareto["points"]),
+                  pareto)
+
+            check("results checkpointed to the store",
+                  os.path.exists(store)
+                  and sum(1 for _ in open(store)) == 2)
+
+            client.close()
+            daemon.send_signal(signal.SIGTERM)
+            status = daemon.wait(timeout=120)
+            tail = daemon.stderr.read()
+            check("graceful shutdown on SIGTERM",
+                  status == 0 and "drained" in tail,
+                  f"status={status} stderr={tail!r}")
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+    print("serve_smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+// Round-trip serialization of simulation requests and results, plus the
+// canonical request key the serving layer caches and shards by.
+//
+// The simulator is a pure function of (config, workload-or-trace ref,
+// seed, fault plan, sim params) — the determinism contract pinned by
+// parallel_determinism_test and fault_test. That purity is what makes a
+// SimResult a cacheable value: this module gives each request one
+// canonical spelling (fixed field order, obs::format_value number text,
+// result-irrelevant knobs excluded) and serializes results so that
+// serialize -> parse is bit-exact, including every energy double and
+// histogram bucket (tests/result_serde_test.cpp). Key semantics are
+// documented in docs/serving.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/experiment.hpp"
+#include "obs/json.hpp"
+
+namespace respin::core {
+
+/// One simulation request as the serving protocol describes it: a named
+/// configuration, a workload reference (catalog benchmark, or a recorded
+/// trace file), and the run options.
+struct RequestSpec {
+  ConfigId config = ConfigId::kShStt;
+  /// Catalog benchmark name; ignored when `trace_file` is set.
+  std::string benchmark = "ocean";
+  /// Recorded-trace workload reference (respin_trace format). Keys built
+  /// from a trace ref identify the file by path, not content — see
+  /// docs/serving.md for the invalidation caveat.
+  std::string trace_file;
+  RunOptions options;
+};
+
+/// Parses the request fields of a protocol object (config, benchmark /
+/// trace_file, size, cluster, scale, seed, oracle_stride, faults, tech).
+/// Missing fields keep their defaults; unknown names and malformed values
+/// throw obs::json::Error or std::logic_error with a caller-printable
+/// message.
+RequestSpec request_spec_from_json(const obs::json::Value& request);
+
+/// Serializes a spec with every key-relevant field populated; parsing it
+/// back yields an identical canonical key.
+obs::json::Value request_spec_to_json(const RequestSpec& spec);
+
+/// The canonical request key: request_spec_to_json dumped with a fixed
+/// field order. Two requests have equal keys iff the determinism contract
+/// guarantees them bit-identical results — result-irrelevant knobs
+/// (cycle_skip, trace sinks, host thread counts) are excluded, and a
+/// disabled fault plan canonicalizes to the same key regardless of its
+/// dormant model parameters.
+std::string canonical_key(const RequestSpec& spec);
+
+/// FNV-1a 64-bit hash of a canonical key (stable across platforms and
+/// runs; published alongside results for quick reference).
+std::uint64_t key_hash(std::string_view key);
+
+/// key_hash as 16 lowercase hex digits.
+std::string key_hash_hex(std::string_view key);
+
+/// Serializes a finished result. result_from_json(result_to_json(r))
+/// equals r field-for-field and bit-for-bit (doubles travel as
+/// obs::format_value shortest-round-trip text).
+obs::json::Value result_to_json(const SimResult& result);
+
+/// Parses result_to_json output; throws obs::json::Error on missing or
+/// mistyped fields.
+SimResult result_from_json(const obs::json::Value& value);
+
+/// Named scalar metrics of a result, for store queries and Pareto
+/// extraction: cycles, seconds, instructions, energy_pj, epi_pj, watts,
+/// leakage_pj, dynamic_pj, avg_active_cores. Throws std::logic_error on
+/// unknown names (listing the valid ones).
+double result_metric(const SimResult& result, std::string_view name);
+
+/// The valid result_metric names, comma-separated (error messages, docs).
+const char* result_metric_names();
+
+}  // namespace respin::core

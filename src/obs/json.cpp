@@ -1,0 +1,461 @@
+#include "obs/json.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+#include "obs/counters.hpp"
+
+namespace respin::obs::json {
+
+namespace {
+
+[[noreturn]] void kind_error(const char* wanted, Value::Kind got) {
+  static const char* const names[] = {"null",   "bool",  "number",
+                                      "string", "array", "object"};
+  throw Error(std::string("expected ") + wanted + ", got " +
+                  names[static_cast<int>(got)],
+              0);
+}
+
+}  // namespace
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double value) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.text_ = format_value(value);
+  return v;
+}
+
+Value Value::number(std::uint64_t value) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.text_ = std::to_string(value);
+  return v;
+}
+
+Value Value::number(std::int64_t value) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.text_ = std::to_string(value);
+  return v;
+}
+
+Value Value::number_from_lexeme(std::string lexeme) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.text_ = std::move(lexeme);
+  return v;
+}
+
+Value Value::str(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.text_ = std::move(s);
+  return v;
+}
+
+Value Value::array(Array items) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+Value Value::object(Object members) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::kBool) kind_error("bool", kind_);
+  return bool_;
+}
+
+double Value::as_double() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  return parse_value(text_);
+}
+
+std::uint64_t Value::as_u64() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  std::uint64_t value = 0;
+  const char* begin = text_.data();
+  const char* end = begin + text_.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    throw Error("number '" + text_ + "' is not an exact uint64", 0);
+  }
+  return value;
+}
+
+std::int64_t Value::as_i64() const {
+  if (kind_ != Kind::kNumber) kind_error("number", kind_);
+  std::int64_t value = 0;
+  const char* begin = text_.data();
+  const char* end = begin + text_.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    throw Error("number '" + text_ + "' is not an exact int64", 0);
+  }
+  return value;
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::kString) kind_error("string", kind_);
+  return text_;
+}
+
+const Array& Value::as_array() const {
+  if (kind_ != Kind::kArray) kind_error("array", kind_);
+  return array_;
+}
+
+const Object& Value::as_object() const {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  return object_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value& Value::set(std::string key, Value value) {
+  if (kind_ != Kind::kObject) kind_error("object", kind_);
+  object_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void dump_to(const Value& v, std::string& out);
+
+void dump_to(const Value& v, std::string& out) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      out += "null";
+      break;
+    case Value::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Kind::kNumber: {
+      // inf/nan have no JSON form; the simulator never stores them (EPI of
+      // an empty epoch is recomputed, not serialized), so map them to null
+      // like obs::to_json does for events.
+      const std::string& t = v.number_text();
+      out += (t == "inf" || t == "-inf" || t == "nan" || t == "-nan")
+                 ? "null"
+                 : t;
+      break;
+    }
+    case Value::Kind::kString:
+      out += '"';
+      out += escape(v.as_string());
+      out += '"';
+      break;
+    case Value::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& item : v.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_to(item, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : v.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(key);
+        out += "\":";
+        dump_to(value, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw Error(message, pos_);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Value parse_value(std::size_t depth) {
+    if (depth >= kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': return Value::str(parse_string());
+      case 't':
+        if (consume_word("true")) return Value::boolean(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_word("false")) return Value::boolean(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_word("null")) return Value::null();
+        fail("invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object(std::size_t depth) {
+    expect('{');
+    Value v = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char sep = peek();
+      ++pos_;
+      if (sep == '}') return v;
+      if (sep != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array(std::size_t depth) {
+    expect('[');
+    Array items;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value::array(std::move(items));
+    }
+    while (true) {
+      items.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char sep = peek();
+      ++pos_;
+      if (sep == ']') return Value::array(std::move(items));
+      if (sep != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': append_unicode_escape(out); break;
+        default: --pos_; fail("invalid escape character");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        --pos_;
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    std::uint32_t cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: a low surrogate must follow.
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        fail("high surrogate without low surrogate");
+      }
+      pos_ += 2;
+      const std::uint32_t low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unexpected low surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+      pos_ = start;
+      fail("invalid value");
+    }
+    // Leading zero may not be followed by more digits (RFC 8259).
+    if (text_[pos_] == '0' && pos_ + 1 < text_.size() &&
+        text_[pos_ + 1] >= '0' && text_[pos_ + 1] <= '9') {
+      fail("leading zero in number");
+    }
+    auto digits = [&] {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    };
+    digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        fail("digit required after decimal point");
+      }
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !(text_[pos_] >= '0' && text_[pos_] <= '9')) {
+        fail("digit required in exponent");
+      }
+      digits();
+    }
+    return Value::number_from_lexeme(
+        std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dump_to(*this, out);
+  return out;
+}
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace respin::obs::json

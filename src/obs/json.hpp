@@ -1,0 +1,130 @@
+// Minimal JSON document model for the serving protocol and result
+// serialization: a Value tree, a strict RFC 8259 parser, and a compact
+// single-line writer.
+//
+// Numbers keep their decimal lexeme alongside the parsed double, so
+// 64-bit integers (seeds) and shortest-round-trip doubles survive a
+// serialize -> parse cycle bit-exactly: doubles are formatted with
+// obs::format_value (std::to_chars shortest form, locale-independent)
+// and re-parsed with std::from_chars, and as_u64()/as_i64() re-parse the
+// original digits instead of bouncing through double. This is the same
+// text layer the golden-stats CSVs use, which is what makes a JSONL
+// results store byte-stable and a served SimResult bit-identical to a
+// locally computed one (docs/serving.md).
+//
+// The parser is strict and hostile-input safe: typed Error with a byte
+// offset on any malformation, a nesting-depth cap against stack
+// exhaustion, full \uXXXX escape handling including surrogate pairs.
+// Exercised by tests/json_test.cpp under the ASan+UBSan CI job.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace respin::obs::json {
+
+/// Thrown on malformed input; `offset` is the byte position of the
+/// failure in the parsed text.
+class Error : public std::runtime_error {
+ public:
+  Error(const std::string& message, std::size_t offset)
+      : std::runtime_error(message + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const { return offset_; }
+
+ private:
+  std::size_t offset_ = 0;
+};
+
+class Value;
+/// Object members in insertion order (canonical keys depend on a stable
+/// field order, so no sorting or hashing here).
+using Object = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Value() = default;  ///< null
+
+  // Named constructors (no implicit conversions: const char* would
+  // otherwise silently become bool).
+  static Value null() { return Value(); }
+  static Value boolean(bool b);
+  static Value number(double v);
+  static Value number(std::uint64_t v);
+  static Value number(std::int64_t v);
+  static Value number(std::uint32_t v) {
+    return number(static_cast<std::uint64_t>(v));
+  }
+  static Value str(std::string s);
+  static Value array(Array items = {});
+  static Value object(Object members = {});
+  /// Parser backdoor: adopts `lexeme` as the number text verbatim. The
+  /// caller guarantees it is a valid JSON number.
+  static Value number_from_lexeme(std::string lexeme);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Typed accessors; each throws Error (offset 0) on a kind mismatch so
+  // protocol handlers get a typed bad_request instead of UB.
+  bool as_bool() const;
+  /// The double value (from_chars of the lexeme; shortest-form doubles
+  /// round-trip bit-identically).
+  double as_double() const;
+  /// Exact unsigned 64-bit parse of the number lexeme; throws when the
+  /// lexeme is negative, fractional, or out of range.
+  std::uint64_t as_u64() const;
+  std::int64_t as_i64() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Number lexeme exactly as parsed / formatted ("" for non-numbers).
+  const std::string& number_text() const { return text_; }
+
+  // Object helpers.
+  /// Member lookup (first match); nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+  /// Appends a member (builder-style; keys are not deduplicated).
+  Value& set(std::string key, Value value);
+
+  /// Compact single-line serialization. Parsing dump() output yields an
+  /// equal tree with identical number lexemes.
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::string text_;  ///< Number lexeme, or string payload.
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error. Throws
+/// Error on malformed input or nesting beyond kMaxDepth.
+inline constexpr std::size_t kMaxDepth = 64;
+Value parse(std::string_view text);
+
+/// Escapes `s` per RFC 8259 (quote, backslash, control characters).
+std::string escape(std::string_view s);
+
+}  // namespace respin::obs::json

@@ -1,0 +1,68 @@
+// In-memory LRU result cache for the serving daemon.
+//
+// Keys are canonical request keys (core::canonical_key), values are
+// shared immutable results, so a hit is a pointer copy — no SimResult
+// deep copy on the hot serving path. Deterministic simulations make the
+// cache trivially coherent: a key's value can never change, only age
+// out. Not thread-safe by itself; the Server serializes access under its
+// own mutex (cache operations are O(1) map+list updates, far off the
+// simulation critical path).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/cluster_sim.hpp"
+
+namespace respin::serve {
+
+class LruCache {
+ public:
+  /// `capacity` 0 disables caching entirely (every get misses).
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Shared result for `key` (moved to most-recently-used), or nullptr.
+  std::shared_ptr<const core::SimResult> get(const std::string& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->value;
+  }
+
+  /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+  /// when the cache is full.
+  void put(const std::string& key,
+           std::shared_ptr<const core::SimResult> value) {
+    if (capacity_ == 0) return;
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->value = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (order_.size() >= capacity_) {
+      index_.erase(order_.back().key);
+      order_.pop_back();
+    }
+    order_.push_front(Entry{key, std::move(value)});
+    index_[key] = order_.begin();
+  }
+
+  std::size_t size() const { return order_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const core::SimResult> value;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> order_;  ///< Front = most recently used.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace respin::serve

@@ -1,0 +1,36 @@
+// Transport front ends for the serving daemon.
+//
+// Both front ends speak the same protocol — one JSON object per line in,
+// one per line out — and delegate every request to Server::handle_line().
+//
+// serve_stdio() is the transport used by tests and CI: it reads requests
+// from an istream and writes responses to an ostream, exiting at EOF or
+// after a `shutdown` op has been served and the server drained.
+//
+// serve_tcp() is the daemon path: it binds a listening socket (port 0 =
+// kernel-assigned), prints "respin_serve: listening on port N" so a
+// scripted client can parse the bound port, and accepts connections until
+// SIGTERM/SIGINT arrives (self-pipe trick) or a client sends `shutdown`.
+// Shutdown is graceful: stop accepting, finish in-flight simulations
+// (Server::drain), close client connections, join connection threads.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "serve/server.hpp"
+
+namespace respin::serve {
+
+/// Serves line requests from `in` to `out`. Returns the number of request
+/// lines handled. Stops at EOF, or — once a `shutdown` op flips the server
+/// into draining — after the drain completes.
+std::size_t serve_stdio(Server& server, std::istream& in, std::ostream& out);
+
+/// Runs the TCP accept loop on `port` (0 = kernel-assigned) until a
+/// termination signal or a `shutdown` op. `log` receives the one-line
+/// "listening on port N" banner and lifecycle messages. Returns 0 on a
+/// graceful shutdown, non-zero when the socket could not be set up.
+int serve_tcp(Server& server, std::uint16_t port, std::ostream& log);
+
+}  // namespace respin::serve

@@ -1,0 +1,520 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <iterator>
+
+#include "exec/parallel.hpp"
+#include "obs/obs.hpp"
+#include "trace/replay.hpp"
+#include "util/require.hpp"
+#include "workload/workload.hpp"
+
+namespace respin::serve {
+
+namespace obsj = obs::json;
+
+/// One queued-or-running unique simulation; every coalesced waiter holds
+/// the same Flight and wakes when it completes.
+struct Server::Flight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  std::shared_ptr<const core::SimResult> result;  ///< Null on failure.
+  std::string error;
+};
+
+struct Server::Job {
+  std::string key;
+  core::RequestSpec spec;
+  std::shared_ptr<Flight> flight;
+};
+
+namespace {
+
+/// Executes one request: catalog benchmark, or trace replay when the
+/// workload reference is a trace file.
+core::SimResult run_request(const core::RequestSpec& spec) {
+  if (!spec.trace_file.empty()) {
+    const trace::TraceData data = trace::load_trace(spec.trace_file);
+    trace::ReplayOptions options;
+    options.size = spec.options.size;
+    options.cycle_skip = spec.options.cycle_skip;
+    options.oracle_stride = spec.options.oracle_stride;
+    return trace::replay_trace(spec.config, data, options);
+  }
+  return core::run_experiment(spec.config, spec.benchmark, spec.options);
+}
+
+void require_known_benchmark(const std::string& name) {
+  const std::vector<std::string> names = workload::benchmark_names();
+  if (std::find(names.begin(), names.end(), name) == names.end()) {
+    throw std::logic_error("unknown benchmark '" + name +
+                           "' (see respin_sim --list-workloads)");
+  }
+}
+
+obsj::Value ok_response(const char* op) {
+  obsj::Value v = obsj::Value::object();
+  v.set("ok", obsj::Value::boolean(true));
+  v.set("op", obsj::Value::str(op));
+  return v;
+}
+
+obsj::Value error_response(const char* op, const char* kind,
+                           const std::string& message) {
+  obsj::Value v = obsj::Value::object();
+  v.set("ok", obsj::Value::boolean(false));
+  if (op != nullptr) v.set("op", obsj::Value::str(op));
+  obsj::Value error = obsj::Value::object();
+  error.set("kind", obsj::Value::str(kind));
+  error.set("message", obsj::Value::str(message));
+  v.set("error", std::move(error));
+  return v;
+}
+
+}  // namespace
+
+Server::Server(const ServerConfig& config)
+    : config_(config),
+      store_(config.store_path),
+      cache_(config.cache_capacity),
+      scheduler_([this] { scheduler_main(); }) {}
+
+Server::~Server() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  scheduler_.join();
+}
+
+void Server::begin_drain() {
+  draining_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+}
+
+void Server::drain() {
+  begin_drain();
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
+}
+
+std::string Server::handle_line(const std::string& line) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  obsj::Value request;
+  try {
+    request = obsj::parse(line);
+  } catch (const obsj::Error& e) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    return error_response(nullptr, "parse_error", e.what()).dump();
+  }
+  obsj::Value response;
+  try {
+    response = handle_request(request);
+  } catch (const std::exception& e) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    response = error_response(nullptr, "bad_request", e.what());
+  }
+  // Echo the client's correlation id, if any, so pipelined requests over
+  // one connection can be matched to their responses.
+  if (const obsj::Value* id = request.find("id")) {
+    response.set("id", *id);
+  }
+  return response.dump();
+}
+
+obsj::Value Server::handle_request(const obsj::Value& request) {
+  const obsj::Value* op_field = request.find("op");
+  if (op_field == nullptr) {
+    throw std::logic_error(
+        "missing 'op' (valid: ping, version, run, sweep, get, list, pareto, "
+        "stats, shutdown)");
+  }
+  const std::string& op = op_field->as_string();
+  if (op == "ping") return ok_response("ping");
+  if (op == "version") {
+    obsj::Value v = ok_response("version");
+    v.set("version", obsj::Value::str(config_.version));
+    return v;
+  }
+  if (op == "run") return do_run(request);
+  if (op == "sweep") return do_sweep(request);
+  if (op == "get") return do_get(request);
+  if (op == "list") return do_list();
+  if (op == "pareto") return do_pareto(request);
+  if (op == "stats") return do_stats();
+  if (op == "shutdown") {
+    begin_drain();
+    obsj::Value v = ok_response("shutdown");
+    v.set("draining", obsj::Value::boolean(true));
+    return v;
+  }
+  throw std::logic_error(
+      "unknown op '" + op +
+      "' (valid: ping, version, run, sweep, get, list, pareto, stats, "
+      "shutdown)");
+}
+
+obsj::Value Server::do_run(const obsj::Value& request) {
+  run_requests_.fetch_add(1, std::memory_order_relaxed);
+  core::RequestSpec spec = core::request_spec_from_json(request);
+  if (spec.trace_file.empty()) require_known_benchmark(spec.benchmark);
+  const std::string key = core::canonical_key(spec);
+
+  std::int64_t deadline_ms = config_.default_deadline_ms;
+  if (const obsj::Value* d = request.find("deadline_ms")) {
+    deadline_ms = d->as_i64();
+    RESPIN_REQUIRE(deadline_ms >= 0, "deadline_ms must be >= 0");
+  }
+
+  std::shared_ptr<const core::SimResult> result;
+  std::shared_ptr<Flight> flight;
+  const char* source = "sim";
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (auto hit = cache_.get(key)) {
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      result = std::move(hit);
+      source = "cache";
+    } else if (auto stored = store_.get(key)) {
+      // Cold cache but durable store (daemon restart): promote.
+      store_hits_.fetch_add(1, std::memory_order_relaxed);
+      result = std::make_shared<core::SimResult>(*std::move(stored));
+      cache_.put(key, result);
+      source = "store";
+    } else if (const auto it = inflight_.find(key); it != inflight_.end()) {
+      coalesced_.fetch_add(1, std::memory_order_relaxed);
+      flight = it->second;
+      source = "coalesced";
+    } else if (draining()) {
+      rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+      return error_response("run", "draining",
+                            "server is draining; not accepting new work");
+    } else if (queue_.size() >= config_.queue_depth) {
+      rejected_overload_.fetch_add(1, std::memory_order_relaxed);
+      return error_response(
+          "run", "overloaded",
+          "admission queue is full (depth " +
+              std::to_string(config_.queue_depth) + "); retry later");
+    } else {
+      flight = std::make_shared<Flight>();
+      inflight_.emplace(key, flight);
+      queue_.push_back(Job{key, std::move(spec), flight});
+      enqueued_.fetch_add(1, std::memory_order_relaxed);
+      queue_cv_.notify_one();
+    }
+  }
+
+  if (result == nullptr) {
+    std::unique_lock<std::mutex> fl(flight->mu);
+    if (deadline_ms > 0) {
+      const bool done = flight->cv.wait_for(
+          fl, std::chrono::milliseconds(deadline_ms),
+          [&] { return flight->done; });
+      if (!done) {
+        deadline_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        obsj::Value v = error_response(
+            "run", "timeout",
+            "deadline of " + std::to_string(deadline_ms) +
+                " ms elapsed; the simulation continues and will be cached");
+        v.set("key", obsj::Value::str(key));
+        return v;
+      }
+    } else {
+      flight->cv.wait(fl, [&] { return flight->done; });
+    }
+    if (flight->result == nullptr) {
+      return error_response("run", "run_failed", flight->error);
+    }
+    result = flight->result;
+  }
+
+  obsj::Value v = ok_response("run");
+  v.set("key", obsj::Value::str(key));
+  v.set("hash", obsj::Value::str(core::key_hash_hex(key)));
+  v.set("source", obsj::Value::str(source));
+  v.set("cached", obsj::Value::boolean(source == std::string("cache") ||
+                                       source == std::string("store")));
+  v.set("result", core::result_to_json(*result));
+  return v;
+}
+
+obsj::Value Server::do_sweep(const obsj::Value& request) {
+  sweeps_.fetch_add(1, std::memory_order_relaxed);
+  if (draining()) {
+    rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+    return error_response("sweep", "draining",
+                          "server is draining; not accepting new work");
+  }
+  // Shared run options come from the same fields as a single run; the
+  // matrix axes replace "config"/"benchmark".
+  const core::RequestSpec base = core::request_spec_from_json(request);
+  RESPIN_REQUIRE(base.trace_file.empty(),
+                 "sweep supports catalog benchmarks only");
+
+  std::vector<core::ConfigId> configs;
+  if (const obsj::Value* list = request.find("configs")) {
+    for (const obsj::Value& name : list->as_array()) {
+      configs.push_back(core::parse_config_id(name.as_string()));
+    }
+  } else {
+    configs = core::all_config_ids();
+  }
+  std::vector<std::string> benchmarks;
+  if (const obsj::Value* list = request.find("benchmarks")) {
+    for (const obsj::Value& name : list->as_array()) {
+      require_known_benchmark(name.as_string());
+      benchmarks.push_back(name.as_string());
+    }
+  } else {
+    benchmarks = workload::benchmark_names();
+  }
+  RESPIN_REQUIRE(!configs.empty() && !benchmarks.empty(),
+                 "sweep needs at least one config and one benchmark");
+
+  // Expand the matrix into cells and resume: a cell already checkpointed
+  // in the store is never re-simulated.
+  struct Cell {
+    core::RequestSpec spec;
+    std::string key;
+  };
+  std::vector<Cell> missing;
+  std::size_t resumed = 0;
+  const std::size_t total = configs.size() * benchmarks.size();
+  sweep_cells_total_.fetch_add(total, std::memory_order_relaxed);
+  for (const core::ConfigId config : configs) {
+    for (const std::string& benchmark : benchmarks) {
+      Cell cell;
+      cell.spec = base;
+      cell.spec.config = config;
+      cell.spec.benchmark = benchmark;
+      cell.key = core::canonical_key(cell.spec);
+      if (store_.contains(cell.key)) {
+        ++resumed;
+      } else {
+        missing.push_back(std::move(cell));
+      }
+    }
+  }
+  sweep_cells_resumed_.fetch_add(resumed, std::memory_order_relaxed);
+
+  // Run the missing cells as one pool fan-out, checkpointing each cell to
+  // the store the moment it completes (the resume contract). A failed
+  // cell is counted and reported but does not abort its siblings.
+  const std::vector<int> outcomes =
+      exec::parallel_map_n(missing.size(), [&](std::size_t i) -> int {
+        const Cell& cell = missing[i];
+        try {
+          obs::ScopedProbe probe("serve.sweep_cell");
+          auto result =
+              std::make_shared<core::SimResult>(run_request(cell.spec));
+          store_.put(cell.key, *result);
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            cache_.put(cell.key, result);
+          }
+          sweep_cells_run_.fetch_add(1, std::memory_order_relaxed);
+          return 1;
+        } catch (const std::exception&) {
+          sweep_cells_failed_.fetch_add(1, std::memory_order_relaxed);
+          return 0;
+        }
+      });
+  const std::size_t ran = static_cast<std::size_t>(
+      std::count(outcomes.begin(), outcomes.end(), 1));
+
+  obsj::Value v = ok_response("sweep");
+  v.set("cells", obsj::Value::number(static_cast<std::uint64_t>(total)));
+  v.set("ran", obsj::Value::number(static_cast<std::uint64_t>(ran)));
+  v.set("resumed", obsj::Value::number(static_cast<std::uint64_t>(resumed)));
+  v.set("failed", obsj::Value::number(
+                      static_cast<std::uint64_t>(missing.size() - ran)));
+  v.set("store_size",
+        obsj::Value::number(static_cast<std::uint64_t>(store_.size())));
+  return v;
+}
+
+obsj::Value Server::do_get(const obsj::Value& request) {
+  std::string key;
+  if (const obsj::Value* k = request.find("key")) {
+    key = k->as_string();
+  } else {
+    key = core::canonical_key(core::request_spec_from_json(request));
+  }
+  const std::optional<core::SimResult> stored = store_.get(key);
+  if (!stored.has_value()) {
+    obsj::Value v = error_response("get", "not_found",
+                                   "no stored result for this key");
+    v.set("key", obsj::Value::str(key));
+    return v;
+  }
+  obsj::Value v = ok_response("get");
+  v.set("key", obsj::Value::str(key));
+  v.set("hash", obsj::Value::str(core::key_hash_hex(key)));
+  v.set("result", core::result_to_json(*stored));
+  return v;
+}
+
+obsj::Value Server::do_list() const {
+  obsj::Value v = ok_response("list");
+  obsj::Array runs;
+  for (const ResultStore::Brief& brief : store_.list()) {
+    obsj::Value run = obsj::Value::object();
+    run.set("key", obsj::Value::str(brief.key));
+    run.set("hash", obsj::Value::str(brief.hash));
+    run.set("config", obsj::Value::str(brief.config));
+    run.set("benchmark", obsj::Value::str(brief.benchmark));
+    runs.push_back(std::move(run));
+  }
+  v.set("count", obsj::Value::number(static_cast<std::uint64_t>(runs.size())));
+  v.set("runs", obsj::Value::array(std::move(runs)));
+  return v;
+}
+
+obsj::Value Server::do_pareto(const obsj::Value& request) const {
+  std::string metric_x = "energy_pj";
+  std::string metric_y = "cycles";
+  if (const obsj::Value* x = request.find("x")) metric_x = x->as_string();
+  if (const obsj::Value* y = request.find("y")) metric_y = y->as_string();
+  const std::vector<ParetoPoint> frontier = store_.pareto(metric_x, metric_y);
+  obsj::Value v = ok_response("pareto");
+  v.set("x", obsj::Value::str(metric_x));
+  v.set("y", obsj::Value::str(metric_y));
+  obsj::Array points;
+  points.reserve(frontier.size());
+  for (const ParetoPoint& p : frontier) {
+    obsj::Value point = obsj::Value::object();
+    point.set("key", obsj::Value::str(p.key));
+    point.set("hash", obsj::Value::str(p.hash));
+    point.set("config", obsj::Value::str(p.config));
+    point.set("benchmark", obsj::Value::str(p.benchmark));
+    point.set("x", obsj::Value::number(p.x));
+    point.set("y", obsj::Value::number(p.y));
+    points.push_back(std::move(point));
+  }
+  v.set("count",
+        obsj::Value::number(static_cast<std::uint64_t>(points.size())));
+  v.set("points", obsj::Value::array(std::move(points)));
+  return v;
+}
+
+obsj::Value Server::do_stats() const {
+  obsj::Value v = ok_response("stats");
+  obsj::Value counters_v = obsj::Value::object();
+  const obs::CounterSet set = counters();
+  for (const obs::Counter& c : set.items()) {
+    counters_v.set(c.name, obsj::Value::number(c.value));
+  }
+  v.set("counters", std::move(counters_v));
+  return v;
+}
+
+obs::CounterSet Server::counters() const {
+  const auto load = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  obs::CounterSet set;
+  set.add("serve.requests_total", load(requests_total_));
+  set.add("serve.protocol_errors", load(protocol_errors_));
+  set.add("serve.run_requests", load(run_requests_));
+  set.add("serve.cache_hits", load(cache_hits_));
+  set.add("serve.store_hits", load(store_hits_));
+  set.add("serve.coalesced", load(coalesced_));
+  set.add("serve.enqueued", load(enqueued_));
+  set.add("serve.sims_run", load(sims_run_));
+  set.add("serve.sims_failed", load(sims_failed_));
+  set.add("serve.rejected_overload", load(rejected_overload_));
+  set.add("serve.rejected_draining", load(rejected_draining_));
+  set.add("serve.deadline_timeouts", load(deadline_timeouts_));
+  set.add("serve.batches", load(batches_));
+  set.add("serve.max_batch", load(max_batch_));
+  set.add("serve.sweeps", load(sweeps_));
+  set.add("serve.sweep_cells_total", load(sweep_cells_total_));
+  set.add("serve.sweep_cells_run", load(sweep_cells_run_));
+  set.add("serve.sweep_cells_resumed", load(sweep_cells_resumed_));
+  set.add("serve.sweep_cells_failed", load(sweep_cells_failed_));
+  set.add("serve.draining", std::uint64_t{draining() ? 1u : 0u});
+  set.add("serve.store_size", static_cast<std::uint64_t>(store_.size()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    set.add("serve.queue_depth", static_cast<std::uint64_t>(queue_.size()));
+    set.add("serve.running", static_cast<std::uint64_t>(running_));
+    set.add("serve.inflight", static_cast<std::uint64_t>(inflight_.size()));
+    set.add("serve.cache_size", static_cast<std::uint64_t>(cache_.size()));
+  }
+  set.add("serve.cache_capacity",
+          static_cast<std::uint64_t>(config_.cache_capacity));
+  set.add("serve.queue_capacity",
+          static_cast<std::uint64_t>(config_.queue_depth));
+  return set;
+}
+
+void Server::execute_job(const Job& job) {
+  std::shared_ptr<core::SimResult> result;
+  std::string error;
+  try {
+    obs::ScopedProbe probe("serve.sim");
+    result = std::make_shared<core::SimResult>(run_request(job.spec));
+    sims_run_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    error = e.what();
+    sims_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (result != nullptr) {
+    store_.put(job.key, *result);  // Checkpoint before anyone can observe.
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result != nullptr) cache_.put(job.key, result);
+    inflight_.erase(job.key);
+  }
+  {
+    std::lock_guard<std::mutex> fl(job.flight->mu);
+    job.flight->result = result;
+    job.flight->error = std::move(error);
+    job.flight->done = true;
+  }
+  job.flight->cv.notify_all();
+}
+
+void Server::scheduler_main() {
+  while (true) {
+    std::vector<Job> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      // Take everything that accumulated while the previous batch ran:
+      // the natural batching window of a busy service.
+      batch.assign(std::make_move_iterator(queue_.begin()),
+                   std::make_move_iterator(queue_.end()));
+      queue_.clear();
+      running_ += batch.size();
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    if (batch.size() > max_batch_.load(std::memory_order_relaxed)) {
+      max_batch_.store(batch.size(), std::memory_order_relaxed);
+    }
+    {
+      obs::ScopedProbe probe("serve.batch");
+      probe.add("jobs", static_cast<std::int64_t>(batch.size()));
+      exec::parallel_map_n(batch.size(), [&](std::size_t i) -> int {
+        execute_job(batch[i]);
+        return 0;
+      });
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_ -= batch.size();
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace respin::serve

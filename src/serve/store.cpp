@@ -1,0 +1,144 @@
+#include "serve/store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace respin::serve {
+
+namespace obsj = respin::obs::json;
+
+ResultStore::ResultStore(const std::string& path) : path_(path) {
+  if (path_.empty()) return;
+  // Load pass: every well-formed {"key":...,"result":{...}} line becomes
+  // an entry; anything else (torn tail from a crash mid-append, stray
+  // text) is counted and skipped — the store must never refuse to start
+  // because its last write was interrupted.
+  {
+    std::ifstream in(path_);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      if (line.empty()) continue;
+      try {
+        const obsj::Value record = obsj::parse(line);
+        const obsj::Value* key = record.find("key");
+        const obsj::Value* result = record.find("result");
+        if (key == nullptr || result == nullptr) {
+          ++skipped_lines_;
+          continue;
+        }
+        StoreEntry entry;
+        entry.key = key->as_string();
+        entry.hash = core::key_hash_hex(entry.key);
+        entry.result = core::result_from_json(*result);
+        auto [it, inserted] = index_.try_emplace(entry.key, entries_.size());
+        if (inserted) {
+          entries_.push_back(std::move(entry));
+        } else {
+          entries_[it->second] = std::move(entry);  // Newest record wins.
+        }
+        ++loaded_;
+      } catch (const std::exception&) {
+        ++skipped_lines_;
+      }
+    }
+  }
+  out_.open(path_, std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("cannot open results store for append: " +
+                             path_);
+  }
+}
+
+std::optional<core::SimResult> ResultStore::get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return entries_[it->second].result;
+}
+
+bool ResultStore::contains(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.find(key) != index_.end();
+}
+
+void ResultStore::put(const std::string& key, const core::SimResult& result) {
+  StoreEntry entry;
+  entry.key = key;
+  entry.hash = core::key_hash_hex(key);
+  entry.result = result;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_.is_open()) {
+    obsj::Value record = obsj::Value::object();
+    record.set("key", obsj::Value::str(key));
+    record.set("hash", obsj::Value::str(entry.hash));
+    record.set("result", core::result_to_json(result));
+    out_ << record.dump() << '\n';
+    out_.flush();  // The checkpoint contract: visible before put returns.
+  }
+  auto [it, inserted] = index_.try_emplace(entry.key, entries_.size());
+  if (inserted) {
+    entries_.push_back(std::move(entry));
+  } else {
+    entries_[it->second] = std::move(entry);
+  }
+}
+
+std::vector<ResultStore::Brief> ResultStore::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Brief> out;
+  out.reserve(entries_.size());
+  for (const StoreEntry& e : entries_) {
+    out.push_back(Brief{e.key, e.hash, e.result.config_name,
+                        e.result.benchmark});
+  }
+  return out;
+}
+
+std::vector<ParetoPoint> ResultStore::pareto(std::string_view metric_x,
+                                             std::string_view metric_y) const {
+  std::vector<ParetoPoint> points;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    points.reserve(entries_.size());
+    for (const StoreEntry& e : entries_) {
+      ParetoPoint p;
+      p.key = e.key;
+      p.hash = e.hash;
+      p.config = e.result.config_name;
+      p.benchmark = e.result.benchmark;
+      p.x = core::result_metric(e.result, metric_x);
+      p.y = core::result_metric(e.result, metric_y);
+      points.push_back(std::move(p));
+    }
+  }
+  // O(n^2) dominance scan; store sizes are design-space sized (thousands),
+  // not traffic sized.
+  std::vector<ParetoPoint> frontier;
+  for (const ParetoPoint& candidate : points) {
+    bool dominated = false;
+    for (const ParetoPoint& other : points) {
+      if (other.x <= candidate.x && other.y <= candidate.y &&
+          (other.x < candidate.x || other.y < candidate.y)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) frontier.push_back(candidate);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              if (a.x != b.x) return a.x < b.x;
+              if (a.y != b.y) return a.y < b.y;
+              return a.key < b.key;
+            });
+  return frontier;
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace respin::serve

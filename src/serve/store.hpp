@@ -1,0 +1,98 @@
+// Durable results store for the serving daemon: an append-only JSONL file
+// of (canonical key, SimResult) records with an in-memory index and
+// design-space queries (fetch, list, Pareto frontier).
+//
+// Durability model: put() appends one self-contained JSON line and
+// flushes before returning, so every completed simulation is a committed
+// checkpoint — killing the daemon mid-sweep loses at most the cells still
+// in flight, and a restarted daemon resumes from exactly the completed
+// set (load() tolerates a torn trailing line from a crash mid-append).
+// Because keys are canonical and results deterministic, replaying a line
+// is idempotent: duplicate keys collapse to the newest record.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/serde.hpp"
+
+namespace respin::serve {
+
+/// One stored run: the canonical request key and its result.
+struct StoreEntry {
+  std::string key;
+  std::string hash;  ///< core::key_hash_hex(key), precomputed for queries.
+  core::SimResult result;
+};
+
+/// One Pareto query answer point.
+struct ParetoPoint {
+  std::string key;
+  std::string hash;
+  std::string config;
+  std::string benchmark;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class ResultStore {
+ public:
+  /// Opens (creating if missing) the JSONL store at `path` and loads every
+  /// valid record; an empty path makes an ephemeral in-memory store.
+  /// Throws std::runtime_error when the file cannot be opened for append.
+  explicit ResultStore(const std::string& path);
+
+  /// Copy of the result stored for `key` (copied under the lock — put()
+  /// from worker threads may run concurrently), or nullopt.
+  std::optional<core::SimResult> get(const std::string& key) const;
+
+  /// True when `key` has a stored result (sweep resume check).
+  bool contains(const std::string& key) const;
+
+  /// Records (key -> result), appending to the backing file and flushing
+  /// before returning (the checkpoint contract). Re-putting a key replaces
+  /// the in-memory entry and appends a superseding line.
+  void put(const std::string& key, const core::SimResult& result);
+
+  /// Brief listing of every stored run, in insertion order.
+  struct Brief {
+    std::string key;
+    std::string hash;
+    std::string config;
+    std::string benchmark;
+  };
+  std::vector<Brief> list() const;
+
+  /// Pareto frontier minimizing (metric_x, metric_y) over every stored
+  /// result (core::result_metric names). A point survives iff no other
+  /// point is <= on both axes and < on one. Returned sorted by x then y.
+  /// Throws std::logic_error on unknown metric names.
+  std::vector<ParetoPoint> pareto(std::string_view metric_x,
+                                  std::string_view metric_y) const;
+
+  std::size_t size() const;
+  /// Records recovered from disk at construction.
+  std::size_t loaded() const { return loaded_; }
+  /// Malformed lines skipped at load (a torn tail counts here).
+  std::size_t skipped_lines() const { return skipped_lines_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::string path_;
+  std::ofstream out_;
+  /// key -> index into entries_ (entries are never erased; a replaced key
+  /// updates its entry in place).
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<StoreEntry> entries_;
+  std::size_t loaded_ = 0;
+  std::size_t skipped_lines_ = 0;
+};
+
+}  // namespace respin::serve

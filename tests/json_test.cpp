@@ -1,0 +1,131 @@
+// Tests for the obs::json document model and parser: strict parsing with
+// typed errors, number-lexeme preservation (the property the canonical
+// request keys and the results store depend on), escapes, and dump()
+// round-trips.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace respin::obs::json {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_EQ(parse("null").kind(), Value::Kind::kNull);
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+  EXPECT_EQ(parse("42").as_double(), 42.0);
+  EXPECT_EQ(parse("-1.5e3").as_double(), -1500.0);
+  EXPECT_EQ(parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, WhitespaceAndNesting) {
+  const Value v = parse(" { \"a\" : [ 1 , { \"b\" : [ ] } ] , \"c\" : {} } ");
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 2u);
+  EXPECT_EQ(a->as_array()[0].as_double(), 1.0);
+  EXPECT_TRUE(a->as_array()[1].find("b")->as_array().empty());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t\r\f\b")").as_string(),
+            "a\"b\\c/d\n\t\r\f\b");
+  // \u escapes, including a surrogate pair (U+1F600) -> UTF-8.
+  EXPECT_EQ(parse(R"("\u0041\u00e9\u20ac")").as_string(),
+            "A\xC3\xA9\xE2\x82\xAC");
+  EXPECT_EQ(parse(R"("\ud83d\ude00")").as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(parse(""), Error);
+  EXPECT_THROW(parse("{"), Error);
+  EXPECT_THROW(parse("[1,]"), Error);
+  EXPECT_THROW(parse("{\"a\":1,}"), Error);
+  EXPECT_THROW(parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(parse("nul"), Error);
+  EXPECT_THROW(parse("01"), Error);      // Leading zero.
+  EXPECT_THROW(parse("1. "), Error);     // Truncated fraction.
+  EXPECT_THROW(parse("\"abc"), Error);   // Unterminated string.
+  EXPECT_THROW(parse("\"\\x\""), Error); // Unknown escape.
+  EXPECT_THROW(parse("1 2"), Error);     // Trailing tokens.
+  EXPECT_THROW(parse("\"\\ud83d\""), Error);  // Lone high surrogate.
+}
+
+TEST(JsonParse, ErrorsCarryOffsets) {
+  try {
+    parse("{\"a\": !}");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.offset(), 6u);
+  }
+}
+
+TEST(JsonParse, DepthCapStopsRunawayNesting) {
+  std::string deep(kMaxDepth + 1, '[');
+  deep += std::string(kMaxDepth + 1, ']');
+  EXPECT_THROW(parse(deep), Error);
+  std::string ok_depth(kMaxDepth - 1, '[');
+  ok_depth += std::string(kMaxDepth - 1, ']');
+  EXPECT_NO_THROW(parse(ok_depth));
+}
+
+TEST(JsonNumbers, LexemePreservedThroughDump) {
+  // The parser keeps the exact number text, so values that do not survive
+  // a double round-trip (64-bit seeds) still dump byte-identically.
+  const std::string text = "{\"seed\":18446744073709551615,\"x\":0.1}";
+  EXPECT_EQ(parse(text).dump(), text);
+}
+
+TEST(JsonNumbers, U64Exact) {
+  const std::uint64_t big = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(parse("18446744073709551615").as_u64(), big);
+  EXPECT_EQ(Value::number(big).as_u64(), big);
+  EXPECT_THROW(parse("1.5").as_u64(), Error);
+  EXPECT_THROW(parse("-1").as_u64(), Error);
+}
+
+TEST(JsonNumbers, DoubleBitExactRoundTrip) {
+  for (const double v : {0.1, 1.0 / 3.0, 6.02214076e23, 5e-324,
+                         std::numeric_limits<double>::max()}) {
+    const Value parsed = parse(Value::number(v).dump());
+    // Bit-exact, not approximately equal.
+    EXPECT_EQ(parsed.as_double(), v);
+  }
+}
+
+TEST(JsonDump, EscapesAndStructure) {
+  Value obj = Value::object();
+  obj.set("k\n", Value::str("v\"\\\x01"));
+  Array arr;
+  arr.push_back(Value::null());
+  arr.push_back(Value::boolean(true));
+  obj.set("a", Value::array(std::move(arr)));
+  const std::string text = obj.dump();
+  EXPECT_EQ(text, "{\"k\\n\":\"v\\\"\\\\\\u0001\",\"a\":[null,true]}");
+  // And it parses back to the same document.
+  EXPECT_EQ(parse(text).dump(), text);
+}
+
+TEST(JsonDump, ObjectPreservesInsertionOrder) {
+  // Canonical request keys depend on members dumping in insertion order,
+  // never sorted.
+  Value obj = Value::object();
+  obj.set("z", Value::number(std::uint64_t{1}));
+  obj.set("a", Value::number(std::uint64_t{2}));
+  EXPECT_EQ(obj.dump(), "{\"z\":1,\"a\":2}");
+}
+
+TEST(JsonValue, TypedAccessorsThrowOnMismatch) {
+  const Value v = parse("{\"a\":1}");
+  EXPECT_THROW(v.as_array(), Error);
+  EXPECT_THROW(v.as_string(), Error);
+  EXPECT_THROW(v.find("a")->as_object(), Error);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace respin::obs::json

@@ -1,0 +1,144 @@
+// Property test for result/request serialization: serialize -> parse is
+// exact — every double bit-identical (to_chars/from_chars shortest form),
+// every counter and histogram bucket equal — across the golden grid,
+// fault-injection runs, and hybrid-technology runs. Also pins the
+// canonical-key semantics the serving cache depends on: result-irrelevant
+// knobs do not split keys, result-relevant ones do.
+#include "core/serde.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "obs/json.hpp"
+#include "sim_result_eq.hpp"
+
+namespace respin::core {
+namespace {
+
+namespace obsj = obs::json;
+
+RunOptions fast_options() {
+  RunOptions options;
+  options.workload_scale = 0.05;  // The golden grid's scale.
+  return options;
+}
+
+/// Round-trips through text twice: result -> JSON text -> result must be
+/// bit-identical, and the re-serialized text must be byte-identical (no
+/// drift on repeated store rewrites).
+void expect_exact_round_trip(const SimResult& result) {
+  const std::string text = result_to_json(result).dump();
+  const SimResult parsed = result_from_json(obsj::parse(text));
+  expect_same_result(result, parsed);
+  EXPECT_EQ(result_to_json(parsed).dump(), text);
+}
+
+TEST(ResultSerde, GoldenGridRoundTripsExactly) {
+  const RunOptions options = fast_options();
+  for (const ConfigId config : all_config_ids()) {
+    for (const char* benchmark : {"ocean", "radix"}) {
+      expect_exact_round_trip(run_experiment(config, benchmark, options));
+    }
+  }
+}
+
+TEST(ResultSerde, FaultRunRoundTripsExactly) {
+  RunOptions options = fast_options();
+  options.faults.enabled = true;
+  options.faults.seed = 7;
+  options.faults.stt.write_fail_prob = 0.01;
+  options.faults.sram.vdd_override = 0.42;
+  const SimResult stt = run_experiment(ConfigId::kShStt, "lu", options);
+  EXPECT_TRUE(stt.faults_enabled);
+  expect_exact_round_trip(stt);
+  const SimResult sram =
+      run_experiment(ConfigId::kPrSramNt, "ocean", options);
+  expect_exact_round_trip(sram);
+}
+
+TEST(ResultSerde, HybridTechRunRoundTripsExactly) {
+  const SimResult hybrid =
+      run_experiment(ConfigId::kShHybrid, "ocean", fast_options());
+  EXPECT_GT(hybrid.hybrid_sram_ways, 0u);
+  expect_exact_round_trip(hybrid);
+
+  RunOptions override_options = fast_options();
+  override_options.tech.hybrid_sram_ways = 4;
+  override_options.tech.hybrid_nvm_ways = 12;
+  expect_exact_round_trip(
+      run_experiment(ConfigId::kShStt, "radix", override_options));
+}
+
+TEST(ResultSerde, RequestSpecRoundTripsThroughJson) {
+  RequestSpec spec;
+  spec.config = ConfigId::kShSttCc;
+  spec.benchmark = "fft";
+  spec.options.workload_scale = 0.25;
+  spec.options.seed = 18446744073709551615ull;  // Needs exact u64 text.
+  spec.options.faults.enabled = true;
+  spec.options.faults.stt.write_fail_prob = 0.001;
+  const RequestSpec parsed =
+      request_spec_from_json(request_spec_to_json(spec));
+  EXPECT_EQ(canonical_key(parsed), canonical_key(spec));
+  EXPECT_EQ(parsed.options.seed, spec.options.seed);
+}
+
+TEST(CanonicalKey, ExcludesResultIrrelevantKnobs) {
+  RequestSpec a;
+  RequestSpec b = a;
+  b.options.cycle_skip = false;  // Bit-identical by the skip contract.
+  EXPECT_EQ(canonical_key(a), canonical_key(b));
+
+  // A disabled fault plan keys identically however its dormant model
+  // parameters are tuned.
+  RequestSpec c = a;
+  c.options.faults.stt.write_fail_prob = 0.5;
+  ASSERT_FALSE(c.options.faults.enabled);
+  EXPECT_EQ(canonical_key(a), canonical_key(c));
+}
+
+TEST(CanonicalKey, SplitsOnResultRelevantFields) {
+  const RequestSpec base;
+  const std::string base_key = canonical_key(base);
+
+  RequestSpec seed = base;
+  seed.options.seed = 2;
+  EXPECT_NE(canonical_key(seed), base_key);
+
+  RequestSpec config = base;
+  config.config = ConfigId::kShSramNom;
+  EXPECT_NE(canonical_key(config), base_key);
+
+  RequestSpec faults = base;
+  faults.options.faults.enabled = true;
+  EXPECT_NE(canonical_key(faults), base_key);
+
+  RequestSpec tech = base;
+  tech.options.tech.hybrid_sram_ways = 4;
+  tech.options.tech.hybrid_nvm_ways = 12;
+  EXPECT_NE(canonical_key(tech), base_key);
+}
+
+TEST(CanonicalKey, StableHash) {
+  // FNV-1a 64 of a fixed string is a platform-independent constant; a
+  // silent hash change would orphan every persisted store record's hash.
+  EXPECT_EQ(key_hash("respin"), 0x82033c7cc943af38ull);
+  EXPECT_EQ(key_hash_hex("respin"), "82033c7cc943af38");
+}
+
+TEST(ResultMetric, NamedMetricsAndErrors) {
+  const SimResult result =
+      run_experiment(ConfigId::kShStt, "ocean", fast_options());
+  EXPECT_EQ(result_metric(result, "cycles"),
+            static_cast<double>(result.cycles));
+  EXPECT_EQ(result_metric(result, "energy_pj"), result.energy.total());
+  EXPECT_GT(result_metric(result, "epi_pj"), 0.0);
+  EXPECT_THROW(result_metric(result, "nope"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace respin::core

@@ -1,0 +1,69 @@
+#include "cli_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/obs.hpp"
+#include "util/env.hpp"
+
+#ifndef RESPIN_GIT_DESCRIBE
+#define RESPIN_GIT_DESCRIBE "unknown"
+#endif
+
+namespace respin::cli {
+
+void usage_error(const char* tool, const std::string& message,
+                 const char* hint) {
+  if (hint != nullptr) {
+    std::fprintf(stderr, "%s: %s %s\n", tool, message.c_str(), hint);
+  } else {
+    std::fprintf(stderr, "%s: %s\n", tool, message.c_str());
+  }
+  std::exit(2);
+}
+
+const char* need_value(const char* tool, int argc, char** argv, int& i,
+                       const char* hint) {
+  if (i + 1 >= argc) {
+    usage_error(tool, std::string(argv[i]) + " needs a value", hint);
+  }
+  return argv[++i];
+}
+
+std::string version_line(const char* tool) {
+  return std::string(tool) + " " + RESPIN_GIT_DESCRIBE;
+}
+
+std::string version_string(const char* tool) {
+  std::string out = version_line(tool) + "\n";
+  out += "  compiler: ";
+#if defined(__clang__)
+  out += __VERSION__;  // Clang's banner names itself.
+#else
+  out += std::string("gcc ") + __VERSION__;
+#endif
+  out += "\n  cxx_standard: " + std::to_string(static_cast<long>(__cplusplus));
+  out += "\n  build: ";
+#ifdef NDEBUG
+  out += "Release";
+#else
+  out += "Debug";
+#endif
+  out += std::string("\n  obs_probes: ") +
+         (obs::kCompiledIn ? "true" : "false");
+  out += "\n  sim_scale: " + std::to_string(util::sim_scale());
+  return out;
+}
+
+bool handle_version_flag(const char* tool, int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s\n", version_string(tool).c_str());
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace respin::cli

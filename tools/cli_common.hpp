@@ -1,0 +1,39 @@
+// Shared command-line plumbing for the respin_* tools.
+//
+// Every tool gets the same three things from here instead of hand-rolling
+// them: a usage_error() that prints "<tool>: <message> <hint>" and exits 2,
+// a need_value() flag-argument helper, and a --version implementation that
+// reports build provenance — git describe (baked in at configure time via
+// RESPIN_GIT_DESCRIBE), compiler banner, C++ standard, build type, whether
+// the observability probes are compiled in, and the ambient sim scale.
+// These are the same fields bench_common embeds in its JSON exports, so a
+// bench artifact and the binary that produced it can be matched.
+#pragma once
+
+#include <string>
+
+namespace respin::cli {
+
+/// Prints "<tool>: <message>" (plus " <hint>" when non-null) to stderr and
+/// exits with the conventional usage-error status 2.
+[[noreturn]] void usage_error(const char* tool, const std::string& message,
+                              const char* hint = nullptr);
+
+/// Returns the value argument of the flag at argv[i], advancing i.
+/// Usage-errors (exit 2) when the value is missing.
+const char* need_value(const char* tool, int argc, char** argv, int& i,
+                       const char* hint = nullptr);
+
+/// Multi-line provenance description: tool name + git describe, compiler,
+/// C++ standard, build type, obs probes, sim scale.
+std::string version_string(const char* tool);
+
+/// One-line form: "<tool> <git-describe>" — what a daemon reports over the
+/// wire (respin_serve's `version` op).
+std::string version_line(const char* tool);
+
+/// Scans argv for --version; when present prints version_string(tool) and
+/// returns true (caller returns 0). Call before normal flag parsing.
+bool handle_version_flag(const char* tool, int argc, char** argv);
+
+}  // namespace respin::cli

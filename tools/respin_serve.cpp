@@ -1,0 +1,128 @@
+// respin_serve — simulation-as-a-service daemon.
+//
+// Accepts line-delimited JSON requests (docs/serving.md) over a loopback
+// TCP socket, or over stdin/stdout with --stdio (the mode tests and CI
+// scripts use). Results are answered from an LRU cache and a durable JSONL
+// results store when possible; misses run on the process-wide thread pool
+// with request batching and single-flight dedupe.
+//
+//   respin_serve --port 7171 --store results.jsonl
+//   respin_serve --stdio --store results.jsonl
+//   echo '{"op":"ping"}' | respin_serve --stdio
+//
+// Options:
+//   --port <n>       TCP port to listen on (default 0 = kernel-assigned;
+//                    the bound port is printed on startup)
+//   --stdio          serve stdin -> stdout instead of TCP, exit at EOF
+//   --store <file>   JSONL results store (created if missing; omit for an
+//                    ephemeral in-memory store without checkpoint/resume)
+//   --cache <n>      LRU result-cache capacity in entries (default 1024)
+//   --queue <n>      admission queue depth (default 256); submissions
+//                    beyond it get a typed `overloaded` reject
+//   --deadline <ms>  default per-request wait deadline (default 0 = none)
+//   --threads <n>    host threads for the simulation fan-out
+//   --trace <file>   structured JSONL event trace (serve.* probe events)
+//   --version        print build provenance and exit
+//
+// Shutdown: SIGTERM/SIGINT or a `{"op":"shutdown"}` request both drain
+// gracefully — queued and in-flight simulations finish (and checkpoint to
+// the store) before exit.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "cli_common.hpp"
+#include "exec/parallel.hpp"
+#include "obs/obs.hpp"
+#include "serve/net.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+constexpr const char* kTool = "respin_serve";
+constexpr const char* kHint = "(see docs/serving.md)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace respin;
+
+  if (cli::handle_version_flag(kTool, argc, argv)) return 0;
+
+  serve::ServerConfig config;
+  config.version = cli::version_line(kTool);
+  bool stdio = false;
+  long port = 0;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&] { return cli::need_value(kTool, argc, argv, i, kHint); };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      port = std::atol(value());
+      if (port < 0 || port > 65535) {
+        cli::usage_error(kTool, "--port needs 0..65535", kHint);
+      }
+    } else if (std::strcmp(argv[i], "--stdio") == 0) {
+      stdio = true;
+    } else if (std::strcmp(argv[i], "--store") == 0) {
+      config.store_path = value();
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      config.cache_capacity = static_cast<std::size_t>(std::atol(value()));
+    } else if (std::strcmp(argv[i], "--queue") == 0) {
+      const long depth = std::atol(value());
+      if (depth < 1) cli::usage_error(kTool, "--queue needs >= 1", kHint);
+      config.queue_depth = static_cast<std::size_t>(depth);
+    } else if (std::strcmp(argv[i], "--deadline") == 0) {
+      config.default_deadline_ms = std::atol(value());
+      if (config.default_deadline_ms < 0) {
+        cli::usage_error(kTool, "--deadline needs >= 0 ms", kHint);
+      }
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const int threads = std::atoi(value());
+      if (threads < 1) {
+        cli::usage_error(kTool, "--threads needs a positive count", kHint);
+      }
+      exec::set_thread_count(static_cast<std::size_t>(threads));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = value();
+    } else {
+      cli::usage_error(kTool, std::string("unknown option ") + argv[i], kHint);
+    }
+  }
+
+  std::ofstream trace_os;
+  std::optional<obs::JsonlWriter> trace_writer;
+  if (!trace_path.empty()) {
+    trace_os.open(trace_path);
+    if (!trace_os) {
+      cli::usage_error(kTool, "cannot open --trace output file", kHint);
+    }
+    trace_writer.emplace(trace_os);
+    obs::set_global_sink(&*trace_writer);
+  }
+
+  int status = 0;
+  {
+    serve::Server server(config);
+    if (!config.store_path.empty() && server.store().loaded() > 0) {
+      std::cerr << kTool << ": loaded " << server.store().loaded()
+                << " results from " << config.store_path;
+      if (server.store().skipped_lines() > 0) {
+        std::cerr << " (" << server.store().skipped_lines()
+                  << " malformed lines skipped)";
+      }
+      std::cerr << '\n';
+    }
+    if (stdio) {
+      serve::serve_stdio(server, std::cin, std::cout);
+    } else {
+      status = serve::serve_tcp(server, static_cast<std::uint16_t>(port),
+                                std::cerr);
+    }
+  }
+  obs::set_global_sink(nullptr);
+  return status;
+}

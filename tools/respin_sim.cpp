@@ -46,6 +46,7 @@
 //   --list               list configurations and benchmarks, then exit
 //   --list-configs       bare configuration names only (for scripting)
 //   --list-workloads     bare benchmark names only (for scripting)
+//   --version            print build provenance (git describe, toolchain)
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -55,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.hpp"
 #include "core/chip.hpp"
 #include "core/experiment.hpp"
 #include "core/metrics.hpp"
@@ -67,9 +69,8 @@
 
 namespace {
 
-[[noreturn]] void usage_error(const char* message) {
-  std::fprintf(stderr, "respin_sim: %s (try --list)\n", message);
-  std::exit(2);
+[[noreturn]] void usage_error(const std::string& message) {
+  respin::cli::usage_error("respin_sim", message, "(try --list)");
 }
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
@@ -82,6 +83,8 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 int main(int argc, char** argv) {
   using namespace respin;
+
+  if (cli::handle_version_flag("respin_sim", argc, argv)) return 0;
 
   std::string config_name = "SH-STT";
   std::string benchmark = "ocean";
@@ -96,9 +99,8 @@ int main(int argc, char** argv) {
   bool fault_seed_set = false;
 
   for (int i = 1; i < argc; ++i) {
-    auto need_value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) usage_error((std::string(flag) + " needs a value").c_str());
-      return argv[++i];
+    auto need_value = [&](const char*) -> const char* {
+      return cli::need_value("respin_sim", argc, argv, i, "(try --list)");
     };
     if (std::strcmp(argv[i], "--config") == 0) {
       config_name = need_value("--config");

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.hpp"
 #include "core/report.hpp"
 #include "trace/capture.hpp"
 #include "trace/replay.hpp"
@@ -36,12 +37,10 @@
 
 namespace {
 
-[[noreturn]] void usage_error(const char* message) {
-  std::fprintf(stderr,
-               "respin_trace: %s\n"
-               "usage: respin_trace record|info|replay|verify ...\n",
-               message);
-  std::exit(2);
+[[noreturn]] void usage_error(const std::string& message) {
+  respin::cli::usage_error(
+      "respin_trace", message,
+      "\nusage: respin_trace record|info|replay|verify ... [--version]");
 }
 
 struct Args {
@@ -62,11 +61,8 @@ Args parse(int argc, char** argv) {
   Args args;
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
-    auto need_value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        usage_error((std::string(flag) + " needs a value").c_str());
-      }
-      return argv[++i];
+    auto need_value = [&](const char*) -> const char* {
+      return respin::cli::need_value("respin_trace", argc, argv, i);
     };
     if (std::strcmp(argv[i], "--benchmark") == 0) {
       args.benchmark = need_value("--benchmark");
@@ -197,6 +193,7 @@ int cmd_verify(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (respin::cli::handle_version_flag("respin_trace", argc, argv)) return 0;
   const Args args = parse(argc, argv);
   try {
     if (args.command == "record") return cmd_record(args);
