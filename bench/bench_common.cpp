@@ -1,5 +1,7 @@
 #include "bench_common.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -222,6 +224,15 @@ std::vector<std::vector<core::SimResult>> run_suite_matrix(
       core::run_matrix(configs, workload::benchmark_names(), options);
   for (const std::vector<core::SimResult>& row : rows) export_metrics(row);
   return rows;
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : rank - 1];
 }
 
 std::string norm(double value) { return util::fixed(value, 3); }

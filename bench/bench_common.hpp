@@ -73,6 +73,11 @@ std::vector<std::vector<core::SimResult>> run_suite_matrix(
     const std::vector<core::ConfigId>& configs,
     const core::RunOptions& options);
 
+/// Nearest-rank percentile of `samples` (p in [0, 100]); 0 for an empty
+/// set. Sorts a copy — callers keep their sample order. The latency
+/// reporting helper for the multi-client serving benches (p50/p99).
+double percentile(std::vector<double> samples, double p);
+
 /// Formats "x.xx" normalized values.
 std::string norm(double value);
 

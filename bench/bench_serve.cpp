@@ -12,7 +12,11 @@
 //                pay this per record).
 //   coalesced    N concurrent identical requests resolved by one
 //                simulation (single-flight) — the dedupe win.
+//   multi-client K concurrent connections hammering cached keys:
+//                per-request latency p50/p99 and aggregate throughput —
+//                the contention cost of the handle_line() lock paths.
 //
+// `--clients <n>` sets the concurrent-connection count (default 4);
 // `--smoke` shrinks the iteration counts so the sanitizer CI jobs can run
 // the whole binary as a ctest; other flags go to bench_common (--json
 // writes BENCH_serve.json for the perf gate).
@@ -42,10 +46,14 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  int client_count = 4;
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      client_count = std::atoi(argv[++i]);
+      if (client_count < 1) client_count = 1;
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -103,6 +111,48 @@ int main(int argc, char** argv) {
   for (std::thread& t : clients) t.join();
   const double coalesced_seconds = seconds_since(start);
 
+  // Multi-client: K connections issuing cached requests concurrently,
+  // per-request latency sampled client-side. The worker rotates over a
+  // few warmed keys so the scenario measures lock contention on the
+  // cache path, not simulation.
+  const int per_client = smoke ? 50 : 2000;
+  const std::vector<std::string> warm_lines = {
+      line,
+      "{\"op\":\"run\",\"config\":\"PR-SRAM-NT\",\"benchmark\":\"ocean\","
+      "\"scale\":0.05}",
+      "{\"op\":\"run\",\"config\":\"SH-HYBRID-4+12\",\"benchmark\":\"ocean\","
+      "\"scale\":0.05}"};
+  for (const std::string& warm : warm_lines) server.handle_line(warm);
+  std::vector<std::vector<double>> latencies_us(
+      static_cast<std::size_t>(client_count));
+  start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> multi;
+    for (int c = 0; c < client_count; ++c) {
+      multi.emplace_back([&, c] {
+        std::vector<double>& mine = latencies_us[static_cast<std::size_t>(c)];
+        mine.reserve(static_cast<std::size_t>(per_client));
+        for (int i = 0; i < per_client; ++i) {
+          const auto t0 = std::chrono::steady_clock::now();
+          server.handle_line(
+              warm_lines[static_cast<std::size_t>(i + c) % warm_lines.size()]);
+          mine.push_back(seconds_since(t0) * 1e6);
+        }
+      });
+    }
+    for (std::thread& t : multi) t.join();
+  }
+  const double multi_seconds = seconds_since(start);
+  std::vector<double> all_latencies;
+  for (const std::vector<double>& mine : latencies_us) {
+    all_latencies.insert(all_latencies.end(), mine.begin(), mine.end());
+  }
+  const double multi_requests =
+      static_cast<double>(client_count) * per_client;
+  const double multi_rps = multi_requests / multi_seconds;
+  const double p50_us = bench::percentile(all_latencies, 50.0);
+  const double p99_us = bench::percentile(all_latencies, 99.0);
+
   std::printf("cold simulation:     %10.3f ms\n", sim_seconds * 1e3);
   std::printf("cache hit:           %10.3f us  (%.0f hits/sec, %.0fx "
               "cheaper than simulating)\n",
@@ -114,6 +164,9 @@ int main(int argc, char** argv) {
               "guard %llu)\n",
               waiters, coalesced_seconds * 1e3, waiters,
               static_cast<unsigned long long>(guard % 1000));
+  std::printf("multi-client x%d:     %10.0f req/sec  (p50 %.1f us, p99 %.1f "
+              "us over %.0f requests)\n",
+              client_count, multi_rps, p50_us, p99_us, multi_requests);
 
   const obs::CounterSet counters = server.counters();
   const double* sims = counters.find("serve.sims_run");
@@ -130,7 +183,11 @@ int main(int argc, char** argv) {
          {"serde_round_trips_per_sec", serde_per_sec, "trips/sec", "higher",
           false},
          {"cache_speedup_vs_sim",
-          sim_seconds / (hit_seconds / hit_iters), "x", "higher", false}});
+          sim_seconds / (hit_seconds / hit_iters), "x", "higher", false},
+         {"multi_client_requests_per_sec", multi_rps, "req/s", "higher",
+          false},
+         {"multi_client_p50_us", p50_us, "us", "lower", false},
+         {"multi_client_p99_us", p99_us, "us", "lower", false}});
   }
   return 0;
 }

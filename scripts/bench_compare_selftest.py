@@ -136,6 +136,27 @@ def main():
               and merged["metrics"]["latency"]["value"] == 10.0,
               json.dumps(merged))
 
+        # The capped scaling-ratio gate (BENCH_serve_scale.json): baseline
+        # pinned at the cap 10/3 so the 10% band puts the pass/fail line
+        # at exactly 3.0x. A 3.05x machine passes; a 2.8x one fails.
+        cap = 10.0 / 3.0
+        scale_base = write(tmp, "scale_base.json",
+                           snapshot({"scaling_ratio_capped": metric(cap)},
+                                    bench="bench_serve_scale"))
+        ratio_ok = write(tmp, "ratio_ok.json",
+                         snapshot({"scaling_ratio_capped": metric(3.05)},
+                                  bench="bench_serve_scale"))
+        ratio_bad = write(tmp, "ratio_bad.json",
+                          snapshot({"scaling_ratio_capped": metric(2.8)},
+                                   bench="bench_serve_scale"))
+        r = run(scale_base, ratio_ok)
+        check("capped scaling ratio at 3.05x passes the 3.0x line",
+              r.returncode == 0, r.stdout + r.stderr)
+        r = run(scale_base, ratio_bad)
+        check("capped scaling ratio at 2.8x fails the 3.0x line",
+              r.returncode == 1 and "scaling_ratio_capped" in r.stderr,
+              r.stdout + r.stderr)
+
     print("bench_compare selftest: all checks passed")
     return 0
 

@@ -1,14 +1,30 @@
 #!/usr/bin/env python3
-"""End-to-end smoke test of the respin_serve daemon over TCP, run by CI.
+"""End-to-end smoke test of the serving tier over TCP, run by CI.
 
-Starts the daemon on a kernel-assigned port with a fresh results store,
-then drives the documented client flow: submit a simulation, submit the
-identical request again and prove it was answered from the cache (the
-`source` field and the serve.cache_hits / serve.sims_run counters), run a
-Pareto query, and finally shut down gracefully via SIGTERM, checking the
-daemon drains and exits 0.
+Single-worker mode (the default) starts the respin_serve daemon on a
+kernel-assigned port with a fresh results store, then drives the
+documented client flow: submit a simulation, submit the identical request
+again and prove it was answered from the cache (the `source` field and
+the serve.cache_hits / serve.sims_run counters), run a Pareto query, and
+finally shut down gracefully via SIGTERM, checking the daemon drains and
+exits 0.
 
-Usage: serve_smoke.py /path/to/respin_serve
+Sharded mode (--workers N, N >= 2) additionally starts a respin_router
+over N worker processes and drives the scale-out contract
+(docs/serving.md, "Sharding topology"):
+
+  * distinct keys route to their owner shard and stay there — repeats are
+    cache hits on the same shard, proven via per-worker counters;
+  * a sweep streams per-cell `sweep_progress` events;
+  * SIGKILLing one worker mid-sweep fails only that shard's remaining
+    cells (no failover for sweep cells — shard-pure stores), and after
+    restarting the worker on the same port and store, re-issuing the
+    identical sweep completes with zero failures and re-simulates NONE of
+    the previously acknowledged cells (flushed store = committed cell).
+
+Usage:
+  serve_smoke.py /path/to/respin_serve
+  serve_smoke.py --workers 2 /path/to/respin_serve /path/to/respin_router
 """
 
 import json
@@ -38,8 +54,7 @@ class Client:
         self.sock = socket.create_connection(("127.0.0.1", port), timeout=120)
         self.buf = b""
 
-    def ask(self, request):
-        self.sock.sendall((json.dumps(request) + "\n").encode())
+    def _read_line(self):
         while b"\n" not in self.buf:
             chunk = self.sock.recv(65536)
             if not chunk:
@@ -48,27 +63,68 @@ class Client:
         line, self.buf = self.buf.split(b"\n", 1)
         return json.loads(line)
 
+    def ask(self, request):
+        self.sock.sendall((json.dumps(request) + "\n").encode())
+        return self._read_line()
+
+    def ask_stream(self, request):
+        """Sends one request and reads until the terminal response line.
+
+        Returns (events, terminal): every intermediate line carrying an
+        "event" field, then the final response. `on_event(event)` hooks
+        (set as an attribute) run as each event arrives, which is how the
+        sweep test injects a worker kill mid-stream.
+        """
+        self.sock.sendall((json.dumps(request) + "\n").encode())
+        events = []
+        while True:
+            line = self._read_line()
+            if "event" not in line:
+                return events, line
+            events.append(line)
+            hook = getattr(self, "on_event", None)
+            if hook:
+                hook(line)
+
     def close(self):
         self.sock.close()
 
 
-def main():
-    if len(sys.argv) != 2:
-        fail("usage: serve_smoke.py /path/to/respin_serve")
-    binary = sys.argv[1]
+def spawn(args, log_path):
+    """Starts a daemon with stderr appended to log_path and waits for its
+    "listening on port N" banner, returning (process, port)."""
+    log = open(log_path, "ab")
+    proc = subprocess.Popen(args, stderr=log)
+    log.close()
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        with open(log_path) as f:
+            m = re.search(r"listening on port (\d+)", f.read())
+        if m:
+            return proc, int(m.group(1))
+        if proc.poll() is not None:
+            fail(f"daemon exited {proc.returncode} before binding"
+                 f" ({' '.join(args)})")
+        time.sleep(0.02)
+    fail(f"daemon never printed its port ({' '.join(args)})")
 
+
+def store_records(path):
+    """Record lines in a JSONL store, excluding the generation header."""
+    if not os.path.exists(path):
+        return 0
+    with open(path) as f:
+        return sum(1 for line in f if '"key"' in line)
+
+
+def smoke_single(binary):
     with tempfile.TemporaryDirectory() as tmp:
         store = os.path.join(tmp, "results.jsonl")
-        daemon = subprocess.Popen(
+        daemon, port = spawn(
             [binary, "--port", "0", "--store", store, "--threads", "2"],
-            stderr=subprocess.PIPE, text=True)
+            os.path.join(tmp, "serve.log"))
         try:
-            # The daemon prints the kernel-assigned port on startup.
-            banner = daemon.stderr.readline()
-            m = re.search(r"listening on port (\d+)", banner)
-            check("daemon started and printed its port", m is not None,
-                  repr(banner))
-            client = Client(int(m.group(1)))
+            client = Client(port)
 
             pong = client.ask({"op": "ping", "id": 1})
             check("ping answered with echoed id",
@@ -104,13 +160,13 @@ def main():
                   pareto)
 
             check("results checkpointed to the store",
-                  os.path.exists(store)
-                  and sum(1 for _ in open(store)) == 2)
+                  store_records(store) == 2)
 
             client.close()
             daemon.send_signal(signal.SIGTERM)
             status = daemon.wait(timeout=120)
-            tail = daemon.stderr.read()
+            with open(os.path.join(tmp, "serve.log")) as f:
+                tail = f.read()
             check("graceful shutdown on SIGTERM",
                   status == 0 and "drained" in tail,
                   f"status={status} stderr={tail!r}")
@@ -118,6 +174,165 @@ def main():
             if daemon.poll() is None:
                 daemon.kill()
                 daemon.wait()
+
+
+def smoke_router(serve_bin, router_bin, n_workers):
+    with tempfile.TemporaryDirectory() as tmp:
+        workers = []  # (proc, port, store, log)
+        router = None
+        try:
+            for i in range(n_workers):
+                store = os.path.join(tmp, f"store{i}.jsonl")
+                log = os.path.join(tmp, f"worker{i}.log")
+                proc, port = spawn(
+                    [serve_bin, "--port", "0", "--store", store,
+                     "--threads", "1"], log)
+                workers.append([proc, port, store, log])
+
+            router_args = [router_bin, "--port", "0"]
+            for _, port, _, _ in workers:
+                router_args += ["--worker", f"127.0.0.1:{port}"]
+            router, router_port = spawn(router_args,
+                                        os.path.join(tmp, "router.log"))
+            client = Client(router_port)
+
+            version = client.ask({"op": "version"})
+            check("router reports its worker roster",
+                  version.get("ok") and version.get("workers") == n_workers,
+                  version)
+
+            # --- Shard-stable caching -------------------------------------
+            # Distinct keys (seed-disambiguated), each asked twice: the
+            # repeat must be a cache hit on the same shard.
+            runs = [{"op": "run", "config": "SH-STT", "benchmark": "ocean",
+                     "scale": 0.02, "seed": 100 + i} for i in range(4)]
+            first_shard = {}
+            for request in runs:
+                response = client.ask(request)
+                check(f"seed {request['seed']} simulated on a shard",
+                      response.get("ok") and response.get("source") == "sim"
+                      and "shard" in response, response)
+                first_shard[request["seed"]] = response["shard"]
+            for request in runs:
+                repeat = client.ask(request)
+                check(f"seed {request['seed']} repeat cached on its owner",
+                      repeat.get("ok") and repeat.get("cached") is True
+                      and repeat["shard"] == first_shard[request["seed"]],
+                      repeat)
+
+            stats = client.ask({"op": "stats"})
+            per_worker = stats["workers"]
+            sims = sum(w["response"]["counters"]["serve.sims_run"]
+                       for w in per_worker)
+            hits = sum(w["response"]["counters"]["serve.cache_hits"]
+                       for w in per_worker)
+            check("tier-wide counters: 4 sims, 4 cache hits",
+                  sims == len(runs) and hits == len(runs),
+                  {"sims": sims, "hits": hits})
+            check("router counted the forwards",
+                  stats["counters"]["router.forwarded"] == 2 * len(runs)
+                  and stats["counters"]["router.failovers"] == 0,
+                  stats["counters"])
+
+            # --- Kill a worker mid-sweep, then resume ---------------------
+            sweep = {"op": "sweep", "configs": ["SH-STT", "PR-SRAM-NT"],
+                     "benchmarks": ["ocean", "radix", "fft", "lu"],
+                     "scale": 0.02, "seed": 777}
+            victim = workers[-1]
+            kill_state = {"acked": [], "killed": False}
+
+            def on_event(event):
+                if event.get("ok"):
+                    kill_state["acked"].append(event["key"])
+                # First acknowledged cell -> SIGKILL the last worker while
+                # the sweep is still streaming.
+                if not kill_state["killed"] and kill_state["acked"]:
+                    victim[0].kill()
+                    victim[0].wait()
+                    kill_state["killed"] = True
+
+            client.on_event = on_event
+            events, terminal = client.ask_stream(sweep)
+            client.on_event = None
+            check("sweep streamed per-cell progress events",
+                  len(events) == terminal["cells"] == 8, terminal)
+            check("worker was killed mid-sweep", kill_state["killed"])
+            check("dead shard's remaining cells failed without failover",
+                  terminal["failed"] > 0
+                  and terminal["failed"] + terminal["ran"]
+                  + terminal["cached"] == terminal["cells"], terminal)
+            dead_shard = n_workers - 1
+            check("failures confined to the dead shard",
+                  all(e["shard"] == dead_shard
+                      for e in events if not e["ok"]), events)
+
+            # Restart the victim on the SAME port with the SAME store: its
+            # acknowledged cells were flushed before the ack, so they must
+            # come back from the store, not re-simulate. (Fresh log file —
+            # spawn() scans for the banner, and the old log already has
+            # one from the first incarnation.)
+            restart_log = victim[3] + ".restart"
+            proc, port = spawn(
+                [serve_bin, "--port", str(victim[1]), "--store", victim[2],
+                 "--threads", "1"], restart_log)
+            victim[3] = restart_log
+            check("victim worker restarted on its old port",
+                  port == victim[1], (port, victim[1]))
+            victim[0] = proc
+
+            events2, terminal2 = client.ask_stream(sweep)
+            check("resumed sweep completed every cell",
+                  terminal2["failed"] == 0
+                  and terminal2["cells"] == 8, terminal2)
+            resimulated = {e["key"] for e in events2 if e["source"] == "sim"}
+            lost = resimulated.intersection(kill_state["acked"])
+            check("no acknowledged cell was lost (none re-simulated)",
+                  not lost, sorted(lost))
+
+            # --- Store replication: merge one shard's log everywhere ------
+            merge = client.ask({"op": "merge", "path": workers[0][2]})
+            check("merge fanned out to every worker",
+                  merge.get("ok") and len(merge["workers"]) == n_workers
+                  and all(w["response"].get("ok")
+                          for w in merge["workers"]), merge)
+
+            down = client.ask({"op": "shutdown"})
+            check("tier shutdown acknowledged", down.get("ok"), down)
+            client.close()
+            for w in workers:
+                status = w[0].wait(timeout=120)
+                check(f"worker on port {w[1]} drained and exited 0",
+                      status == 0, status)
+            status = router.wait(timeout=120)
+            check("router drained and exited 0", status == 0, status)
+            router = None
+        finally:
+            for w in workers:
+                if w[0].poll() is None:
+                    w[0].kill()
+                    w[0].wait()
+            if router is not None and router.poll() is None:
+                router.kill()
+                router.wait()
+
+
+def main():
+    args = sys.argv[1:]
+    n_workers = 0
+    if args and args[0] == "--workers":
+        if len(args) < 2:
+            fail("--workers needs a count")
+        n_workers = int(args[1])
+        args = args[2:]
+    if n_workers > 0:
+        if len(args) != 2:
+            fail("usage: serve_smoke.py --workers N "
+                 "/path/to/respin_serve /path/to/respin_router")
+        smoke_router(args[0], args[1], n_workers)
+    else:
+        if len(args) != 1:
+            fail("usage: serve_smoke.py /path/to/respin_serve")
+        smoke_single(args[0])
 
     print("serve_smoke: all checks passed")
     return 0

@@ -19,7 +19,8 @@ build="${1:-$repo/build}"
 benches=(bench_throughput bench_trace_replay bench_micro_controller)
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
-cmake --build "$build" --target "${benches[@]}" -j "$(nproc)"
+cmake --build "$build" --target "${benches[@]}" bench_serve_scale respin_serve \
+  -j "$(nproc)"
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -33,6 +34,25 @@ for bench in "${benches[@]}"; do
   python3 "$repo/scripts/bench_compare.py" --merge-best "$out" \
     "$tmp/$bench.1.json" "$tmp/$bench.2.json"
 done
+
+# The scale-out bench only measures real scaling with a core per worker
+# (4 workers + router + client threads); on smaller hosts the ratio is
+# meaningless, so keep the committed baseline untouched there. Note the
+# gated scaling_ratio_capped is pinned at 10/3 by construction — merge-best
+# preserves it; only the informational absolutes move.
+if [ "$(nproc)" -ge 4 ]; then
+  for run in 1 2; do
+    echo "== bench_serve_scale run $run/2 =="
+    (cd "$tmp" && "$build/bench/bench_serve_scale" \
+      --serve-bin "$build/tools/respin_serve" \
+      --json "$tmp/bench_serve_scale.$run.json")
+  done
+  python3 "$repo/scripts/bench_compare.py" --merge-best \
+    "$repo/BENCH_serve_scale.json" \
+    "$tmp/bench_serve_scale.1.json" "$tmp/bench_serve_scale.2.json"
+else
+  echo "== bench_serve_scale skipped: $(nproc) cores < 4 (baseline kept) =="
+fi
 
 echo
 echo "Updated BENCH_*.json — review with:"

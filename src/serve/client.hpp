@@ -1,0 +1,54 @@
+// Blocking line-protocol client for the serving stack.
+//
+// LineClient dials a loopback worker daemon and speaks the wire protocol
+// from the client side: send one JSON line, read the one response line.
+// The router's TCP worker backend and the scale bench are the consumers.
+// Connections are lazy (dialed on first use) and sticky; a transport
+// failure mid-roundtrip closes the socket so the next call redials — the
+// caller decides whether to retry (safe: the protocol is idempotent, a
+// re-sent `run` coalesces onto the cache/store/in-flight table).
+//
+// Not thread-safe: one LineClient is one connection with one read buffer.
+// Concurrent callers hold one client each (serve/router.cpp pools them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace respin::serve {
+
+class LineClient {
+ public:
+  /// Remembers the endpoint; does not connect yet.
+  LineClient(std::string host, std::uint16_t port);
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+
+  /// Sends `line` (newline appended) and returns the next response line
+  /// (without the newline), dialing first when not connected. Throws
+  /// std::runtime_error on connect/send/receive failure, with the socket
+  /// closed so a retry redials. The worker tier sends exactly one line
+  /// per request, so request/response matching is positional.
+  std::string roundtrip(const std::string& line);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  const std::string& host() const { return host_; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void connect();
+  std::string read_line();
+
+  std::string host_;
+  std::uint16_t port_ = 0;
+  int fd_ = -1;
+  std::string buffer_;  ///< Bytes received past the last returned line.
+};
+
+}  // namespace respin::serve

@@ -1,0 +1,64 @@
+#include "serve/cost_model.hpp"
+
+#include "serve/store.hpp"
+
+namespace respin::serve {
+
+namespace {
+
+std::string pair_key(const std::string& config, const std::string& benchmark) {
+  return config + ' ' + benchmark;
+}
+
+}  // namespace
+
+std::size_t CostModel::seed_from_store(const std::string& path) {
+  if (path.empty()) return 0;
+  std::size_t absorbed = 0;
+  for (const StoreEntry& entry : load_store_entries(path)) {
+    observe(entry.result.config_name, entry.result.benchmark,
+            static_cast<double>(entry.result.cycles));
+    ++absorbed;
+  }
+  return absorbed;
+}
+
+void CostModel::observe(const std::string& config, const std::string& benchmark,
+                        double cycles) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pair_[pair_key(config, benchmark)].add(cycles);
+  config_[config].add(cycles);
+  benchmark_[benchmark].add(cycles);
+  global_.add(cycles);
+}
+
+double CostModel::predict(const std::string& config,
+                          const std::string& benchmark) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = pair_.find(pair_key(config, benchmark));
+      it != pair_.end()) {
+    return it->second.value();
+  }
+  const auto bench_it = benchmark_.find(benchmark);
+  const auto config_it = config_.find(config);
+  if (bench_it != benchmark_.end()) {
+    // Benchmark mean, scaled by how expensive this config runs relative
+    // to the global mean (configs multiply cost roughly uniformly across
+    // benchmarks: more cores, slower memory, fault retries).
+    if (config_it != config_.end() && global_.value() > 0.0) {
+      return bench_it->second.value() *
+             (config_it->second.value() / global_.value());
+    }
+    return bench_it->second.value();
+  }
+  if (config_it != config_.end()) return config_it->second.value();
+  if (global_.n > 0) return global_.value();
+  return 1.0;
+}
+
+std::size_t CostModel::observations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return global_.n;
+}
+
+}  // namespace respin::serve

@@ -19,17 +19,30 @@
 
 namespace respin::serve {
 
-std::size_t serve_stdio(Server& server, std::istream& in, std::ostream& out) {
+std::size_t serve_stdio(LineService& service, std::istream& in,
+                        std::ostream& out) {
   std::size_t handled = 0;
   std::string line;
+  // Streamed event lines may arrive from the service's dispatch threads
+  // while handle_line() blocks; serialize writes so lines never tear.
+  std::mutex write_mu;
+  const Emit emit = [&](const std::string& event) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    out << event << '\n';
+    out.flush();
+  };
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    out << server.handle_line(line) << '\n';
-    out.flush();
+    const std::string response = service.handle_line(line, emit);
+    {
+      std::lock_guard<std::mutex> lock(write_mu);
+      out << response << '\n';
+      out.flush();
+    }
     ++handled;
-    if (server.draining()) break;
+    if (service.draining()) break;
   }
-  server.drain();
+  service.drain();
   return handled;
 }
 
@@ -83,10 +96,18 @@ bool send_all(int fd, const std::string& data) {
   return true;
 }
 
-/// One connection: newline-framed requests in, one response line each.
-void serve_connection(Server& server, ConnectionRegistry& registry, int fd) {
+/// One connection: newline-framed requests in, one terminal response line
+/// each, intermediate event lines interleaved under the write lock.
+void serve_connection(LineService& service, ConnectionRegistry& registry,
+                      int fd) {
   std::string buffer;
   char chunk[4096];
+  std::mutex write_mu;
+  const Emit emit = [&](const std::string& event) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    // A dead client just drops events; the terminal send notices.
+    (void)send_all(fd, event + "\n");
+  };
   for (;;) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) break;
@@ -99,7 +120,13 @@ void serve_connection(Server& server, ConnectionRegistry& registry, int fd) {
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      if (!send_all(fd, server.handle_line(line) + "\n")) {
+      const std::string response = service.handle_line(line, emit);
+      bool ok = false;
+      {
+        std::lock_guard<std::mutex> lock(write_mu);
+        ok = send_all(fd, response + "\n");
+      }
+      if (!ok) {
         start = buffer.size();
         break;
       }
@@ -112,10 +139,11 @@ void serve_connection(Server& server, ConnectionRegistry& registry, int fd) {
 
 }  // namespace
 
-int serve_tcp(Server& server, std::uint16_t port, std::ostream& log) {
+int serve_tcp(LineService& service, std::uint16_t port, std::ostream& log,
+              const std::string& name) {
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
-    log << "respin_serve: socket() failed: " << std::strerror(errno) << '\n';
+    log << name << ": socket() failed: " << std::strerror(errno) << '\n';
     return 1;
   }
   const int one = 1;
@@ -126,13 +154,13 @@ int serve_tcp(Server& server, std::uint16_t port, std::ostream& log) {
   addr.sin_port = htons(port);
   if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0) {
-    log << "respin_serve: bind(" << port
-        << ") failed: " << std::strerror(errno) << '\n';
+    log << name << ": bind(" << port << ") failed: " << std::strerror(errno)
+        << '\n';
     ::close(listen_fd);
     return 1;
   }
   if (::listen(listen_fd, 16) != 0) {
-    log << "respin_serve: listen() failed: " << std::strerror(errno) << '\n';
+    log << name << ": listen() failed: " << std::strerror(errno) << '\n';
     ::close(listen_fd);
     return 1;
   }
@@ -144,7 +172,7 @@ int serve_tcp(Server& server, std::uint16_t port, std::ostream& log) {
   // the read end, so SIGTERM interrupts accept() deterministically.
   int signal_pipe[2] = {-1, -1};
   if (::pipe(signal_pipe) != 0) {
-    log << "respin_serve: pipe() failed: " << std::strerror(errno) << '\n';
+    log << name << ": pipe() failed: " << std::strerror(errno) << '\n';
     ::close(listen_fd);
     return 1;
   }
@@ -156,7 +184,7 @@ int serve_tcp(Server& server, std::uint16_t port, std::ostream& log) {
   ::sigaction(SIGTERM, &action, &old_term);
   ::sigaction(SIGINT, &action, &old_int);
 
-  log << "respin_serve: listening on port " << bound_port << '\n';
+  log << name << ": listening on port " << bound_port << '\n';
   log.flush();
 
   ConnectionRegistry registry;
@@ -167,7 +195,7 @@ int serve_tcp(Server& server, std::uint16_t port, std::ostream& log) {
     // Finite timeout so a `shutdown` op served on a connection thread is
     // noticed even while no new connection arrives.
     const int ready = ::poll(fds, 2, 200);
-    if (server.draining()) break;
+    if (service.draining()) break;
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
@@ -180,17 +208,17 @@ int serve_tcp(Server& server, std::uint16_t port, std::ostream& log) {
       const int client_fd = ::accept(listen_fd, nullptr, nullptr);
       if (client_fd < 0) continue;
       registry.add(client_fd);
-      connections.emplace_back(serve_connection, std::ref(server),
+      connections.emplace_back(serve_connection, std::ref(service),
                                std::ref(registry), client_fd);
     }
   }
 
-  log << "respin_serve: "
+  log << name << ": "
       << (signalled ? "termination signal received" : "shutdown requested")
       << ", draining\n";
   log.flush();
   ::close(listen_fd);
-  server.drain();  // Finish queued + in-flight simulations (checkpointed).
+  service.drain();  // Finish queued + in-flight work (checkpointed).
   registry.shutdown_all();
   for (std::thread& t : connections) t.join();
 
@@ -199,7 +227,7 @@ int serve_tcp(Server& server, std::uint16_t port, std::ostream& log) {
   g_signal_pipe_wr.store(-1, std::memory_order_relaxed);
   ::close(signal_pipe[0]);
   ::close(signal_pipe[1]);
-  log << "respin_serve: drained, exiting\n";
+  log << name << ": drained, exiting\n";
   log.flush();
   return 0;
 }

@@ -1,36 +1,47 @@
-// Transport front ends for the serving daemon.
+// Transport front ends for the serving stack.
 //
 // Both front ends speak the same protocol — one JSON object per line in,
-// one per line out — and delegate every request to Server::handle_line().
+// one terminal JSON object per line out, with optional intermediate event
+// lines — and delegate every request to LineService::handle_line(). The
+// same transports serve both tiers: the worker daemon (serve::Server) and
+// the sharding front end (serve::Router).
 //
 // serve_stdio() is the transport used by tests and CI: it reads requests
 // from an istream and writes responses to an ostream, exiting at EOF or
-// after a `shutdown` op has been served and the server drained.
+// after a `shutdown` op has been served and the service drained.
 //
 // serve_tcp() is the daemon path: it binds a listening socket (port 0 =
-// kernel-assigned), prints "respin_serve: listening on port N" so a
-// scripted client can parse the bound port, and accepts connections until
+// kernel-assigned), prints "<name>: listening on port N" so a scripted
+// client can parse the bound port, and accepts connections until
 // SIGTERM/SIGINT arrives (self-pipe trick) or a client sends `shutdown`.
-// Shutdown is graceful: stop accepting, finish in-flight simulations
-// (Server::drain), close client connections, join connection threads.
+// Shutdown is graceful: stop accepting, finish in-flight work
+// (LineService::drain), close client connections, join connection
+// threads. Intermediate event lines emitted while a request is being
+// handled are written to the same stream/socket under a write lock, so
+// streamed sweep progress interleaves with (never tears) response lines.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 
-#include "serve/server.hpp"
+#include "serve/service.hpp"
 
 namespace respin::serve {
 
 /// Serves line requests from `in` to `out`. Returns the number of request
-/// lines handled. Stops at EOF, or — once a `shutdown` op flips the server
-/// into draining — after the drain completes.
-std::size_t serve_stdio(Server& server, std::istream& in, std::ostream& out);
+/// lines handled. Stops at EOF, or — once a `shutdown` op flips the
+/// service into draining — after the drain completes.
+std::size_t serve_stdio(LineService& service, std::istream& in,
+                        std::ostream& out);
 
 /// Runs the TCP accept loop on `port` (0 = kernel-assigned) until a
 /// termination signal or a `shutdown` op. `log` receives the one-line
-/// "listening on port N" banner and lifecycle messages. Returns 0 on a
-/// graceful shutdown, non-zero when the socket could not be set up.
-int serve_tcp(Server& server, std::uint16_t port, std::ostream& log);
+/// "listening on port N" banner and lifecycle messages, each prefixed
+/// with `name` (the daemon's argv[0] identity, e.g. "respin_serve" or
+/// "respin_router"). Returns 0 on a graceful shutdown, non-zero when the
+/// socket could not be set up.
+int serve_tcp(LineService& service, std::uint16_t port, std::ostream& log,
+              const std::string& name = "respin_serve");
 
 }  // namespace respin::serve

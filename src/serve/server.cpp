@@ -29,7 +29,39 @@ struct Server::Job {
   std::string key;
   core::RequestSpec spec;
   std::shared_ptr<Flight> flight;
+  std::chrono::steady_clock::time_point enqueued;
 };
+
+void QueueWaitHistogram::record(double wait_ms) {
+  std::size_t bucket = kBucketsMs.size();  // Overflow by default.
+  for (std::size_t i = 0; i < kBucketsMs.size(); ++i) {
+    if (wait_ms <= kBucketsMs[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(static_cast<std::uint64_t>(wait_ms * 1000.0),
+                    std::memory_order_relaxed);
+}
+
+void QueueWaitHistogram::export_counters(obs::CounterSet& set,
+                                         const std::string& prefix) const {
+  // Cumulative buckets (Prometheus-style le_*): each includes everything
+  // below it, so a reader can take quantiles without re-summing.
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBucketsMs.size(); ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    set.add(prefix + ".le_" +
+                std::to_string(static_cast<std::uint64_t>(kBucketsMs[i])),
+            cumulative);
+  }
+  set.add(prefix + ".count", count_.load(std::memory_order_relaxed));
+  set.add(prefix + ".sum_ms",
+          static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
+              1000.0);
+}
 
 namespace {
 
@@ -102,7 +134,7 @@ void Server::drain() {
   idle_cv_.wait(lock, [&] { return queue_.empty() && running_ == 0; });
 }
 
-std::string Server::handle_line(const std::string& line) {
+std::string Server::handle_line(const std::string& line, const Emit&) {
   requests_total_.fetch_add(1, std::memory_order_relaxed);
   obsj::Value request;
   try {
@@ -131,7 +163,7 @@ obsj::Value Server::handle_request(const obsj::Value& request) {
   if (op_field == nullptr) {
     throw std::logic_error(
         "missing 'op' (valid: ping, version, run, sweep, get, list, pareto, "
-        "stats, shutdown)");
+        "stats, merge, compact, shutdown)");
   }
   const std::string& op = op_field->as_string();
   if (op == "ping") return ok_response("ping");
@@ -146,6 +178,8 @@ obsj::Value Server::handle_request(const obsj::Value& request) {
   if (op == "list") return do_list();
   if (op == "pareto") return do_pareto(request);
   if (op == "stats") return do_stats();
+  if (op == "merge") return do_merge(request);
+  if (op == "compact") return do_compact();
   if (op == "shutdown") {
     begin_drain();
     obsj::Value v = ok_response("shutdown");
@@ -155,7 +189,7 @@ obsj::Value Server::handle_request(const obsj::Value& request) {
   throw std::logic_error(
       "unknown op '" + op +
       "' (valid: ping, version, run, sweep, get, list, pareto, stats, "
-      "shutdown)");
+      "merge, compact, shutdown)");
 }
 
 obsj::Value Server::do_run(const obsj::Value& request) {
@@ -202,7 +236,8 @@ obsj::Value Server::do_run(const obsj::Value& request) {
     } else {
       flight = std::make_shared<Flight>();
       inflight_.emplace(key, flight);
-      queue_.push_back(Job{key, std::move(spec), flight});
+      queue_.push_back(
+          Job{key, std::move(spec), flight, std::chrono::steady_clock::now()});
       enqueued_.fetch_add(1, std::memory_order_relaxed);
       queue_cv_.notify_one();
     }
@@ -401,6 +436,39 @@ obsj::Value Server::do_pareto(const obsj::Value& request) const {
   return v;
 }
 
+obsj::Value Server::do_merge(const obsj::Value& request) {
+  const obsj::Value* path = request.find("path");
+  if (path == nullptr) {
+    throw std::logic_error("merge needs a 'path' (JSONL store log to merge)");
+  }
+  const StoreMergeStats stats = store_.merge_from(path->as_string());
+  store_merges_.fetch_add(1, std::memory_order_relaxed);
+  obsj::Value v = ok_response("merge");
+  v.set("path", *path);
+  v.set("scanned",
+        obsj::Value::number(static_cast<std::uint64_t>(stats.scanned)));
+  v.set("inserted",
+        obsj::Value::number(static_cast<std::uint64_t>(stats.inserted)));
+  v.set("superseded",
+        obsj::Value::number(static_cast<std::uint64_t>(stats.superseded)));
+  v.set("ignored",
+        obsj::Value::number(static_cast<std::uint64_t>(stats.ignored)));
+  v.set("skipped_lines",
+        obsj::Value::number(static_cast<std::uint64_t>(stats.skipped_lines)));
+  v.set("store_size",
+        obsj::Value::number(static_cast<std::uint64_t>(store_.size())));
+  return v;
+}
+
+obsj::Value Server::do_compact() {
+  const std::size_t kept = store_.compact();
+  store_compactions_.fetch_add(1, std::memory_order_relaxed);
+  obsj::Value v = ok_response("compact");
+  v.set("records", obsj::Value::number(static_cast<std::uint64_t>(kept)));
+  v.set("generation", obsj::Value::number(store_.generation()));
+  return v;
+}
+
 obsj::Value Server::do_stats() const {
   obsj::Value v = ok_response("stats");
   obsj::Value counters_v = obsj::Value::object();
@@ -436,15 +504,22 @@ obs::CounterSet Server::counters() const {
   set.add("serve.sweep_cells_run", load(sweep_cells_run_));
   set.add("serve.sweep_cells_resumed", load(sweep_cells_resumed_));
   set.add("serve.sweep_cells_failed", load(sweep_cells_failed_));
+  set.add("serve.store_merges", load(store_merges_));
+  set.add("serve.store_compactions", load(store_compactions_));
   set.add("serve.draining", std::uint64_t{draining() ? 1u : 0u});
   set.add("serve.store_size", static_cast<std::uint64_t>(store_.size()));
   {
     std::lock_guard<std::mutex> lock(mu_);
     set.add("serve.queue_depth", static_cast<std::uint64_t>(queue_.size()));
     set.add("serve.running", static_cast<std::uint64_t>(running_));
+    // Queued + handed to the pool: the per-worker load gauge the router's
+    // sharding decisions are debugged against.
+    set.add("serve.backlog",
+            static_cast<std::uint64_t>(queue_.size() + running_));
     set.add("serve.inflight", static_cast<std::uint64_t>(inflight_.size()));
     set.add("serve.cache_size", static_cast<std::uint64_t>(cache_.size()));
   }
+  queue_wait_.export_counters(set, "serve.queue_wait_ms");
   set.add("serve.cache_capacity",
           static_cast<std::uint64_t>(config_.cache_capacity));
   set.add("serve.queue_capacity",
@@ -453,6 +528,10 @@ obs::CounterSet Server::counters() const {
 }
 
 void Server::execute_job(const Job& job) {
+  queue_wait_.record(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - job.enqueued)
+          .count());
   std::shared_ptr<core::SimResult> result;
   std::string error;
   try {

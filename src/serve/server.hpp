@@ -24,7 +24,9 @@
 // resubmitting the sweep completes only the missing cells.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -36,6 +38,7 @@
 #include "core/serde.hpp"
 #include "obs/counters.hpp"
 #include "serve/cache.hpp"
+#include "serve/service.hpp"
 #include "serve/store.hpp"
 
 namespace respin::serve {
@@ -56,27 +59,51 @@ struct ServerConfig {
   std::string version = "respin_serve (unversioned)";
 };
 
-class Server {
+/// Histogram of milliseconds spent queued before execution, exported as
+/// serve.queue_wait_ms.* counters — the queue-health signal a sharded
+/// tier is balanced by (docs/serving.md). Buckets are cumulative
+/// less-than-or-equal thresholds plus an overflow bucket.
+class QueueWaitHistogram {
+ public:
+  static constexpr std::array<double, 6> kBucketsMs = {1, 4, 16, 64, 256,
+                                                      1024};
+
+  void record(double wait_ms);
+  /// Appends queue_wait_ms.le_*/inf/count/sum_ms under `prefix`.
+  void export_counters(obs::CounterSet& set, const std::string& prefix) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketsMs.size() + 1> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};  ///< Microseconds: exact sums.
+};
+
+class Server : public LineService {
  public:
   explicit Server(const ServerConfig& config);
   /// Drains and joins the scheduler.
-  ~Server();
+  ~Server() override;
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
+  using LineService::handle_line;
   /// Handles one protocol request line, returning the response line
   /// (without trailing newline). Never throws: malformed input becomes a
-  /// typed error response. Safe to call from many threads.
-  std::string handle_line(const std::string& line);
+  /// typed error response. Safe to call from many threads. The worker
+  /// tier never emits intermediate events; `emit` is unused (streamed
+  /// sweep progress is the router's job).
+  std::string handle_line(const std::string& line, const Emit& emit) override;
 
   /// Stops admitting work; queued and in-flight simulations finish.
   /// Idempotent. The SIGTERM path and the `shutdown` op land here.
-  void begin_drain();
-  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  void begin_drain() override;
+  bool draining() const override {
+    return draining_.load(std::memory_order_acquire);
+  }
   /// begin_drain() plus blocking until the scheduler has retired every
   /// accepted job.
-  void drain();
+  void drain() override;
 
   /// Live service counters (serve.* taxonomy, docs/observability.md):
   /// queue depth, in-flight sims, cache hit/miss, coalesced requests,
@@ -97,6 +124,8 @@ class Server {
   obs::json::Value do_list() const;
   obs::json::Value do_pareto(const obs::json::Value& request) const;
   obs::json::Value do_stats() const;
+  obs::json::Value do_merge(const obs::json::Value& request);
+  obs::json::Value do_compact();
 
   /// Executes one simulation, stores + caches the result, and completes
   /// `flight`. Exceptions are captured into the flight (a failed cell
@@ -139,6 +168,10 @@ class Server {
   std::atomic<std::uint64_t> sweep_cells_run_{0};
   std::atomic<std::uint64_t> sweep_cells_resumed_{0};
   std::atomic<std::uint64_t> sweep_cells_failed_{0};
+  std::atomic<std::uint64_t> store_merges_{0};
+  std::atomic<std::uint64_t> store_compactions_{0};
+
+  QueueWaitHistogram queue_wait_;
 
   std::thread scheduler_;
 };

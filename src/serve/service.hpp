@@ -1,0 +1,46 @@
+// The transport-independent serving interface.
+//
+// Both tiers of the serving stack — the worker daemon (serve::Server) and
+// the sharding front end (serve::Router) — speak the same line protocol:
+// one JSON object per line in, one terminal JSON object per line out,
+// with optional intermediate event lines (the router's incremental sweep
+// progress) emitted through the `Emit` callback before the terminal
+// response. The TCP and stdio front ends in serve/net.hpp drive any
+// LineService; tests drive implementations directly.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace respin::serve {
+
+/// Emits one intermediate event line to the client (without trailing
+/// newline). Must be safe to call from multiple threads: a streaming
+/// sweep reports cells from every dispatch thread.
+using Emit = std::function<void(const std::string&)>;
+
+class LineService {
+ public:
+  virtual ~LineService() = default;
+
+  /// Handles one protocol request line, returning the terminal response
+  /// line (without trailing newline). Intermediate event lines (sweep
+  /// progress) go through `emit` as they happen; a null emit suppresses
+  /// them. Never throws: malformed input becomes a typed error response.
+  /// Safe to call from many threads.
+  virtual std::string handle_line(const std::string& line,
+                                  const Emit& emit) = 0;
+
+  /// Convenience for non-streaming callers.
+  std::string handle_line(const std::string& line) {
+    return handle_line(line, Emit());
+  }
+
+  /// Stops admitting work; queued and in-flight requests finish.
+  virtual void begin_drain() = 0;
+  virtual bool draining() const = 0;
+  /// begin_drain() plus blocking until every accepted request retired.
+  virtual void drain() = 0;
+};
+
+}  // namespace respin::serve

@@ -1,0 +1,116 @@
+// respin_router — sharding front end for a fleet of respin_serve workers.
+//
+// Speaks the same line-delimited JSON protocol as respin_serve
+// (docs/serving.md): clients do not change when a deployment grows from
+// one daemon to a sharded tier. Each request's canonical key picks its
+// owning worker (key_hash % N), so worker caches stay hot for disjoint
+// key-slices; sweep matrices fan out cell-by-cell with
+// longest-expected-first dispatch and stream per-cell progress events.
+//
+//   respin_router --worker 7101 --worker 7102 --port 7100
+//   respin_router --worker 127.0.0.1:7101 --worker 7102 --stdio
+//
+// Options:
+//   --worker <[host:]port>  one worker endpoint (repeat per worker;
+//                           host defaults to 127.0.0.1). At least one.
+//   --port <n>       TCP port to listen on (default 0 = kernel-assigned;
+//                    the bound port is printed on startup)
+//   --stdio          serve stdin -> stdout instead of TCP, exit at EOF
+//   --backlog <n>    sweep dispatch lanes per worker (default 2)
+//   --cost-seed <f>  JSONL store log that seeds the sweep cost model
+//   --no-forward-shutdown   keep workers running when the router is told
+//                    to shut down (default: shutdown fans out)
+//   --version        print build provenance and exit
+//
+// The router holds no store: killing and restarting it loses nothing, and
+// `{"op":"merge","path":...}` / `{"op":"compact"}` fan out to workers to
+// reconcile stores after failover or topology changes.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cli_common.hpp"
+#include "serve/net.hpp"
+#include "serve/router.hpp"
+
+namespace {
+
+constexpr const char* kTool = "respin_router";
+constexpr const char* kHint = "(see docs/serving.md)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace respin;
+
+  if (cli::handle_version_flag(kTool, argc, argv)) return 0;
+
+  serve::RouterConfig config;
+  config.version = cli::version_line(kTool);
+  bool stdio = false;
+  long port = 0;
+  std::vector<std::unique_ptr<serve::WorkerBackend>> workers;
+
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&] { return cli::need_value(kTool, argc, argv, i, kHint); };
+    if (std::strcmp(argv[i], "--worker") == 0) {
+      const std::string endpoint = value();
+      std::string host = "127.0.0.1";
+      std::string port_text = endpoint;
+      if (const std::size_t colon = endpoint.rfind(':');
+          colon != std::string::npos) {
+        host = endpoint.substr(0, colon);
+        port_text = endpoint.substr(colon + 1);
+      }
+      const long worker_port = std::atol(port_text.c_str());
+      if (worker_port < 1 || worker_port > 65535) {
+        cli::usage_error(kTool, "--worker needs [host:]port with port 1..65535",
+                         kHint);
+      }
+      workers.push_back(std::make_unique<serve::TcpWorker>(
+          host, static_cast<std::uint16_t>(worker_port)));
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      port = std::atol(value());
+      if (port < 0 || port > 65535) {
+        cli::usage_error(kTool, "--port needs 0..65535", kHint);
+      }
+    } else if (std::strcmp(argv[i], "--stdio") == 0) {
+      stdio = true;
+    } else if (std::strcmp(argv[i], "--backlog") == 0) {
+      const long backlog = std::atol(value());
+      if (backlog < 1) cli::usage_error(kTool, "--backlog needs >= 1", kHint);
+      config.backlog = static_cast<std::size_t>(backlog);
+    } else if (std::strcmp(argv[i], "--cost-seed") == 0) {
+      config.cost_seed_path = value();
+    } else if (std::strcmp(argv[i], "--no-forward-shutdown") == 0) {
+      config.forward_shutdown = false;
+    } else {
+      cli::usage_error(kTool, std::string("unknown option ") + argv[i], kHint);
+    }
+  }
+  if (workers.empty()) {
+    cli::usage_error(kTool, "needs at least one --worker endpoint", kHint);
+  }
+
+  const std::size_t worker_count = workers.size();
+  serve::Router router(config, std::move(workers));
+  std::cerr << kTool << ": routing across " << worker_count << " worker"
+            << (worker_count == 1 ? "" : "s");
+  if (!config.cost_seed_path.empty()) {
+    std::cerr << ", cost model seeded with "
+              << router.cost_model().observations() << " results";
+  }
+  std::cerr << '\n';
+
+  int status = 0;
+  if (stdio) {
+    serve::serve_stdio(router, std::cin, std::cout);
+  } else {
+    status = serve::serve_tcp(router, static_cast<std::uint16_t>(port),
+                              std::cerr, kTool);
+  }
+  return status;
+}
