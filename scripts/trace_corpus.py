@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Importer-corpus check over the fixtures in tests/fixtures/traces/,
+run by CI (the trace_corpus job) on both g++ and clang++ builds.
+
+For every well-formed fixture (no ``bad_`` prefix) the script drives the
+CLI exactly as a user would and enforces the ingestion contract from
+docs/traces.md:
+
+  * ``respin_trace import`` converts it, twice, into byte-identical
+    native .rspt files (deterministic conversion);
+  * ``respin_trace info`` decodes the converted trace (header + CRC ok);
+  * ``respin_trace fit`` produces a profile, and ``respin_trace synth``
+    regenerates a trace from that profile, twice, byte-identically;
+  * ``respin_sim --trace-file`` replays the import on 1 and 2 host
+    threads and both runs print identical result rows (bit-identical
+    replay, thread-count independent).
+
+Every ``bad_*`` fixture must make ``respin_trace import`` exit 1 with
+the typed error named in its first comment line -- never crash (the
+sanitizer jobs rerun this script under ASan+UBSan).
+
+Usage:
+  trace_corpus.py /path/to/respin_trace /path/to/respin_sim [fixture-dir]
+"""
+
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+# bad_<name>.hst -> substring the importer's stderr must carry. Kept in
+# lockstep with the fixture README table.
+EXPECTED_ERRORS = {
+    "bad_truncated": "syntax error",
+    "bad_nonnumeric": "syntax error",
+    "bad_coreid": "bad core id",
+    "bad_order": "interleaving violation",
+}
+
+
+def fail(message):
+    print(f"trace_corpus: FAIL: {message}")
+    sys.exit(1)
+
+
+def check(label, ok, detail=""):
+    if not ok:
+        fail(f"{label}: {detail}")
+    print(f"trace_corpus: ok: {label}")
+
+
+def run(argv, env=None):
+    return subprocess.run(argv, capture_output=True, text=True, env=env)
+
+
+def check_good(fixture, trace_bin, sim_bin, tmp):
+    name = fixture.stem
+    rspt = [tmp / f"{name}.{i}.rspt" for i in (1, 2)]
+    for out in rspt:
+        r = run([trace_bin, "import", "--format", "hybridsim",
+                 str(fixture), "--out", str(out)])
+        check(f"{name}: import", r.returncode == 0, r.stderr.strip())
+    check(f"{name}: import deterministic",
+          rspt[0].read_bytes() == rspt[1].read_bytes(),
+          "two imports differ")
+
+    r = run([trace_bin, "info", str(rspt[0])])
+    check(f"{name}: info decodes import", r.returncode == 0,
+          r.stderr.strip())
+
+    profile = tmp / f"{name}.profile.json"
+    r = run([trace_bin, "fit", str(rspt[0]), "--out", str(profile)])
+    check(f"{name}: fit", r.returncode == 0, r.stderr.strip())
+
+    synth = [tmp / f"{name}.synth.{i}.rspt" for i in (1, 2)]
+    for out in synth:
+        r = run([trace_bin, "synth", "--profile", str(profile),
+                 "--seed", "7", "--out", str(out)])
+        check(f"{name}: synth", r.returncode == 0, r.stderr.strip())
+    check(f"{name}: synth deterministic",
+          synth[0].read_bytes() == synth[1].read_bytes(),
+          "two syntheses differ")
+
+    rows = []
+    for threads in ("1", "2"):
+        r = run([sim_bin, "--trace-file", str(rspt[0]),
+                 "--config", "SH-STT", "--threads", threads])
+        check(f"{name}: replay on {threads} thread(s)", r.returncode == 0,
+              r.stderr.strip())
+        rows.append(r.stdout)
+    check(f"{name}: replay thread-count independent", rows[0] == rows[1],
+          "1- and 2-thread replays printed different results")
+
+
+def check_bad(fixture, trace_bin, tmp):
+    name = fixture.stem
+    expected = EXPECTED_ERRORS.get(name)
+    if expected is None:
+        fail(f"{name}: no expected error registered in trace_corpus.py "
+             f"(update EXPECTED_ERRORS and the fixture README)")
+    r = run([trace_bin, "import", "--format", "hybridsim", str(fixture),
+             "--out", str(tmp / f"{name}.rspt")])
+    check(f"{name}: rejected with exit 1", r.returncode == 1,
+          f"exit {r.returncode}, stderr: {r.stderr.strip()}")
+    check(f"{name}: typed error '{expected}'", expected in r.stderr,
+          f"stderr: {r.stderr.strip()}")
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        fail("usage: trace_corpus.py RESPIN_TRACE RESPIN_SIM [FIXTURE_DIR]")
+    trace_bin, sim_bin = sys.argv[1], sys.argv[2]
+    fixtures = pathlib.Path(
+        sys.argv[3] if len(sys.argv) == 4 else
+        pathlib.Path(__file__).resolve().parent.parent / "tests" /
+        "fixtures" / "traces")
+    corpus = sorted(fixtures.glob("*.hst"))
+    if not corpus:
+        fail(f"no *.hst fixtures under {fixtures}")
+
+    with tempfile.TemporaryDirectory(prefix="respin_corpus_") as d:
+        tmp = pathlib.Path(d)
+        for fixture in corpus:
+            if fixture.stem.startswith("bad_"):
+                check_bad(fixture, trace_bin, tmp)
+            else:
+                check_good(fixture, trace_bin, sim_bin, tmp)
+    print(f"trace_corpus: PASS ({len(corpus)} fixtures)")
+
+
+if __name__ == "__main__":
+    main()

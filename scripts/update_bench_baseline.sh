@@ -16,7 +16,8 @@ set -euo pipefail
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build}"
 
-benches=(bench_throughput bench_trace_replay bench_micro_controller)
+benches=(bench_throughput bench_trace_replay bench_trace_import
+         bench_micro_controller)
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$build" --target "${benches[@]}" bench_serve_scale respin_serve \

@@ -260,13 +260,18 @@ RequestSpec request_spec_from_json(const obsj::Value& request) {
   }
   const obsj::Value* benchmark = request.find("benchmark");
   const obsj::Value* trace_file = request.find("trace_file");
-  if (benchmark != nullptr && trace_file != nullptr) {
+  const obsj::Value* profile_file = request.find("profile_file");
+  const int workload_refs = (benchmark != nullptr ? 1 : 0) +
+                            (trace_file != nullptr ? 1 : 0) +
+                            (profile_file != nullptr ? 1 : 0);
+  if (workload_refs > 1) {
     throw std::logic_error(
-        "request has both 'benchmark' and 'trace_file'; pick one workload "
-        "reference");
+        "request names more than one of 'benchmark', 'trace_file' and "
+        "'profile_file'; pick one workload reference");
   }
   if (benchmark != nullptr) spec.benchmark = benchmark->as_string();
   if (trace_file != nullptr) spec.trace_file = trace_file->as_string();
+  if (profile_file != nullptr) spec.profile_file = profile_file->as_string();
   if (const obsj::Value* v = request.find("size")) {
     spec.options.size = parse_cache_size(v->as_string());
   }
@@ -317,7 +322,13 @@ obsj::Value request_spec_to_json(const RequestSpec& spec) {
     v.set("oracle_stride", obsj::Value::number(spec.options.oracle_stride));
     return v;
   }
-  v.set("benchmark", obsj::Value::str(spec.benchmark));
+  if (!spec.profile_file.empty()) {
+    // A profile workload is synthesized at run time, so every knob that
+    // feeds synthesis or the simulator participates in the key.
+    v.set("profile_file", obsj::Value::str(spec.profile_file));
+  } else {
+    v.set("benchmark", obsj::Value::str(spec.benchmark));
+  }
   v.set("size", obsj::Value::str(to_string(spec.options.size)));
   v.set("cluster", obsj::Value::number(spec.options.cluster_cores));
   v.set("scale", obsj::Value::number(spec.options.workload_scale));

@@ -32,11 +32,17 @@ struct RequestSpec {
   /// from a trace ref identify the file by path, not content — see
   /// docs/serving.md for the invalidation caveat.
   std::string trace_file;
+  /// Fitted-profile workload reference (`respin_trace fit` JSON). The
+  /// profile is synthesized into a workload at run time, so unlike
+  /// trace_file it composes with cluster/scale/seed and fault/tech knobs.
+  /// Same by-path key caveat as trace_file.
+  std::string profile_file;
   RunOptions options;
 };
 
 /// Parses the request fields of a protocol object (config, benchmark /
-/// trace_file, size, cluster, scale, seed, oracle_stride, faults, tech).
+/// trace_file / profile_file, size, cluster, scale, seed, oracle_stride,
+/// faults, tech).
 /// Missing fields keep their defaults; unknown names and malformed values
 /// throw obs::json::Error or std::logic_error with a caller-printable
 /// message.

@@ -7,6 +7,7 @@
 
 #include "exec/parallel.hpp"
 #include "obs/obs.hpp"
+#include "trace/fit/fit.hpp"
 #include "trace/replay.hpp"
 #include "util/require.hpp"
 #include "workload/workload.hpp"
@@ -65,8 +66,9 @@ void QueueWaitHistogram::export_counters(obs::CounterSet& set,
 
 namespace {
 
-/// Executes one request: catalog benchmark, or trace replay when the
-/// workload reference is a trace file.
+/// Executes one request: catalog benchmark, trace replay when the
+/// workload reference is a trace file, or profile synthesis when it is a
+/// fitted-profile file.
 core::SimResult run_request(const core::RequestSpec& spec) {
   if (!spec.trace_file.empty()) {
     const trace::TraceData data = trace::load_trace(spec.trace_file);
@@ -75,6 +77,12 @@ core::SimResult run_request(const core::RequestSpec& spec) {
     options.cycle_skip = spec.options.cycle_skip;
     options.oracle_stride = spec.options.oracle_stride;
     return trace::replay_trace(spec.config, data, options);
+  }
+  if (!spec.profile_file.empty()) {
+    auto profile = std::make_shared<const workload::WorkloadProfile>(
+        trace::fit::load_profile(spec.profile_file));
+    return trace::fit::run_profile(spec.config, std::move(profile),
+                                   spec.options);
   }
   return core::run_experiment(spec.config, spec.benchmark, spec.options);
 }
@@ -195,7 +203,9 @@ obsj::Value Server::handle_request(const obsj::Value& request) {
 obsj::Value Server::do_run(const obsj::Value& request) {
   run_requests_.fetch_add(1, std::memory_order_relaxed);
   core::RequestSpec spec = core::request_spec_from_json(request);
-  if (spec.trace_file.empty()) require_known_benchmark(spec.benchmark);
+  if (spec.trace_file.empty() && spec.profile_file.empty()) {
+    require_known_benchmark(spec.benchmark);
+  }
   const std::string key = core::canonical_key(spec);
 
   std::int64_t deadline_ms = config_.default_deadline_ms;
@@ -287,8 +297,13 @@ obsj::Value Server::do_sweep(const obsj::Value& request) {
   // Shared run options come from the same fields as a single run; the
   // matrix axes replace "config"/"benchmark".
   const core::RequestSpec base = core::request_spec_from_json(request);
-  RESPIN_REQUIRE(base.trace_file.empty(),
-                 "sweep supports catalog benchmarks only");
+  // A trace/profile workload pins the benchmark axis: the sweep runs the
+  // one imported workload across the configuration axis.
+  const bool file_workload =
+      !base.trace_file.empty() || !base.profile_file.empty();
+  RESPIN_REQUIRE(!file_workload || request.find("benchmarks") == nullptr,
+                 "a trace_file/profile_file sweep fixes the workload; drop "
+                 "the 'benchmarks' axis");
 
   std::vector<core::ConfigId> configs;
   if (const obsj::Value* list = request.find("configs")) {
@@ -299,7 +314,9 @@ obsj::Value Server::do_sweep(const obsj::Value& request) {
     configs = core::all_config_ids();
   }
   std::vector<std::string> benchmarks;
-  if (const obsj::Value* list = request.find("benchmarks")) {
+  if (file_workload) {
+    benchmarks.push_back(std::string());  // Placeholder: one workload.
+  } else if (const obsj::Value* list = request.find("benchmarks")) {
     for (const obsj::Value& name : list->as_array()) {
       require_known_benchmark(name.as_string());
       benchmarks.push_back(name.as_string());
@@ -325,7 +342,7 @@ obsj::Value Server::do_sweep(const obsj::Value& request) {
       Cell cell;
       cell.spec = base;
       cell.spec.config = config;
-      cell.spec.benchmark = benchmark;
+      if (!file_workload) cell.spec.benchmark = benchmark;
       cell.key = core::canonical_key(cell.spec);
       if (store_.contains(cell.key)) {
         ++resumed;

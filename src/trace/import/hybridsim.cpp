@@ -1,0 +1,195 @@
+#include "trace/import/hybridsim.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <string_view>
+
+namespace respin::trace {
+
+namespace {
+
+/// Splits `line` into whitespace-separated tokens; '#' starts a comment.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] == '#') break;
+    const std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+/// Strict unsigned parse (decimal, or 0x-hex when `allow_hex`): the whole
+/// token must be digits, no sign, no trailing junk — strtoull's "parse a
+/// prefix" leniency would silently accept corrupt fields.
+std::uint64_t parse_u64(std::string_view token, bool allow_hex,
+                        const char* field, std::uint64_t line_no) {
+  std::uint64_t base = 10;
+  std::string_view digits = token;
+  if (allow_hex && token.size() > 2 &&
+      (token.substr(0, 2) == "0x" || token.substr(0, 2) == "0X")) {
+    base = 16;
+    digits = token.substr(2);
+  }
+  if (digits.empty()) {
+    throw ImportError(ImportErrorKind::kSyntax,
+                      std::string("empty ") + field + " field", line_no);
+  }
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    std::uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (base == 16 && c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else if (base == 16 && c >= 'A' && c <= 'F') {
+      digit = static_cast<std::uint64_t>(c - 'A') + 10;
+    } else {
+      throw ImportError(ImportErrorKind::kSyntax,
+                        std::string("non-numeric ") + field + " field '" +
+                            std::string(token) + "'",
+                        line_no);
+    }
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / base) {
+      throw ImportError(ImportErrorKind::kSyntax,
+                        std::string(field) + " field '" + std::string(token) +
+                            "' overflows 64 bits",
+                        line_no);
+    }
+    value = value * base + digit;
+  }
+  return value;
+}
+
+/// R/W field: accepts the single-letter and spelled-out forms, any case.
+bool parse_is_store(std::string_view token, std::uint64_t line_no) {
+  std::string upper;
+  upper.reserve(token.size());
+  for (const char c : token) {
+    upper.push_back(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  if (upper == "R" || upper == "READ" || upper == "LOAD" || upper == "LD") {
+    return false;
+  }
+  if (upper == "W" || upper == "WRITE" || upper == "STORE" || upper == "ST") {
+    return true;
+  }
+  throw ImportError(ImportErrorKind::kSyntax,
+                    "unknown access kind '" + std::string(token) +
+                        "' (expected R or W)",
+                    line_no);
+}
+
+}  // namespace
+
+ImportStats HybridSimImporter::parse(const std::string& in_path,
+                                     const ImportOptions& options,
+                                     std::vector<ParsedThread>& threads) const {
+  std::ifstream is(in_path);
+  if (!is.is_open()) {
+    throw ImportError(ImportErrorKind::kIo, "cannot open " + in_path);
+  }
+
+  ImportStats stats;
+  threads.clear();
+  // Per-core timestamp of the previous record (interleaving check + gap
+  // synthesis); kNoTimestamp marks a core's first record.
+  constexpr std::uint64_t kNoTimestamp =
+      std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> last_timestamp;
+
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::vector<std::string_view> tokens = tokenize(line);
+    if (tokens.empty()) continue;  // Blank or comment line.
+    if (tokens.size() != 4) {
+      throw ImportError(ImportErrorKind::kSyntax,
+                        "expected 4 fields <core> <timestamp> <address> "
+                        "<R|W>, got " +
+                            std::to_string(tokens.size()),
+                        line_no);
+    }
+    const std::uint64_t core_raw =
+        parse_u64(tokens[0], /*allow_hex=*/false, "core id", line_no);
+    if (core_raw >= options.max_cores) {
+      throw ImportError(ImportErrorKind::kBadCoreId,
+                        "core id " + std::to_string(core_raw) +
+                            " out of range (max_cores " +
+                            std::to_string(options.max_cores) + ")",
+                        line_no);
+    }
+    const auto core = static_cast<std::uint32_t>(core_raw);
+    const std::uint64_t timestamp =
+        parse_u64(tokens[1], /*allow_hex=*/false, "timestamp", line_no);
+    const std::uint64_t address =
+        parse_u64(tokens[2], /*allow_hex=*/true, "address", line_no);
+    const bool store = parse_is_store(tokens[3], line_no);
+
+    if (core >= threads.size()) {
+      threads.resize(core + 1);
+      last_timestamp.resize(core + 1, kNoTimestamp);
+    }
+    ParsedThread& thread = threads[core];
+    if (thread.ops.empty()) ++stats.cores_seen;
+
+    // Compute gap from the per-core timestamp delta. The first record of
+    // a core starts the clock; later records must not go backwards.
+    if (last_timestamp[core] != kNoTimestamp) {
+      if (timestamp < last_timestamp[core]) {
+        throw ImportError(ImportErrorKind::kBadOrder,
+                          "core " + std::to_string(core) +
+                              " timestamp went backwards (" +
+                              std::to_string(timestamp) + " after " +
+                              std::to_string(last_timestamp[core]) + ")",
+                          line_no);
+      }
+      const std::uint64_t gap =
+          std::min(timestamp - last_timestamp[core], options.max_compute_gap);
+      if (gap > 0) {
+        thread.ops.push_back(workload::Op{
+            .kind = workload::OpKind::kCompute,
+            .count = static_cast<std::uint32_t>(gap),
+            .addr = 0,
+            .ipc = 1.0});
+        thread.instructions += gap;
+        stats.instructions += gap;
+      }
+    }
+    last_timestamp[core] = timestamp;
+
+    thread.ops.push_back(workload::Op{
+        .kind = store ? workload::OpKind::kStore : workload::OpKind::kLoad,
+        .count = 1,
+        .addr = address,
+        .ipc = 1.0});
+    thread.instructions += 1;
+    stats.instructions += 1;
+    ++stats.mem_ops;
+  }
+  if (is.bad()) {
+    throw ImportError(ImportErrorKind::kIo, "read failure on " + in_path);
+  }
+  stats.lines = line_no;
+  if (stats.mem_ops == 0) {
+    throw ImportError(ImportErrorKind::kEmpty,
+                      in_path + " holds no trace records");
+  }
+  return stats;
+}
+
+}  // namespace respin::trace

@@ -1,0 +1,42 @@
+// HybridSim-style multi-core CPU text traces.
+//
+// One memory access per line, whitespace-separated:
+//
+//   <core-id> <timestamp> <address> <R|W>
+//
+//   2 11504 140737488345376 R
+//   0 11520 0x7ffff7a0d000 W
+//
+// core-id and timestamp are decimal; the address is decimal or 0x-hex.
+// The access kind accepts R/W (any case) plus the READ/WRITE/LOAD/STORE
+// spellings seen in published trace sets. '#'-comment and blank lines are
+// skipped. Lines of one core must carry non-decreasing timestamps
+// (records of different cores may interleave freely — HybridSim's
+// trace players keep per-core cursors and so do we).
+//
+// Conversion: each record becomes a kLoad/kStore at its address, preceded
+// by a compute run whose instruction count is the core's timestamp delta
+// (clamped to ImportOptions::max_compute_gap) at issue IPC 1.0 — the
+// timestamp stream is the only timing signal a foreign trace carries, so
+// deltas stand in for the instructions between memory accesses. No
+// barriers are synthesized: foreign cores run free and finish
+// independently, which every governor handles.
+#pragma once
+
+#include "trace/import/import.hpp"
+
+namespace respin::trace {
+
+class HybridSimImporter final : public TraceImporter {
+ public:
+  const char* format_name() const override { return "hybridsim"; }
+  const char* description() const override {
+    return "multi-core text trace: <core> <timestamp> <address> <R|W> per "
+           "line";
+  }
+
+  ImportStats parse(const std::string& in_path, const ImportOptions& options,
+                    std::vector<ParsedThread>& threads) const override;
+};
+
+}  // namespace respin::trace

@@ -1,0 +1,139 @@
+// Foreign-trace ingestion framework: typed import errors, importer
+// registry, and the conversion driver behind `respin_trace import`.
+//
+// An importer parses one foreign trace format (e.g. HybridSim's
+// multi-core text traces) and re-emits the stream through the existing
+// TraceWriter, so every imported workload lands in the native versioned,
+// CRC-checked .rspt format and inherits the whole replay stack — the
+// bit-identical replay contract, `respin_trace info/replay`, trace-backed
+// serving requests, and the fit/synth pipeline — for free.
+//
+// Foreign files are untrusted input: every malformed-input path raises
+// ImportError with a typed kind and a 1-based line number, never a crash
+// or UB (tests/import_test.cpp runs these paths under ASan+UBSan).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "trace/writer.hpp"
+
+namespace respin::trace {
+
+/// What went wrong while importing a foreign trace.
+enum class ImportErrorKind : std::uint8_t {
+  kIo,             ///< open/read failure on the foreign file.
+  kSyntax,         ///< Truncated line or non-numeric field.
+  kBadCoreId,      ///< Core id out of the supported range.
+  kBadOrder,       ///< Interleaving violation (per-core time went backwards).
+  kEmpty,          ///< No records (nothing to replay).
+  kUnknownFormat,  ///< No importer registered under that name.
+  kLimit,          ///< Input exceeds a conversion bound (cores, gap, ...).
+};
+
+const char* to_string(ImportErrorKind kind);
+
+/// Typed import error: every validation failure in respin::trace::import
+/// throws this. `line()` is 1-based; 0 means "not a per-line failure".
+class ImportError : public std::runtime_error {
+ public:
+  ImportError(ImportErrorKind kind, const std::string& message,
+              std::uint64_t line = 0)
+      : std::runtime_error(std::string(to_string(kind)) +
+                           (line != 0 ? " (line " + std::to_string(line) + ")"
+                                      : std::string()) +
+                           ": " + message),
+        kind_(kind),
+        line_(line) {}
+
+  ImportErrorKind kind() const { return kind_; }
+  std::uint64_t line() const { return line_; }
+
+ private:
+  ImportErrorKind kind_;
+  std::uint64_t line_;
+};
+
+/// Conversion knobs shared by every importer.
+struct ImportOptions {
+  /// Benchmark label stored in the .rspt header (shows up in SimResult
+  /// rows and canonical request keys). Empty derives one from the input
+  /// file name.
+  std::string name;
+  /// Seed stored in the header. Replay reuses it for the die-variation
+  /// map and controller arbitration, so two imports of the same file with
+  /// the same seed replay bit-identically.
+  std::uint64_t seed = 1;
+  /// Largest accepted core id + 1. Replay runs a trace through one
+  /// cluster, so this is capped at the largest cluster (32 cores).
+  std::uint32_t max_cores = 32;
+  /// Per-record cap on the compute gap synthesized from a timestamp
+  /// delta; larger deltas clamp (foreign timestamps can carry DRAM-scale
+  /// gaps that would dwarf the access stream).
+  std::uint64_t max_compute_gap = 100'000;
+};
+
+/// What an importer produced.
+struct ImportStats {
+  std::uint32_t cores_seen = 0;     ///< Distinct core ids in the input.
+  std::uint32_t thread_count = 0;   ///< Header value (padded to a cluster).
+  std::uint64_t lines = 0;          ///< Input lines consumed.
+  std::uint64_t mem_ops = 0;        ///< Loads + stores emitted.
+  std::uint64_t instructions = 0;   ///< Including synthesized compute gaps.
+  std::uint64_t ifetches = 0;       ///< Synthesized ifetch budget.
+};
+
+/// One core's converted op stream, before it is written out. Importers
+/// produce these; the conversion driver owns header construction, ifetch
+/// synthesis and the TraceWriter (thread count is only known after the
+/// whole input has been parsed).
+struct ParsedThread {
+  std::vector<workload::Op> ops;
+  std::uint64_t instructions = 0;  ///< Sum of op instruction counts.
+};
+
+/// One registered foreign-format reader.
+class TraceImporter {
+ public:
+  virtual ~TraceImporter() = default;
+
+  /// Registry key, e.g. "hybridsim".
+  virtual const char* format_name() const = 0;
+  /// One-line description for --list-formats and error messages.
+  virtual const char* description() const = 0;
+
+  /// Parses the foreign file into per-core op streams (indexed by core
+  /// id; cores the input never mentions stay empty). Throws ImportError
+  /// on any malformed input. Fills the input-side stats fields
+  /// (cores_seen, lines, mem_ops, instructions).
+  virtual ImportStats parse(const std::string& in_path,
+                            const ImportOptions& options,
+                            std::vector<ParsedThread>& threads) const = 0;
+};
+
+/// Every built-in importer, in registration order.
+const std::vector<const TraceImporter*>& importer_registry();
+
+/// Looks up an importer by format name; throws
+/// ImportError(kUnknownFormat) listing the registered names.
+const TraceImporter& importer_for(const std::string& format);
+
+/// Comma-separated registered format names (error messages, CLI help).
+std::string importer_names();
+
+/// End-to-end conversion: parses `in_path` with the `format` importer and
+/// writes a native .rspt trace to `out_path`. The header carries
+/// `options.name` (or a name derived from `in_path`), `options.seed`, and
+/// the padded thread count. Throws ImportError on malformed input and
+/// TraceError on output I/O failure.
+ImportStats import_trace(const std::string& format, const std::string& in_path,
+                         const std::string& out_path,
+                         const ImportOptions& options = {});
+
+/// Rounds a core count up to a replayable cluster size (2/4/8/16/32 —
+/// make_cluster_config's contract). Throws ImportError(kLimit) above 32.
+std::uint32_t padded_thread_count(std::uint32_t cores_seen);
+
+}  // namespace respin::trace

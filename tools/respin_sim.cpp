@@ -14,6 +14,10 @@
 // Options:
 //   --config <name>      Table IV configuration (default SH-STT)
 //   --benchmark <name>   benchmark (default ocean); --all runs the suite
+//   --trace-file <f>     replay a recorded/imported .rspt trace instead of
+//                        a catalog benchmark (respin_trace record/import)
+//   --profile <f>        synthesize the workload from a fitted profile
+//                        JSON (respin_trace fit) instead of the catalog
 //   --size <class>       small | medium | large          (default medium)
 //   --cluster <n>        cores per cluster: 4/8/16/32    (default 16)
 //   --scale <x>          workload length multiplier      (default 1.0)
@@ -52,6 +56,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,6 +70,8 @@
 #include "nvsim/tech_backend.hpp"
 #include "obs/golden.hpp"
 #include "obs/obs.hpp"
+#include "trace/fit/fit.hpp"
+#include "trace/replay.hpp"
 #include "workload/workload.hpp"
 
 namespace {
@@ -88,6 +95,8 @@ int main(int argc, char** argv) {
 
   std::string config_name = "SH-STT";
   std::string benchmark = "ocean";
+  std::string trace_file;
+  std::string profile_path;
   bool run_all = false;
   bool chip = false;
   bool report_time = false;
@@ -106,6 +115,10 @@ int main(int argc, char** argv) {
       config_name = need_value("--config");
     } else if (std::strcmp(argv[i], "--benchmark") == 0) {
       benchmark = need_value("--benchmark");
+    } else if (std::strcmp(argv[i], "--trace-file") == 0) {
+      trace_file = need_value("--trace-file");
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile_path = need_value("--profile");
     } else if (std::strcmp(argv[i], "--all") == 0) {
       run_all = true;
     } else if (std::strcmp(argv[i], "--size") == 0) {
@@ -213,6 +226,23 @@ int main(int argc, char** argv) {
     options.faults.seed = options.seed;
   }
 
+  // Trace/profile workloads are single runs through the cluster path.
+  if (!trace_file.empty() && !profile_path.empty()) {
+    usage_error("--trace-file and --profile are mutually exclusive");
+  }
+  if ((!trace_file.empty() || !profile_path.empty()) && (run_all || chip)) {
+    usage_error("--trace-file/--profile run one workload; drop --all/--chip");
+  }
+  if (!trace_file.empty() &&
+      (options.faults.enabled || options.tech.shared_tech.has_value() ||
+       options.tech.private_tech.has_value() ||
+       options.tech.hybrid_sram_ways != 0 ||
+       options.tech.hybrid_nvm_ways != 0)) {
+    usage_error("--trace-file does not support fault/tech overrides (replay "
+                "reuses the recorded configuration; fit the trace and use "
+                "--profile instead)");
+  }
+
   // Structured trace: one JSONL sink shared by the simulations (epoch and
   // run records) and the exec pool's timing probes.
   std::ofstream jsonl_os;
@@ -270,6 +300,15 @@ int main(int argc, char** argv) {
       run_all ? workload::benchmark_names()
               : std::vector<std::string>{benchmark};
 
+  // Trace/profile workloads load once, outside the run lambda.
+  std::optional<trace::TraceData> trace_data;
+  if (!trace_file.empty()) trace_data.emplace(trace::load_trace(trace_file));
+  std::shared_ptr<const workload::WorkloadProfile> profile;
+  if (!profile_path.empty()) {
+    profile = std::make_shared<const workload::WorkloadProfile>(
+        trace::fit::load_profile(profile_path));
+  }
+
   // Fan the runs out over the host thread pool; each run times itself so
   // --time can report per-run cost even when they overlap.
   const auto wall_start = std::chrono::steady_clock::now();
@@ -281,7 +320,17 @@ int main(int argc, char** argv) {
       exec::parallel_map(benches, [&](const std::string& name) {
         const auto start = std::chrono::steady_clock::now();
         TimedRun run;
-        run.result = core::run_experiment(config, name, options);
+        if (trace_data.has_value()) {
+          trace::ReplayOptions replay;
+          replay.size = options.size;
+          replay.cycle_skip = options.cycle_skip;
+          replay.oracle_stride = options.oracle_stride;
+          run.result = trace::replay_trace(config, *trace_data, replay);
+        } else if (profile != nullptr) {
+          run.result = trace::fit::run_profile(config, profile, options);
+        } else {
+          run.result = core::run_experiment(config, name, options);
+        }
         run.wall_seconds = seconds_since(start);
         return run;
       });

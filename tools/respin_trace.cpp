@@ -20,9 +20,19 @@
 //            compare the two SimResults bit for bit. Exits 1 with a
 //            field-by-field diff on any mismatch. Without --config,
 //            verifies across all eight Table IV configurations.
+//   import   Convert a foreign trace (--format, see --list-formats) into
+//            the native .rspt format: respin_trace import --format
+//            hybridsim mem.txt --out mem.rspt [--name label] [--seed N].
+//   fit      Measure a .rspt trace into a workload profile (read/write
+//            mix, reuse-distance histogram, sharing, phases); --out
+//            writes the canonical profile JSON, --windows sets the phase
+//            count (default 8).
+//   synth    Generate a .rspt trace from a fitted profile: respin_trace
+//            synth --profile p.json --out synth.rspt [--threads N]
+//            [--scale S] [--seed N].
 //
-// Exit codes: 0 success, 1 verification failure or malformed trace,
-// 2 usage error.
+// Exit codes: 0 success, 1 verification failure or malformed trace /
+// foreign input / profile, 2 usage error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +42,8 @@
 #include "cli_common.hpp"
 #include "core/report.hpp"
 #include "trace/capture.hpp"
+#include "trace/fit/fit.hpp"
+#include "trace/import/import.hpp"
 #include "trace/replay.hpp"
 #include "workload/workload.hpp"
 
@@ -40,7 +52,8 @@ namespace {
 [[noreturn]] void usage_error(const std::string& message) {
   respin::cli::usage_error(
       "respin_trace", message,
-      "\nusage: respin_trace record|info|replay|verify ... [--version]");
+      "\nusage: respin_trace record|info|replay|verify|import|fit|synth ... "
+      "[--version]");
 }
 
 struct Args {
@@ -54,6 +67,11 @@ struct Args {
   std::uint64_t seed = 1;
   std::string config;
   respin::trace::ReplayOptions replay;
+  std::string format;
+  std::string name;
+  std::string profile;
+  std::size_t windows = 8;
+  bool list_formats = false;
 };
 
 Args parse(int argc, char** argv) {
@@ -85,6 +103,18 @@ Args parse(int argc, char** argv) {
       args.replay.size = respin::core::parse_cache_size(need_value("--size"));
     } else if (std::strcmp(argv[i], "--no-skip") == 0) {
       args.replay.cycle_skip = false;
+    } else if (std::strcmp(argv[i], "--format") == 0) {
+      args.format = need_value("--format");
+    } else if (std::strcmp(argv[i], "--name") == 0) {
+      args.name = need_value("--name");
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      args.profile = need_value("--profile");
+    } else if (std::strcmp(argv[i], "--windows") == 0) {
+      const int windows = std::atoi(need_value("--windows"));
+      if (windows < 1) usage_error("--windows needs a positive count");
+      args.windows = static_cast<std::size_t>(windows);
+    } else if (std::strcmp(argv[i], "--list-formats") == 0) {
+      args.list_formats = true;
     } else if (argv[i][0] != '-' && args.file.empty()) {
       args.file = argv[i];
     } else {
@@ -190,6 +220,88 @@ int cmd_verify(const Args& args) {
   return failures == 0 ? 0 : 1;
 }
 
+int cmd_import(const Args& args) {
+  using namespace respin;
+  if (args.list_formats) {
+    for (const trace::TraceImporter* importer : trace::importer_registry()) {
+      std::printf("%-12s %s\n", importer->format_name(),
+                  importer->description());
+    }
+    return 0;
+  }
+  if (args.format.empty()) {
+    usage_error("import needs --format <name> (see --list-formats)");
+  }
+  if (args.file.empty()) usage_error("import needs a foreign trace file");
+  if (args.out.empty()) usage_error("import needs --out <file.rspt>");
+  trace::ImportOptions options;
+  options.name = args.name;
+  options.seed = args.seed;
+  const trace::ImportStats stats =
+      trace::import_trace(args.format, args.file, args.out, options);
+  std::printf(
+      "%s: %llu lines -> %llu mem ops, %llu instructions, %llu ifetches "
+      "across %u cores (padded to %u threads) -> %s\n",
+      args.file.c_str(), static_cast<unsigned long long>(stats.lines),
+      static_cast<unsigned long long>(stats.mem_ops),
+      static_cast<unsigned long long>(stats.instructions),
+      static_cast<unsigned long long>(stats.ifetches), stats.cores_seen,
+      stats.thread_count, args.out.c_str());
+  return 0;
+}
+
+int cmd_fit(const Args& args) {
+  using namespace respin;
+  if (args.file.empty()) usage_error("fit needs a trace file");
+  const trace::TraceData data = trace::load_trace(args.file);
+  trace::fit::FitOptions options;
+  options.windows = args.windows;
+  const workload::WorkloadProfile profile = trace::fit::fit_trace(data, options);
+  std::printf("%s: %u threads, %llu instructions/thread, %llu mem ops\n",
+              profile.name.c_str(), profile.thread_count,
+              static_cast<unsigned long long>(profile.instructions),
+              static_cast<unsigned long long>(profile.mem_ops));
+  std::printf(
+      "  mix: mem %.4f, store %.4f, shared %.4f, avg ipc %.3f, "
+      "%zu phases, %llu shared lines\n",
+      profile.mem_fraction, profile.store_fraction, profile.shared_fraction,
+      profile.avg_ipc, profile.phases.size(),
+      static_cast<unsigned long long>(profile.shared_pool_lines));
+  std::printf("  reuse histogram (bucket: count):");
+  for (std::size_t b = 0; b < profile.reuse_hist.size(); ++b) {
+    if (profile.reuse_hist[b] != 0) {
+      std::printf(" %zu:%llu", b,
+                  static_cast<unsigned long long>(profile.reuse_hist[b]));
+    }
+  }
+  std::printf("\n");
+  if (!args.out.empty()) {
+    trace::fit::save_profile(profile, args.out);
+    std::printf("  profile -> %s\n", args.out.c_str());
+  }
+  return 0;
+}
+
+int cmd_synth(const Args& args) {
+  using namespace respin;
+  if (args.profile.empty()) usage_error("synth needs --profile <file.json>");
+  if (args.out.empty()) usage_error("synth needs --out <file.rspt>");
+  const workload::WorkloadProfile profile =
+      trace::fit::load_profile(args.profile);
+  const std::uint32_t threads =
+      args.threads != 16 || profile.thread_count == 0 ? args.threads
+                                                      : profile.thread_count;
+  const trace::fit::SynthStats stats = trace::fit::synthesize_trace(
+      profile, threads, args.scale, args.seed, args.out);
+  std::printf(
+      "%s: %llu ops, %llu ifetches, %llu instructions x %u threads -> %s\n",
+      profile.name.c_str(), static_cast<unsigned long long>(stats.ops),
+      static_cast<unsigned long long>(stats.ifetches),
+      static_cast<unsigned long long>(stats.instructions), threads,
+      args.out.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,8 +312,17 @@ int main(int argc, char** argv) {
     if (args.command == "info") return cmd_info(args);
     if (args.command == "replay") return cmd_replay(args);
     if (args.command == "verify") return cmd_verify(args);
+    if (args.command == "import") return cmd_import(args);
+    if (args.command == "fit") return cmd_fit(args);
+    if (args.command == "synth") return cmd_synth(args);
+  } catch (const respin::trace::ImportError& e) {
+    std::fprintf(stderr, "respin_trace: %s\n", e.what());
+    return 1;
   } catch (const respin::trace::TraceError& e) {
     std::fprintf(stderr, "respin_trace: %s\n", e.what());
+    return 1;
+  } catch (const respin::obs::json::Error& e) {
+    std::fprintf(stderr, "respin_trace: malformed profile: %s\n", e.what());
     return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "respin_trace: %s\n", e.what());
